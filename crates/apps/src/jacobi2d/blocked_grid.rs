@@ -1,0 +1,237 @@
+//! Block-partitioned execution of the real Jacobi kernel.
+//!
+//! The strip path has [`super::grid::PartitionedRun`]; this is the
+//! blocked analogue: the grid is divided into a `pr × pc` mesh of
+//! blocks, each carrying one ghost row/column per mesh neighbour,
+//! refreshed after every sweep exactly as the distributed blocked
+//! code's border exchange would. (Corner ghosts are not exchanged —
+//! the 5-point stencil never reads them.)
+//!
+//! Tests verify block execution is *bit-identical* to the sequential
+//! solver for every mesh shape, closing the correctness story for the
+//! HPF-Blocked baseline the schedulers compare against.
+
+use super::grid::Grid;
+
+/// Block-partitioned Jacobi execution with ghost-cell exchange.
+#[derive(Debug, Clone)]
+pub struct BlockedRun {
+    n: usize,
+    /// Row extents per mesh row: `(first_row, rows)`.
+    row_bands: Vec<(usize, usize)>,
+    /// Column extents per mesh column: `(first_col, cols)`.
+    col_bands: Vec<(usize, usize)>,
+    /// `blocks[i][j]` is a `(rows+2) × (cols+2)` buffer with ghosts.
+    cur: Vec<Vec<Vec<f64>>>,
+    next: Vec<Vec<Vec<f64>>>,
+}
+
+fn bands(n: usize, parts: &[usize]) -> Vec<(usize, usize)> {
+    assert_eq!(
+        parts.iter().sum::<usize>(),
+        n,
+        "bands must cover the grid exactly"
+    );
+    assert!(parts.iter().all(|&p| p > 0), "bands must be non-empty");
+    let mut out = Vec::with_capacity(parts.len());
+    let mut first = 0;
+    for &p in parts {
+        out.push((first, p));
+        first += p;
+    }
+    out
+}
+
+impl BlockedRun {
+    /// Partition `grid` into blocks with the given row-band and
+    /// column-band sizes.
+    ///
+    /// # Panics
+    /// Panics if either band list does not cover the grid exactly.
+    pub fn new(grid: &Grid, row_parts: &[usize], col_parts: &[usize]) -> Self {
+        let n = grid.n();
+        let row_bands = bands(n, row_parts);
+        let col_bands = bands(n, col_parts);
+        let block = |(r0, rows): (usize, usize), (c0, cols): (usize, usize)| {
+            let w = cols + 2;
+            let mut local = vec![0.0; (rows + 2) * w];
+            for lr in 0..rows + 2 {
+                let gr = (r0 + lr).wrapping_sub(1);
+                if gr >= n {
+                    continue;
+                }
+                for lc in 0..cols + 2 {
+                    let gc = (c0 + lc).wrapping_sub(1);
+                    if gc >= n {
+                        continue;
+                    }
+                    local[lr * w + lc] = grid.get(gr, gc);
+                }
+            }
+            local
+        };
+        let cur: Vec<Vec<Vec<f64>>> = row_bands
+            .iter()
+            .map(|&rb| col_bands.iter().map(|&cb| block(rb, cb)).collect())
+            .collect();
+        let next = cur.clone();
+        BlockedRun {
+            n,
+            row_bands,
+            col_bands,
+            cur,
+            next,
+        }
+    }
+
+    /// One sweep: compute every block from its ghosts, then exchange
+    /// edges with the four mesh neighbours.
+    pub fn step(&mut self) {
+        let n = self.n;
+        // Compute phase.
+        for (bi, &(r0, rows)) in self.row_bands.iter().enumerate() {
+            for (bj, &(c0, cols)) in self.col_bands.iter().enumerate() {
+                let w = cols + 2;
+                let cur = &self.cur[bi][bj];
+                let next = &mut self.next[bi][bj];
+                for lr in 1..=rows {
+                    let gr = r0 + lr - 1;
+                    for lc in 1..=cols {
+                        let gc = c0 + lc - 1;
+                        let idx = lr * w + lc;
+                        if gr == 0 || gc == 0 || gr == n - 1 || gc == n - 1 {
+                            next[idx] = cur[idx]; // fixed boundary
+                        } else {
+                            next[idx] = 0.25
+                                * (cur[idx - w] + cur[idx + w] + cur[idx - 1] + cur[idx + 1]);
+                        }
+                    }
+                }
+            }
+        }
+        std::mem::swap(&mut self.cur, &mut self.next);
+
+        // Exchange phase: rows downward/upward, columns right/left.
+        let pr = self.row_bands.len();
+        let pc = self.col_bands.len();
+        for bi in 0..pr {
+            for bj in 0..pc {
+                let (_, rows) = self.row_bands[bi];
+                let (_, cols) = self.col_bands[bj];
+                let w = cols + 2;
+                // Down neighbour (bi+1, bj): my last row -> their top ghost,
+                // their first row -> my bottom ghost.
+                if bi + 1 < pr {
+                    let my_last: Vec<f64> =
+                        self.cur[bi][bj][rows * w + 1..rows * w + 1 + cols].to_vec();
+                    let their_first: Vec<f64> =
+                        self.cur[bi + 1][bj][w + 1..w + 1 + cols].to_vec();
+                    self.cur[bi + 1][bj][1..1 + cols].copy_from_slice(&my_last);
+                    self.cur[bi][bj]
+                        [(rows + 1) * w + 1..(rows + 1) * w + 1 + cols]
+                        .copy_from_slice(&their_first);
+                }
+                // Right neighbour (bi, bj+1): my last column -> their left
+                // ghost, their first column -> my right ghost.
+                if bj + 1 < pc {
+                    let (_, ncols) = self.col_bands[bj + 1];
+                    let nw = ncols + 2;
+                    for lr in 1..=rows {
+                        let mine = self.cur[bi][bj][lr * w + cols];
+                        let theirs = self.cur[bi][bj + 1][lr * nw + 1];
+                        self.cur[bi][bj + 1][lr * nw] = mine;
+                        self.cur[bi][bj][lr * w + cols + 1] = theirs;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run `k` sweeps.
+    pub fn run(&mut self, k: usize) {
+        for _ in 0..k {
+            self.step();
+        }
+    }
+
+    /// Reassemble the full grid from the blocks.
+    pub fn assemble(&self) -> Vec<f64> {
+        let n = self.n;
+        let mut out = vec![0.0; n * n];
+        for (bi, &(r0, rows)) in self.row_bands.iter().enumerate() {
+            for (bj, &(c0, cols)) in self.col_bands.iter().enumerate() {
+                let w = cols + 2;
+                for lr in 1..=rows {
+                    let gr = r0 + lr - 1;
+                    for lc in 1..=cols {
+                        let gc = c0 + lc - 1;
+                        out[gr * n + gc] = self.cur[bi][bj][lr * w + lc];
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_grid(n: usize) -> Grid {
+        let mut g = Grid::new(n, |r, c| (r * 7 + c * 3) as f64 % 11.0);
+        // Non-trivial interior too.
+        for r in 1..n - 1 {
+            for c in 1..n - 1 {
+                g.set(r, c, ((r * c) % 5) as f64);
+            }
+        }
+        g
+    }
+
+    fn check(n: usize, rows: &[usize], cols: &[usize], sweeps: usize) {
+        let mut seq = test_grid(n);
+        let mut blocked = BlockedRun::new(&seq, rows, cols);
+        seq.run(sweeps);
+        blocked.run(sweeps);
+        assert_eq!(
+            seq.data(),
+            blocked.assemble().as_slice(),
+            "mesh {rows:?} x {cols:?} diverged"
+        );
+    }
+
+    #[test]
+    fn two_by_two_matches_sequential() {
+        check(16, &[8, 8], &[8, 8], 30);
+    }
+
+    #[test]
+    fn uneven_meshes_match_sequential() {
+        check(17, &[5, 12], &[9, 8], 25);
+        check(21, &[1, 10, 10], &[7, 7, 7], 20);
+        check(12, &[4, 4, 4], &[3, 3, 3, 3], 40);
+    }
+
+    #[test]
+    fn degenerate_meshes_match_sequential() {
+        // 1x1 mesh is the sequential solver.
+        check(9, &[9], &[9], 15);
+        // 1xP and Px1 meshes are strip decompositions.
+        check(15, &[15], &[5, 5, 5], 20);
+        check(15, &[5, 5, 5], &[15], 20);
+    }
+
+    #[test]
+    fn single_row_and_column_blocks() {
+        check(10, &[1; 10], &[5, 5], 12);
+        check(10, &[5, 5], &[1; 10], 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the grid")]
+    fn wrong_band_total_panics() {
+        let g = test_grid(8);
+        BlockedRun::new(&g, &[4, 3], &[4, 4]);
+    }
+}

@@ -1,0 +1,382 @@
+//! The real Jacobi kernel.
+//!
+//! A double-buffered `n × n` grid of `f64` with fixed (Dirichlet)
+//! boundary values; each interior point is replaced by the average of
+//! its four neighbours every iteration (the classic 5-point Jacobi
+//! relaxation for Laplace/Poisson problems).
+//!
+//! Besides the sequential reference, [`PartitionedRun`] executes the
+//! same iteration strip-by-strip with explicit ghost-row exchange —
+//! the computation a distributed strip partition actually performs —
+//! and the tests verify it is *bit-identical* to the sequential
+//! solver for every partition. That is the correctness contract the
+//! scheduling layer relies on: partitioning changes performance, never
+//! results.
+
+/// A double-buffered `n × n` Jacobi grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid {
+    n: usize,
+    cur: Vec<f64>,
+    next: Vec<f64>,
+}
+
+impl Grid {
+    /// A grid with all interior points zero and boundary values from
+    /// `boundary(row, col)`.
+    ///
+    /// # Panics
+    /// Panics if `n < 3` (no interior to relax).
+    pub fn new(n: usize, boundary: impl Fn(usize, usize) -> f64) -> Self {
+        assert!(n >= 3, "Jacobi grid needs n >= 3, got {n}");
+        let mut cur = vec![0.0; n * n];
+        for r in 0..n {
+            for c in 0..n {
+                if r == 0 || c == 0 || r == n - 1 || c == n - 1 {
+                    cur[r * n + c] = boundary(r, c);
+                }
+            }
+        }
+        let next = cur.clone();
+        Grid { n, cur, next }
+    }
+
+    /// Grid edge length.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Value at `(row, col)`.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.cur[r * self.n + c]
+    }
+
+    /// Set an interior or boundary value directly (test setup).
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.cur[r * self.n + c] = v;
+        if r == 0 || c == 0 || r == self.n - 1 || c == self.n - 1 {
+            self.next[r * self.n + c] = v;
+        }
+    }
+
+    /// One Jacobi sweep over the interior.
+    pub fn step(&mut self) {
+        let n = self.n;
+        for r in 1..n - 1 {
+            let row = r * n;
+            let above = row - n;
+            let below = row + n;
+            for c in 1..n - 1 {
+                self.next[row + c] = 0.25
+                    * (self.cur[above + c]
+                        + self.cur[below + c]
+                        + self.cur[row + c - 1]
+                        + self.cur[row + c + 1]);
+            }
+        }
+        std::mem::swap(&mut self.cur, &mut self.next);
+    }
+
+    /// Run `k` sweeps.
+    pub fn run(&mut self, k: usize) {
+        for _ in 0..k {
+            self.step();
+        }
+    }
+
+    /// Sweep until the residual drops below `tol` or `max_sweeps` is
+    /// reached. Returns the number of sweeps performed. This is how a
+    /// production Jacobi run decides its iteration count — the HAT's
+    /// `iterations` field is typically an estimate of this number.
+    pub fn run_to_convergence(&mut self, tol: f64, max_sweeps: usize) -> usize {
+        for sweep in 0..max_sweeps {
+            if self.residual() < tol {
+                return sweep;
+            }
+            self.step();
+        }
+        max_sweeps
+    }
+
+    /// Maximum absolute change a sweep would make right now (the
+    /// residual used to monitor convergence).
+    pub fn residual(&self) -> f64 {
+        let n = self.n;
+        let mut worst: f64 = 0.0;
+        for r in 1..n - 1 {
+            for c in 1..n - 1 {
+                let v = 0.25
+                    * (self.get(r - 1, c) + self.get(r + 1, c) + self.get(r, c - 1)
+                        + self.get(r, c + 1));
+                worst = worst.max((v - self.get(r, c)).abs());
+            }
+        }
+        worst
+    }
+
+    /// Raw row-major data (current buffer).
+    pub fn data(&self) -> &[f64] {
+        &self.cur
+    }
+}
+
+/// Strip-partitioned execution of the same kernel: each strip owns a
+/// contiguous band of rows and carries ghost copies of its neighbours'
+/// border rows, refreshed between iterations exactly as the distributed
+/// code's border exchange would.
+#[derive(Debug, Clone)]
+pub struct PartitionedRun {
+    n: usize,
+    /// `(first_row, rows)` per strip, covering rows `0..n`.
+    strips: Vec<(usize, usize)>,
+    /// Each strip stores `rows + 2` rows: ghost, own rows, ghost.
+    cur: Vec<Vec<f64>>,
+    next: Vec<Vec<f64>>,
+}
+
+impl PartitionedRun {
+    /// Partition an initial grid into strips of the given sizes.
+    ///
+    /// # Panics
+    /// Panics if the strip sizes do not sum to `n` or any strip is
+    /// empty.
+    pub fn new(grid: &Grid, strip_rows: &[usize]) -> Self {
+        let n = grid.n();
+        assert!(
+            strip_rows.iter().sum::<usize>() == n,
+            "strips must cover all {n} rows"
+        );
+        assert!(
+            strip_rows.iter().all(|&r| r > 0),
+            "strips must be non-empty"
+        );
+        let mut strips = Vec::with_capacity(strip_rows.len());
+        let mut first = 0;
+        for &rows in strip_rows {
+            strips.push((first, rows));
+            first += rows;
+        }
+        let mut cur = Vec::with_capacity(strips.len());
+        for &(first, rows) in &strips {
+            // rows + 2 ghost rows; out-of-range ghosts stay zero and
+            // are never read (strip 0's upper ghost is the boundary
+            // row of the strip itself when first == 0).
+            let mut local = vec![0.0; (rows + 2) * n];
+            for lr in 0..rows + 2 {
+                let gr = (first + lr).wrapping_sub(1);
+                if gr < n {
+                    local[lr * n..(lr + 1) * n]
+                        .copy_from_slice(&grid.data()[gr * n..(gr + 1) * n]);
+                }
+            }
+            cur.push(local);
+        }
+        let next = cur.clone();
+        PartitionedRun {
+            n,
+            strips,
+            cur,
+            next,
+        }
+    }
+
+    /// One partitioned sweep: compute every strip's interior from its
+    /// current rows + ghosts, then exchange borders.
+    pub fn step(&mut self) {
+        let n = self.n;
+        // Compute phase (reads cur, writes next).
+        for (s, &(first, rows)) in self.strips.iter().enumerate() {
+            let cur = &self.cur[s];
+            let next = &mut self.next[s];
+            for lr in 1..=rows {
+                let gr = first + lr - 1; // global row
+                if gr == 0 || gr == n - 1 {
+                    // Boundary rows are fixed.
+                    next[lr * n..(lr + 1) * n].copy_from_slice(&cur[lr * n..(lr + 1) * n]);
+                    continue;
+                }
+                let row = lr * n;
+                let above = row - n;
+                let below = row + n;
+                for c in 1..n - 1 {
+                    next[row + c] = 0.25
+                        * (cur[above + c] + cur[below + c] + cur[row + c - 1] + cur[row + c + 1]);
+                }
+                // Fixed side boundaries.
+                next[row] = cur[row];
+                next[row + n - 1] = cur[row + n - 1];
+            }
+        }
+        std::mem::swap(&mut self.cur, &mut self.next);
+        // Border exchange (the simulated network's payload).
+        let k = self.strips.len();
+        for s in 0..k {
+            let rows_s = self.strips[s].1;
+            if s + 1 < k {
+                // s's last own row -> (s+1)'s upper ghost.
+                let (left, right) = self.cur.split_at_mut(s + 1);
+                let src = &left[s][(rows_s) * self.n..(rows_s + 1) * self.n];
+                right[0][0..self.n].copy_from_slice(src);
+                // (s+1)'s first own row -> s's lower ghost.
+                let src2: Vec<f64> = right[0][self.n..2 * self.n].to_vec();
+                left[s][(rows_s + 1) * self.n..(rows_s + 2) * self.n].copy_from_slice(&src2);
+            }
+        }
+    }
+
+    /// Run `k` partitioned sweeps.
+    pub fn run(&mut self, k: usize) {
+        for _ in 0..k {
+            self.step();
+        }
+    }
+
+    /// Reassemble the full grid from the strips.
+    pub fn assemble(&self) -> Vec<f64> {
+        let n = self.n;
+        let mut out = vec![0.0; n * n];
+        for (s, &(first, rows)) in self.strips.iter().enumerate() {
+            for lr in 1..=rows {
+                let gr = first + lr - 1;
+                out[gr * n..(gr + 1) * n].copy_from_slice(&self.cur[s][lr * n..(lr + 1) * n]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hot_top(n: usize) -> Grid {
+        Grid::new(n, |r, _| if r == 0 { 100.0 } else { 0.0 })
+    }
+
+    #[test]
+    fn boundaries_are_fixed() {
+        let mut g = hot_top(8);
+        g.run(50);
+        for c in 0..8 {
+            assert_eq!(g.get(0, c), 100.0);
+            assert_eq!(g.get(7, c), 0.0);
+        }
+    }
+
+    #[test]
+    fn residual_decreases_monotonically() {
+        let mut g = hot_top(16);
+        let mut prev = f64::INFINITY;
+        for _ in 0..30 {
+            g.step();
+            let r = g.residual();
+            assert!(r <= prev + 1e-12, "residual rose: {r} > {prev}");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn linear_field_is_a_fixed_point() {
+        // u(r, c) = r is harmonic: one sweep must not change it.
+        let n = 10;
+        let mut g = Grid::new(n, |r, _| r as f64);
+        for r in 1..n - 1 {
+            for c in 1..n - 1 {
+                g.set(r, c, r as f64);
+            }
+        }
+        let before = g.data().to_vec();
+        g.step();
+        for (a, b) in before.iter().zip(g.data()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn converges_to_linear_solution() {
+        // Laplace with u=1 on top, u=0 on bottom, and linearly
+        // interpolated sides converges to the linear gradient.
+        let n = 12;
+        let mut g = Grid::new(n, |r, _| 1.0 - r as f64 / (n - 1) as f64);
+        g.run(3000);
+        for r in 0..n {
+            let expect = 1.0 - r as f64 / (n - 1) as f64;
+            for c in 0..n {
+                assert!(
+                    (g.get(r, c) - expect).abs() < 1e-6,
+                    "({r},{c}) = {} expected {expect}",
+                    g.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn run_to_convergence_stops_at_tolerance() {
+        let n = 12;
+        let mut g = Grid::new(n, |r, _| 1.0 - r as f64 / (n - 1) as f64);
+        let sweeps = g.run_to_convergence(1e-7, 100_000);
+        assert!(sweeps < 100_000, "should converge before the cap");
+        assert!(g.residual() < 1e-7);
+        // Converged means converged: more sweeps change nothing much.
+        let before = g.data().to_vec();
+        g.run(10);
+        for (a, b) in before.iter().zip(g.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn run_to_convergence_respects_the_cap() {
+        let mut g = hot_top(32);
+        let sweeps = g.run_to_convergence(1e-12, 5);
+        assert_eq!(sweeps, 5);
+    }
+
+    #[test]
+    fn partitioned_matches_sequential_bitwise_two_strips() {
+        let mut seq = hot_top(16);
+        let mut par = PartitionedRun::new(&seq, &[10, 6]);
+        seq.run(25);
+        par.run(25);
+        assert_eq!(seq.data(), par.assemble().as_slice());
+    }
+
+    #[test]
+    fn partitioned_matches_sequential_bitwise_many_uneven_strips() {
+        let mut seq = hot_top(23);
+        let mut par = PartitionedRun::new(&seq, &[1, 7, 2, 9, 4]);
+        seq.run(40);
+        par.run(40);
+        assert_eq!(seq.data(), par.assemble().as_slice());
+    }
+
+    #[test]
+    fn single_strip_is_the_sequential_solver() {
+        let mut seq = hot_top(9);
+        let mut par = PartitionedRun::new(&seq, &[9]);
+        seq.run(10);
+        par.run(10);
+        assert_eq!(seq.data(), par.assemble().as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover")]
+    fn wrong_strip_total_panics() {
+        let g = hot_top(8);
+        PartitionedRun::new(&g, &[4, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_strip_panics() {
+        let g = hot_top(8);
+        PartitionedRun::new(&g, &[8, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 3")]
+    fn tiny_grid_rejected() {
+        Grid::new(2, |_, _| 0.0);
+    }
+}

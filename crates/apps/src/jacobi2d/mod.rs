@@ -1,0 +1,29 @@
+//! Jacobi2D: the paper's §5 case study.
+//!
+//! "This code is commonly used to solve the finite-difference
+//! approximation to Poisson's equation which arises in many heat flow,
+//! electrostatic and gravitational problems. Variable coefficients are
+//! represented as elements of a two-dimensional grid which are updated
+//! at each iteration as the average of a five point stencil."
+//!
+//! * [`grid`] — the real numeric kernel (sequential reference and a
+//!   strip-partitioned execution with ghost-row exchange, verified
+//!   bit-identical),
+//! * [`partition`] — the partitioning strategies of Figures 3–6:
+//!   AppLeS dynamic non-uniform strips, compile-time static
+//!   non-uniform strips (Figure 4), and HPF-style uniform blocked
+//!   decomposition,
+//! * [`blocked`] — the blocked schedule representation and its
+//!   lowering onto the SPMD executor.
+
+pub mod blocked;
+pub mod blocked_grid;
+pub mod grid;
+pub mod partition;
+
+pub use blocked::{estimate_blocked, BlockedSchedule};
+pub use blocked_grid::BlockedRun;
+pub use grid::{Grid, PartitionedRun};
+pub use partition::{
+    apples_partition, apples_stencil_schedule, blocked_uniform, static_strip, uniform_strip,
+};

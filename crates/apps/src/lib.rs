@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+
+//! # apples-apps — the paper's applications
+//!
+//! Three applications exercise the AppLeS framework, mirroring the
+//! paper's case studies:
+//!
+//! * [`jacobi2d`] — the distributed data-parallel Jacobi2D code of §5,
+//!   with a real 5-point stencil kernel, the three partitioning
+//!   strategies compared in Figures 3–6 (AppLeS non-uniform strips,
+//!   static non-uniform strips, HPF-style uniform blocks), and a
+//!   partitioned reference execution verified bit-identical to the
+//!   sequential solver.
+//! * [`react3d`] — the task-parallel 3D-REACT quantum chemistry
+//!   pipeline of §2.2–2.3 (LHSF → Log-D/ASY), with machine-specific
+//!   task efficiencies and the pipeline-size tradeoff.
+//! * [`nile`] — the CLEO/NILE data-parallel event analysis of §2.1,
+//!   with a Site Manager that trades off skimming data to local disk
+//!   against repeated remote access.
+
+pub mod jacobi2d;
+pub mod nile;
+pub mod react3d;

@@ -1,0 +1,61 @@
+//! Criterion bench for the scheduling agent itself. §4's pitch is that
+//! AppLeS performs the user's scheduling process "at machine speeds":
+//! the full blueprint (filter → 255-subset exhaustive search → plan →
+//! estimate → choose) must be cheap next to the runs it schedules.
+
+use apples::coordinator::Coordinator;
+use apples::info::InfoPool;
+use apples::planner::plan_strip;
+use apples::selector::{CandidateStrategy, ResourceSelector};
+use apples_apps::jacobi2d::partition::jacobi_context;
+use criterion::{criterion_group, criterion_main, Criterion};
+use metasim::testbed::{pcl_sdsc, TestbedConfig};
+use metasim::SimTime;
+use nws::{WeatherService, WeatherServiceConfig};
+use std::hint::black_box;
+
+fn bench_agent(c: &mut Criterion) {
+    let tb = pcl_sdsc(&TestbedConfig::default()).expect("testbed");
+    let warmup = SimTime::from_secs(600);
+    let mut ws = WeatherService::for_topology(&tb.topo, WeatherServiceConfig::default());
+    ws.advance(&tb.topo, warmup);
+    let (hat, user) = jacobi_context(2000, 100);
+    let pool = InfoPool::with_nws(&tb.topo, &ws, &hat, &user, warmup);
+
+    let mut g = c.benchmark_group("agent");
+    g.bench_function("decide_exhaustive_255_subsets", |b| {
+        let mut agent = Coordinator::new(hat.clone(), user.clone());
+        agent.selector = ResourceSelector {
+            strategy: CandidateStrategy::Exhaustive,
+        };
+        b.iter(|| black_box(agent.decide(black_box(&pool)).expect("decision")));
+    });
+    g.bench_function("decide_greedy_prefixes", |b| {
+        let mut agent = Coordinator::new(hat.clone(), user.clone());
+        agent.selector = ResourceSelector {
+            strategy: CandidateStrategy::GreedyPrefixes,
+        };
+        b.iter(|| black_box(agent.decide(black_box(&pool)).expect("decision")));
+    });
+    let all_hosts = tb.workstations();
+    g.bench_function("plan_strip_8_hosts", |b| {
+        b.iter(|| black_box(plan_strip(black_box(&pool), black_box(&all_hosts)).expect("plan")));
+    });
+    g.finish();
+
+    let mut g2 = c.benchmark_group("nws_service");
+    g2.bench_function("advance_600s_of_samples", |b| {
+        b.iter_batched(
+            || WeatherService::for_topology(&tb.topo, WeatherServiceConfig::default()),
+            |mut ws| {
+                ws.advance(&tb.topo, warmup);
+                black_box(ws)
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    g2.finish();
+}
+
+criterion_group!(benches, bench_agent);
+criterion_main!(benches);

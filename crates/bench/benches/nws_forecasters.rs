@@ -1,0 +1,52 @@
+//! Criterion bench for the NWS forecaster suite: per-update cost of
+//! each predictor and of the adaptive selector (NWS must run at sensor
+//! rates, so per-update cost matters).
+
+use apples_bench::nws_exp::{sample_signal, standard_signals};
+use criterion::{criterion_group, criterion_main, Criterion};
+use nws::forecast::standard_suite;
+use nws::AdaptiveSelector;
+use std::hint::black_box;
+
+fn bench_forecasters(c: &mut Criterion) {
+    let signal = &standard_signals()[0];
+    let values = sample_signal(&signal.model, 10_000, 7);
+
+    let mut g = c.benchmark_group("forecaster_stream");
+    for f in standard_suite() {
+        let name = f.name();
+        g.bench_function(&name, |b| {
+            b.iter_batched(
+                || {
+                    standard_suite()
+                        .into_iter()
+                        .find(|x| x.name() == name)
+                        .expect("member")
+                },
+                |mut f| {
+                    for &v in &values {
+                        f.update(black_box(v));
+                        black_box(f.forecast());
+                    }
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    g.bench_function("adaptive_selector", |b| {
+        b.iter_batched(
+            AdaptiveSelector::new,
+            |mut s| {
+                for &v in &values {
+                    s.update(black_box(v));
+                    black_box(s.forecast());
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_forecasters);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion bench for the 3D-REACT pipeline simulation across unit
+//! sizes (the §2.3 sweep's inner loop).
+
+use apples_bench::react_exp::distributed_seconds;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_react(c: &mut Criterion) {
+    let mut g = c.benchmark_group("react_pipeline_run");
+    g.sample_size(10);
+    for &unit in &[1usize, 10, 130] {
+        g.bench_with_input(BenchmarkId::from_parameter(unit), &unit, |b, &u| {
+            b.iter(|| black_box(distributed_seconds(0, black_box(u))));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_react);
+criterion_main!(benches);

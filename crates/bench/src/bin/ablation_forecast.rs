@@ -1,0 +1,43 @@
+//! ABL-1: forecast-source ablation — the same AppLeS blueprint fed by
+//! a perfect oracle, NWS forecasts, raw last measurements, and static
+//! nominal speeds. Quantifies §3.6: prediction quality bounds schedule
+//! quality.
+
+use apples_bench::ablation::forecast_ablation;
+use apples_bench::table;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (n, iters, trials) = if quick { (1000, 30, 3) } else { (1600, 80, 5) };
+    println!(
+        "Forecast-source ablation: Jacobi2D {n}x{n}, {iters} iterations, {trials} trials\n"
+    );
+    let rows = forecast_ablation(n, iters, trials, 1996);
+    let base = rows
+        .iter()
+        .find(|(name, _)| *name == "oracle")
+        .map(|(_, s)| s.mean)
+        .expect("oracle row");
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(name, s)| {
+            vec![
+                name.to_string(),
+                table::secs(s.mean),
+                table::secs(s.std_dev),
+                table::ratio(s.mean / base),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(&["source", "mean s", "std s", "vs oracle"], &table_rows)
+    );
+    println!(
+        "static-nominal pays the full price of ignoring contention; the\n\
+         oracle, NWS and last-value sources are within noise of each\n\
+         other on slowly-drifting loads — §3.6's point in reverse: the\n\
+         value is in having *any* accurate dynamic information, and the\n\
+         forecaster only needs to beat the signal's drift rate."
+    );
+}

@@ -1,0 +1,36 @@
+//! ABL-4: sensor-noise ablation — §3.6's "a schedule is only as good
+//! as the accuracy of its underlying predictions", with measurement
+//! noise as the control knob.
+
+use apples_bench::ablation::noise_ablation;
+use apples_bench::table;
+
+fn main() {
+    let (n, iters, trials) = (1400, 60, 5);
+    println!(
+        "Sensor-noise ablation: Jacobi2D {n}x{n}, {iters} iterations, {trials} trials;\n\
+         uniform measurement error added to every CPU and link sample\n"
+    );
+    let rows = noise_ablation(n, iters, trials, 1996, &[0.0, 0.05, 0.1, 0.2, 0.4, 0.8]);
+    let base = rows[0].1.mean;
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(noise, s)| {
+            vec![
+                format!("±{noise:.2}"),
+                table::secs(s.mean),
+                table::secs(s.std_dev),
+                table::ratio(s.mean / base),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(&["noise", "mean s", "std s", "vs clean"], &table_rows)
+    );
+    println!(
+        "Moderate noise is largely absorbed by the forecaster battery\n\
+         (means and medians average it out); schedules only degrade\n\
+         once the noise approaches the signal's own dynamic range."
+    );
+}

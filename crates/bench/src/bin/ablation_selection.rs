@@ -1,0 +1,41 @@
+//! ABL-2: resource-set search ablation — exhaustive subset enumeration
+//! (the paper's §5 approach, feasible on 8 hosts) versus greedy
+//! distance-ranked prefixes (what a larger pool requires).
+
+use apples_bench::ablation::selection_trial;
+use apples_bench::table;
+
+fn main() {
+    println!("Resource-set search ablation: Jacobi2D 1200x1200, 60 iterations\n");
+    let mut rows = Vec::new();
+    for seed in [1996u64, 1997, 1998, 1999, 2000] {
+        let t = selection_trial(1200, 60, seed);
+        rows.push(vec![
+            format!("{seed}"),
+            format!("{}", t.exhaustive_candidates),
+            format!("{}", t.greedy_candidates),
+            table::secs(t.exhaustive_s),
+            table::secs(t.greedy_s),
+            table::ratio(t.greedy_s / t.exhaustive_s),
+        ]);
+    }
+    println!(
+        "{}",
+        table::render(
+            &[
+                "seed",
+                "exh. sets",
+                "greedy sets",
+                "exh. s",
+                "greedy s",
+                "greedy/exh."
+            ],
+            &rows
+        )
+    );
+    println!(
+        "Greedy evaluates ~30x fewer candidate sets; the chosen schedule\n\
+         is usually competitive because the ranking already encodes the\n\
+         application's logical distance (3.3)."
+    );
+}

@@ -1,0 +1,54 @@
+//! FIG1: the organization of an AppLeS agent (the paper's Figure 1),
+//! rendered from the *actual* types in this implementation so the
+//! diagram cannot drift from the code. Each box names the Rust item
+//! that realizes it.
+
+fn main() {
+    println!(
+        r#"Figure 1: Organization of an AppLeS agent
+
+                         +----------------------------+
+                         |        Coordinator         |
+                         |   apples::Coordinator      |
+                         |  (decide = select > plan   |
+                         |   > estimate > choose;     |
+                         |   run = decide > actuate)  |
+                         +-------------+--------------+
+                                       |
+        +---------------+--------------+--------------+----------------+
+        |               |                             |                |
++-------+------+ +------+--------+           +--------+-------+ +------+-------+
+|   Resource   | |    Planner    |           |  Performance   | |   Actuator   |
+|   Selector   | | apples::      |           |   Estimator    | | apples::     |
+| apples::     | |  planner      |           | apples::       | |  actuator    |
+|  selector    | | (strip solve  |           |  estimator     | | (lowers the  |
+| (filter +    | |  T_i=A_iP_i   |           | (cost models   | |  schedule    |
+|  exhaustive/ | |  +C_i; pipe-  |           |  under the     | |  onto        |
+|  greedy sets)| |  line sizing) |           |  user metric)  | |  metasim)    |
++------+-------+ +------+--------+           +--------+-------+ +------+-------+
+       |                |                             |                |
+       +----------------+--------------+--------------+----------------+
+                                       |
+                         +-------------+--------------+
+                         |      Information Pool      |
+                         |     apples::InfoPool       |
+                         +-------------+--------------+
+                                       |
+       +---------------+---------------+---------------+---------------+
+       |               |                               |               |
++------+-------+ +-----+---------+             +-------+------+ +------+-------+
+|   Network    | | Heterogeneous |             |    Models    | |     User     |
+|   Weather    | |  Application  |             | (estimator/  | |Specifications|
+|   Service    | |   Template    |             |  planner     | | apples::     |
+| nws::Weather | |  apples::Hat  |             |  cost models;|  |  UserSpec   |
+|   Service    | | (stencil /    |             |  estimate_*  | | (metric,     |
+| (sensors +   | |  pipeline /   |             |  functions)  | |  access,     |
+|  adaptive    | |  task farm)   |             |              | |  preferences)|
+|  forecasts)  | |               |             |              | |              |
++--------------+ +---------------+             +--------------+ +--------------+
+
+Resource management substrate (the paper's Globus/Legion/PVM slot):
+  metasim — hosts, shared networks, availability processes, executors.
+"#
+    );
+}

@@ -1,0 +1,65 @@
+//! FIG2: print the SDSC/PCL system configuration of Figure 2 —
+//! hosts with nominal speeds, memories and sharing, and the shared
+//! media joining them.
+
+use apples_bench::table;
+use metasim::testbed::{pcl_sdsc, TestbedConfig};
+use metasim::SharingPolicy;
+
+fn main() {
+    let cfg = TestbedConfig {
+        with_sp2: true,
+        ..Default::default()
+    };
+    let tb = pcl_sdsc(&cfg).expect("testbed");
+
+    println!("Figure 2: SDSC/PCL system configuration for Jacobi2D\n");
+
+    let host_rows: Vec<Vec<String>> = tb
+        .topo
+        .hosts()
+        .iter()
+        .map(|h| {
+            let sharing = match h.spec.sharing {
+                SharingPolicy::TimeShared => "time-shared",
+                SharingPolicy::SpaceShared { .. } => "dedicated",
+            };
+            let seg = tb
+                .topo
+                .segment_link(h.spec.segment)
+                .and_then(|l| tb.topo.link(l).map(|l| l.spec.name.clone()))
+                .unwrap_or_default();
+            vec![
+                h.spec.name.clone(),
+                format!("{:.0}", h.spec.mflops),
+                format!("{:.0}", h.spec.mem_mb),
+                sharing.to_string(),
+                seg,
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &["host", "Mflop/s", "mem MB", "sharing", "segment"],
+            &host_rows
+        )
+    );
+
+    let link_rows: Vec<Vec<String>> = tb
+        .topo
+        .links()
+        .iter()
+        .map(|l| {
+            vec![
+                l.spec.name.clone(),
+                format!("{:.2}", l.spec.bandwidth_mbps),
+                format!("{:.1}", l.spec.latency.as_secs_f64() * 1e3),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(&["medium", "MB/s", "latency ms"], &link_rows)
+    );
+}

@@ -1,0 +1,33 @@
+//! FIG3: the AppLeS partitioning of Jacobi2D on the SDSC/PCL network —
+//! the "non-intuitive" strip fractions the agent chooses once dynamic
+//! load information is in play, for the paper's n = 2000 case.
+
+use apples_bench::fig5::run_trial;
+use apples_bench::table;
+use metasim::testbed::LoadProfile;
+
+fn main() {
+    let n = 2000;
+    println!("Figure 3: AppLeS partitioning of Jacobi2D (n = {n})\n");
+    for seed in [1996u64, 1997, 1998] {
+        let trial = run_trial(n, 50, seed, LoadProfile::Moderate);
+        println!("load realization (seed {seed}):");
+        let rows: Vec<Vec<String>> = trial
+            .apples_fractions
+            .iter()
+            .map(|(name, frac)| {
+                vec![
+                    name.clone(),
+                    format!("{:.1}%", frac * 100.0),
+                    format!("{}", (frac * n as f64).round() as usize),
+                ]
+            })
+            .collect();
+        println!("{}", table::render(&["host", "fraction", "rows"], &rows));
+    }
+    println!(
+        "Note how the fractions track *delivered* speed (nominal speed × \n\
+         forecast availability), not nominal speed — and change with the\n\
+         load realization. Compare Figure 4 (static fractions)."
+    );
+}

@@ -1,0 +1,75 @@
+//! FIG6: Jacobi2D execution-time averages with memory accounted for —
+//! AppLeS over the full pool (two unloaded SP-2 nodes + loaded
+//! workstations) versus an HPF Uniform/Blocked partition pinned to the
+//! SP-2, which spills from memory beyond 3700×3700.
+//!
+//! Pass `--quick` for a reduced sweep.
+
+use apples_bench::fig6::{run, Fig6Config};
+use apples_bench::table;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let csv = std::env::args().any(|a| a == "--csv");
+    let cfg = if quick {
+        Fig6Config {
+            sizes: vec![2000, 3500, 3800, 4500],
+            iterations: 20,
+            trials: 2,
+            ..Default::default()
+        }
+    } else {
+        Fig6Config::default()
+    };
+
+    let rows = run(&cfg);
+    if csv {
+        println!("n,apples_s,blocked_sp2_s,ratio,apples_hosts");
+        for r in &rows {
+            println!(
+                "{},{:.4},{:.4},{:.4},{}",
+                r.n,
+                r.apples.mean,
+                r.blocked_sp2.mean,
+                r.blocked_sp2.mean / r.apples.mean,
+                r.apples_hosts.len()
+            );
+        }
+        return;
+    }
+    println!(
+        "Figure 6: Jacobi2D with memory considered ({} trials/size, {} iterations)\n",
+        cfg.trials, cfg.iterations
+    );
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{0}x{0}", r.n),
+                table::secs(r.apples.mean),
+                table::secs(r.blocked_sp2.mean),
+                table::ratio(r.blocked_sp2.mean / r.apples.mean),
+                format!("{}", r.apples_hosts.len()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &[
+                "problem",
+                "AppLeS s",
+                "Blocked(SP-2) s",
+                "Blocked/AppLeS",
+                "AppLeS hosts"
+            ],
+            &table_rows
+        )
+    );
+    println!(
+        "The SP-2 pair holds a 3700x3700 grid exactly; beyond that the\n\
+         Blocked partition pages (\"a dramatic reduction in performance\")\n\
+         while AppLeS \"locates available memory elsewhere in the resource\n\
+         pool\" by widening the strip set."
+    );
+}

@@ -1,0 +1,158 @@
+//! Run every reproduction experiment at reduced size and print a
+//! pass/fail checklist against the paper's claims — the one-command
+//! smoke test of the whole repository.
+//!
+//! ```sh
+//! cargo run --release -p apples-bench --bin reproduce_all
+//! ```
+//!
+//! Full-size sweeps live in the individual figure binaries; this
+//! driver trades precision for a few minutes of wall clock.
+
+use apples_bench::{ablation, fig5, fig6, fixed_time, multi_agent, nile_exp, react_exp};
+use metasim::testbed::LoadProfile;
+use metasim::SimTime;
+
+struct Check {
+    name: &'static str,
+    claim: &'static str,
+    pass: bool,
+    detail: String,
+}
+
+fn main() {
+    let mut checks: Vec<Check> = Vec::new();
+
+    // FIG5: AppLeS beats Strip and Blocked.
+    {
+        let r = fig5::run_trial(1200, 40, 1996, LoadProfile::Moderate);
+        let strip_ratio = r.strip_s / r.apples_s;
+        let blocked_ratio = r.blocked_s / r.apples_s;
+        checks.push(Check {
+            name: "FIG5",
+            claim: "AppLeS beats Strip and Blocked by 2-8x",
+            pass: strip_ratio > 1.5 && blocked_ratio > 2.0,
+            detail: format!("strip {strip_ratio:.1}x, blocked {blocked_ratio:.1}x"),
+        });
+    }
+
+    // FIG6: paging cliff past 3700^2; AppLeS smooth.
+    {
+        let below = fig6::run_trial(3000, 10, 1996);
+        let above = fig6::run_trial(4200, 10, 1996);
+        checks.push(Check {
+            name: "FIG6",
+            claim: "Blocked(SP-2) cliffs past 3700^2, AppLeS does not",
+            pass: below.blocked_sp2_s < 2.0 * below.apples_s
+                && above.blocked_sp2_s > 3.0 * above.apples_s,
+            detail: format!(
+                "ratio {:.2}x below, {:.2}x above",
+                below.blocked_sp2_s / below.apples_s,
+                above.blocked_sp2_s / above.apples_s
+            ),
+        });
+    }
+
+    // T-REACT: >16h single site, <5h distributed.
+    {
+        let r = react_exp::run(0);
+        checks.push(Check {
+            name: "T-REACT",
+            claim: ">16 h on either machine alone, <5 h pipelined",
+            pass: r.c90_hours > 16.0 && r.paragon_hours > 16.0 && r.distributed_hours < 5.0,
+            detail: format!(
+                "C90 {:.1} h, Paragon {:.1} h, distributed {:.1} h (unit {})",
+                r.c90_hours, r.paragon_hours, r.distributed_hours, r.best_unit
+            ),
+        });
+    }
+
+    // T-NILE: skim decision crosses over with campaign length.
+    {
+        let rows = nile_exp::run(150_000, &[1, 16], 0);
+        checks.push(Check {
+            name: "T-NILE",
+            claim: "remote for one run, skim for a long campaign",
+            pass: !rows[0].skim && rows[1].skim,
+            detail: format!(
+                "1 run -> {}, 16 runs -> {}",
+                if rows[0].skim { "skim" } else { "remote" },
+                if rows[1].skim { "skim" } else { "remote" },
+            ),
+        });
+    }
+
+    // ABL-1: dynamic information beats static.
+    {
+        let rows = ablation::forecast_ablation(1000, 25, 3, 2024);
+        let get = |name: &str| {
+            rows.iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, s)| s.mean)
+                .unwrap_or(f64::NAN)
+        };
+        let nws_t = get("nws");
+        let static_t = get("static-nominal");
+        checks.push(Check {
+            name: "ABL-1",
+            claim: "NWS-informed schedules beat static-nominal",
+            pass: nws_t < static_t,
+            detail: format!("nws {nws_t:.1}s vs static {static_t:.1}s"),
+        });
+    }
+
+    // T-FIXED: AppLeS solves the largest fixed-time grid.
+    {
+        let a = fixed_time::largest_grid_within(fixed_time::Strategy::Apples, 8.0, 40, 1996);
+        let s = fixed_time::largest_grid_within(fixed_time::Strategy::StaticStrip, 8.0, 40, 1996);
+        checks.push(Check {
+            name: "T-FIXED",
+            claim: "largest fixed-time grid: AppLeS > static Strip",
+            pass: a > s,
+            detail: format!("AppLeS {a}^2 vs Strip {s}^2 in 8 s"),
+        });
+    }
+
+    // T-MULTI: an aware probe beats a blind probe.
+    {
+        let gap = SimTime::from_secs(60);
+        let mix: &[usize] = &[4000, 4000, 300];
+        let aware = multi_agent::run_staged(1200, mix, 77, gap, multi_agent::Regime::Aware);
+        let blind = multi_agent::run_staged(1200, mix, 77, gap, multi_agent::Regime::Blind);
+        let (ap, bp) = (
+            aware.last().unwrap().elapsed,
+            blind.last().unwrap().elapsed,
+        );
+        checks.push(Check {
+            name: "T-MULTI",
+            claim: "observing other agents' load pays off",
+            pass: ap < bp,
+            detail: format!("aware probe {ap:.0}s vs blind probe {bp:.0}s"),
+        });
+    }
+
+    // Report.
+    println!("Reproduction checklist (reduced sizes; see EXPERIMENTS.md for full runs)\n");
+    let mut all = true;
+    for c in &checks {
+        all &= c.pass;
+        println!(
+            "[{}] {:8} {} — {}",
+            if c.pass { "PASS" } else { "FAIL" },
+            c.name,
+            c.claim,
+            c.detail
+        );
+    }
+    println!(
+        "\n{}",
+        if all {
+            "All reproduction checks passed."
+        } else {
+            "SOME CHECKS FAILED — see above."
+        }
+    );
+    if !all {
+        std::process::exit(1);
+    }
+}

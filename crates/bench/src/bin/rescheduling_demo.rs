@@ -1,0 +1,109 @@
+//! RESCHED: §3.2's "redistribution of the application during
+//! execution" — a one-shot AppLeS decision versus phase-wise
+//! rescheduling, on a testbed whose load regime flips mid-run.
+
+use apples::coordinator::Coordinator;
+use apples::hat::jacobi2d_hat;
+use apples::rescheduler::ReschedulingAgent;
+use apples::user::UserSpec;
+use apples_bench::table;
+use metasim::host::HostSpec;
+use metasim::load::LoadModel;
+use metasim::net::{LinkSpec, TopologyBuilder};
+use metasim::{SimTime, Topology};
+use nws::{WeatherService, WeatherServiceConfig};
+
+fn s(x: f64) -> SimTime {
+    SimTime::from_secs_f64(x)
+}
+
+/// Four hosts; at t = 660 s the two that were idle become hammered and
+/// vice versa.
+fn regime_swap_topo() -> Topology {
+    let mut b = TopologyBuilder::new();
+    let seg = b.add_segment(LinkSpec::dedicated("seg", 12.5, SimTime::from_micros(500)));
+    for i in 0..2 {
+        b.add_host(HostSpec::workstation(
+            &format!("early-idle-{i}"),
+            30.0,
+            1024.0,
+            seg,
+            LoadModel::Trace(vec![(s(0.0), 0.95), (s(660.0), 0.1)]),
+        ));
+    }
+    for i in 0..2 {
+        b.add_host(HostSpec::workstation(
+            &format!("late-idle-{i}"),
+            30.0,
+            1024.0,
+            seg,
+            LoadModel::Trace(vec![(s(0.0), 0.1), (s(660.0), 0.95)]),
+        ));
+    }
+    b.instantiate(s(1_000_000.0), 0).expect("topology")
+}
+
+fn main() {
+    let n = 1600;
+    let iterations = 600;
+    let start = s(600.0);
+    let topo = regime_swap_topo();
+    let hat = jacobi2d_hat(n, iterations);
+    let user = UserSpec::default();
+
+    // One-shot: decide once at t=600 and ride it out.
+    let mut ws1 = WeatherService::for_topology(&topo, WeatherServiceConfig::default());
+    ws1.advance(&topo, start);
+    let one_shot = Coordinator::new(hat.clone(), user.clone());
+    let (_, one_shot_report) = one_shot.run(&topo, &ws1, start).expect("one-shot run");
+
+    // Adaptive: re-plan every 50 iterations, migrate when predicted
+    // savings beat the data-movement cost.
+    let mut ws2 = WeatherService::for_topology(&topo, WeatherServiceConfig::default());
+    let mut adaptive = ReschedulingAgent::new(Coordinator::new(hat, user));
+    adaptive.policy.phase_iterations = 50;
+    let report = adaptive
+        .run_stencil(&topo, &mut ws2, start)
+        .expect("adaptive run");
+
+    println!(
+        "Mid-execution rescheduling: Jacobi2D {n}x{n}, {iterations} iterations,\n\
+         load regime flips at t = 660 s (run starts at t = 600 s)\n"
+    );
+    println!("one-shot AppLeS:      {:>8.1} s", one_shot_report.elapsed_seconds);
+    println!(
+        "rescheduling AppLeS:  {:>8.1} s  ({} migration(s))\n",
+        report.elapsed_seconds, report.migrations
+    );
+
+    let rows: Vec<Vec<String>> = report
+        .phases
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            vec![
+                format!("{i}"),
+                format!("{:.0}", p.start.as_secs_f64()),
+                format!("{}", p.iterations),
+                table::secs(p.elapsed_seconds),
+                if p.migrated {
+                    format!("yes ({:.1} s)", p.migration_seconds)
+                } else {
+                    "".into()
+                },
+                format!("{}", p.hosts.len()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &["phase", "t start", "iters", "elapsed s", "migrated", "hosts"],
+            &rows
+        )
+    );
+    println!(
+        "speedup from rescheduling: {:.2}x",
+        one_shot_report.elapsed_seconds / report.elapsed_seconds
+    );
+}

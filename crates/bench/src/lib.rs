@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+
+//! # apples-bench — the experiment harness
+//!
+//! One module per paper artifact; each figure binary under `src/bin/`
+//! is a thin `main` around these functions, and the Criterion benches
+//! under `benches/` time the same entry points. See DESIGN.md for the
+//! experiment ↔ module index and EXPERIMENTS.md for recorded results.
+
+pub mod ablation;
+pub mod estimator_exp;
+pub mod fig5;
+pub mod fig6;
+pub mod fixed_time;
+pub mod multi_agent;
+pub mod nile_exp;
+pub mod nws_exp;
+pub mod predict_react;
+pub mod react_exp;
+pub mod table;

@@ -1,0 +1,212 @@
+//! Multiple AppLeS agents sharing one system (§3).
+//!
+//! "Each user and/or application-developer schedules their application
+//! so as to optimize their own performance criteria without regard to
+//! the performance goals of other applications which share the system.
+//! However, other applications create contention for shared resources,
+//! and are experienced by an individual application in terms of the
+//! dynamically varying performance capability of metacomputing system
+//! resources."
+//!
+//! This experiment stages selfish agents submitting Jacobi2D jobs of
+//! configurable lengths a minute apart, in two information regimes:
+//!
+//! * **aware** — each agent's Weather Service has observed the system
+//!   *including the load imposed by the agents already running*, so
+//!   later agents see busy hosts as slow and route around them;
+//! * **blind** — every agent decides from the same pristine
+//!   measurements (as if all submitted simultaneously), so they pile
+//!   onto the same fast hosts and contend.
+//!
+//! The canonical scenario is a short *probe* job arriving while
+//! long-running jobs occupy the fast hosts: the aware probe routes
+//! around them; the blind probe piles on and crawls. (When contention
+//! is *transient* relative to the arriving job, awareness can even
+//! mislead — the NWS forecasts persistence — which is exactly the
+//! §3.6 point that schedules are only as good as their predictions.)
+//!
+//! No coordination happens in either regime — the paper's point is
+//! that accurate *observation* alone yields decent system behaviour
+//! from purely application-centric decisions.
+
+use apples::info::InfoPool;
+use apples_apps::jacobi2d::apples_stencil_schedule;
+use apples_apps::jacobi2d::partition::jacobi_context;
+use apples::schedule::StencilSchedule;
+use metasim::exec::simulate_spmd;
+use metasim::testbed::{pcl_sdsc, LoadProfile, Testbed, TestbedConfig};
+use metasim::{SimTime, Topology};
+use nws::{WeatherService, WeatherServiceConfig};
+
+/// How one staged agent fared.
+#[derive(Debug, Clone)]
+pub struct AgentOutcome {
+    /// Agent index (submission order).
+    pub agent: usize,
+    /// Submission time.
+    pub start: SimTime,
+    /// Host names the agent's schedule used.
+    pub hosts: Vec<String>,
+    /// Wall-clock seconds of the agent's run.
+    pub elapsed: f64,
+}
+
+/// Information regime for the staged agents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Regime {
+    /// Each agent observes the system as it is when it submits
+    /// (including earlier agents' imposed load).
+    Aware,
+    /// Every agent decides from pristine pre-submission measurements.
+    Blind,
+}
+
+/// Impose a finished run's CPU usage onto the topology: each used
+/// host's availability is scaled by `(1 - utilization)` for the run's
+/// duration, so later observers experience the contention.
+fn impose_load(
+    topo: &mut Topology,
+    sched: &StencilSchedule,
+    outcome: &metasim::exec::SpmdOutcome,
+    start: SimTime,
+) {
+    let elapsed = outcome.finish.saturating_sub(start).as_secs_f64();
+    if elapsed <= 0.0 {
+        return;
+    }
+    for (w, part) in sched.parts.iter().enumerate() {
+        let utilization = (outcome.compute_seconds[w] / elapsed).clamp(0.0, 1.0);
+        let host = topo.host_mut(part.host).expect("host");
+        let scaled = host
+            .availability()
+            .scaled_in_window(start, outcome.finish, 1.0 - utilization);
+        host.set_availability(scaled);
+    }
+}
+
+/// Stage one Jacobi2D job per entry of `iterations_per_agent`, `gap`
+/// seconds apart, under the given information regime. Returns one
+/// outcome per agent, in submission order.
+pub fn run_staged(
+    n: usize,
+    iterations_per_agent: &[usize],
+    seed: u64,
+    gap: SimTime,
+    regime: Regime,
+) -> Vec<AgentOutcome> {
+    let warmup = SimTime::from_secs(600);
+    let tb: Testbed = pcl_sdsc(&TestbedConfig {
+        profile: LoadProfile::Light,
+        horizon: SimTime::from_secs(400_000),
+        seed,
+        with_sp2: false,
+    })
+    .expect("testbed");
+    let mut topo = tb.topo.clone();
+
+    // The blind regime's information snapshot is taken once, pristine.
+    let mut pristine_ws = None;
+    if regime == Regime::Blind {
+        let mut ws = WeatherService::for_topology(&topo, WeatherServiceConfig::default());
+        ws.advance(&topo, warmup);
+        pristine_ws = Some(ws);
+    }
+
+    let mut outcomes = Vec::with_capacity(iterations_per_agent.len());
+    for (agent, &iterations) in iterations_per_agent.iter().enumerate() {
+        let start = warmup + SimTime::from_micros(gap.as_micros() * agent as u64);
+        let (hat, user) = jacobi_context(n, iterations);
+        let t = hat.as_stencil().expect("stencil");
+        let sched = match (&pristine_ws, regime) {
+            (Some(ws), Regime::Blind) => {
+                // Blind: decide from the pristine pre-submission view.
+                let pool = InfoPool::with_nws(&tb.topo, ws, &hat, &user, warmup);
+                apples_stencil_schedule(&pool).expect("blind plan")
+            }
+            _ => {
+                // Aware: observe the *current* topology (with earlier
+                // agents' load) up to this agent's submission time.
+                let mut ws =
+                    WeatherService::for_topology(&topo, WeatherServiceConfig::default());
+                ws.advance(&topo, start);
+                let pool = InfoPool::with_nws(&topo, &ws, &hat, &user, start);
+                apples_stencil_schedule(&pool).expect("aware plan")
+            }
+        };
+        let outcome =
+            simulate_spmd(&topo, &sched.to_spmd_job(t, start)).expect("agent run");
+        let hosts = sched
+            .parts
+            .iter()
+            .map(|p| topo.host(p.host).expect("host").spec.name.clone())
+            .collect();
+        let elapsed = outcome.makespan(start).as_secs_f64();
+        impose_load(&mut topo, &sched, &outcome, start);
+        outcomes.push(AgentOutcome {
+            agent,
+            start,
+            hosts,
+            elapsed,
+        });
+    }
+    outcomes
+}
+
+/// Mean elapsed seconds across the staged agents.
+pub fn mean_elapsed(outcomes: &[AgentOutcome]) -> f64 {
+    outcomes.iter().map(|o| o.elapsed).sum::<f64>() / outcomes.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three long jobs occupy the fast hosts; a short probe arrives.
+    const PROBE_MIX: &[usize] = &[6000, 6000, 6000, 400];
+
+    #[test]
+    fn aware_probe_beats_blind_probe() {
+        let gap = SimTime::from_secs(60);
+        let aware = run_staged(1200, PROBE_MIX, 77, gap, Regime::Aware);
+        let blind = run_staged(1200, PROBE_MIX, 77, gap, Regime::Blind);
+        // The first agent is identical either way.
+        assert!((aware[0].elapsed - blind[0].elapsed).abs() < 1e-6);
+        // The probe (last agent) lands mid-contention: awareness must
+        // pay off clearly.
+        let aware_probe = aware.last().unwrap().elapsed;
+        let blind_probe = blind.last().unwrap().elapsed;
+        assert!(
+            aware_probe < blind_probe,
+            "aware probe {aware_probe:.1}s vs blind probe {blind_probe:.1}s"
+        );
+    }
+
+    #[test]
+    fn aware_probe_routes_around_the_long_jobs() {
+        let gap = SimTime::from_secs(60);
+        let aware = run_staged(1200, PROBE_MIX, 78, gap, Regime::Aware);
+        let set = |hosts: &[String]| {
+            let mut v = hosts.to_vec();
+            v.sort();
+            v
+        };
+        // The probe's host set must differ from the first long job's.
+        assert_ne!(
+            set(&aware[0].hosts),
+            set(&aware.last().unwrap().hosts),
+            "probe piled onto the long jobs' hosts"
+        );
+    }
+
+    #[test]
+    fn staging_is_deterministic() {
+        let gap = SimTime::from_secs(300);
+        let a = run_staged(1000, &[30, 30], 9, gap, Regime::Aware);
+        let b = run_staged(1000, &[30, 30], 9, gap, Regime::Aware);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.elapsed, y.elapsed);
+            assert_eq!(x.hosts, y.hosts);
+        }
+    }
+}

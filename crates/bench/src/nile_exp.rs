@@ -1,0 +1,170 @@
+//! §2.1's CLEO/NILE skim-vs-remote tradeoff: the Site Manager's
+//! decision as a function of how many times the analysis re-runs.
+
+use apples::info::InfoPool;
+use apples::user::UserSpec;
+use apples_apps::nile::{cleo_analysis_hat, SiteManager};
+use metasim::host::HostSpec;
+use metasim::load::LoadModel;
+use metasim::net::{LinkSpec, TopologyBuilder};
+use metasim::{HostId, SimTime, Topology};
+
+/// The NILE experiment testbed: a storage server at the experiment
+/// site (Cornell-like) behind a WAN, and a DEC Alpha farm plus two
+/// shared workstations at the analysis site — heterogeneous execution
+/// and data sites, as in §2.1.
+#[derive(Debug, Clone)]
+pub struct NileTestbed {
+    /// The instantiated system.
+    pub topo: Topology,
+    /// Storage server holding the event data.
+    pub server: HostId,
+    /// Analysis-site compute hosts.
+    pub compute: Vec<HostId>,
+    /// The analysis site's local data host (skim target).
+    pub local_site: HostId,
+}
+
+/// Build the testbed.
+pub fn nile_testbed(seed: u64) -> NileTestbed {
+    let mut b = TopologyBuilder::new();
+    let exp_site = b.add_segment(LinkSpec::dedicated(
+        "experiment-fddi",
+        12.5,
+        SimTime::from_micros(500),
+    ));
+    let analysis = b.add_segment(LinkSpec::dedicated(
+        "analysis-fddi",
+        12.5,
+        SimTime::from_micros(500),
+    ));
+    let wan = b.add_link(LinkSpec::shared(
+        "wan",
+        0.6,
+        SimTime::from_millis(35),
+        LoadModel::MarkovOnOff {
+            idle_avail: 0.9,
+            busy_avail: 0.4,
+            mean_idle: SimTime::from_secs(60),
+            mean_busy: SimTime::from_secs(20),
+        },
+    ));
+    b.add_route(exp_site, analysis, vec![wan]);
+
+    let server = b.add_host(HostSpec::dedicated("event-store", 25.0, 4096.0, exp_site));
+    let mut compute = Vec::new();
+    // A dedicated Alpha farm...
+    for i in 0..3 {
+        compute.push(b.add_host(HostSpec::dedicated(
+            &format!("alpha-farm-{i}"),
+            40.0,
+            256.0,
+            analysis,
+        )));
+    }
+    // ...and two non-dedicated workstations.
+    for i in 0..2 {
+        compute.push(b.add_host(HostSpec::workstation(
+            &format!("ws-{i}"),
+            25.0,
+            128.0,
+            analysis,
+            LoadModel::RandomWalk {
+                start: 0.5,
+                step: 0.1,
+                interval: SimTime::from_secs(10),
+                floor: 0.2,
+                ceil: 0.9,
+            },
+        )));
+    }
+    let local_site = compute[0];
+    NileTestbed {
+        topo: b.instantiate(SimTime::from_secs(1_000_000), seed).expect("testbed"),
+        server,
+        compute,
+        local_site,
+    }
+}
+
+/// One row of the skim-tradeoff table.
+#[derive(Debug, Clone)]
+pub struct NileRow {
+    /// Number of analysis runs in the campaign.
+    pub runs: usize,
+    /// Did the Site Manager choose to skim?
+    pub skim: bool,
+    /// Predicted seconds for the chosen strategy.
+    pub predicted_s: f64,
+    /// Predicted seconds for the rejected strategy.
+    pub alternative_s: f64,
+    /// Actuated (simulated) seconds for the chosen strategy.
+    pub measured_s: f64,
+}
+
+/// Sweep campaign lengths and record the Site Manager's decisions.
+pub fn run(events: u64, runs_sweep: &[usize], seed: u64) -> Vec<NileRow> {
+    let tb = nile_testbed(seed);
+    let hat = cleo_analysis_hat(events);
+    let user = UserSpec::default();
+    let pool = InfoPool::static_nominal(&tb.topo, &hat, &user, SimTime::ZERO);
+
+    runs_sweep
+        .iter()
+        .map(|&runs| {
+            let sm = SiteManager {
+                runs,
+                skim_mb_factor: 3.0,
+            };
+            let plan = sm
+                .plan_campaign(&pool, &tb.compute, tb.server, tb.local_site)
+                .expect("campaign plan");
+            let measured = sm
+                .run_campaign(
+                    &tb.topo,
+                    &hat,
+                    &plan,
+                    tb.server,
+                    tb.local_site,
+                    SimTime::ZERO,
+                )
+                .expect("campaign run");
+            NileRow {
+                runs,
+                skim: plan.skim,
+                predicted_s: plan.predicted_seconds,
+                alternative_s: plan.predicted_alternative_seconds,
+                measured_s: measured,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_crosses_over_with_campaign_length() {
+        let rows = run(150_000, &[1, 2, 4, 8, 16], 0);
+        assert!(!rows[0].skim, "a single run should stay remote");
+        assert!(
+            rows.last().unwrap().skim,
+            "a long campaign should skim: {rows:?}"
+        );
+        // Monotone: once skimming wins it keeps winning.
+        let first_skim = rows.iter().position(|r| r.skim).expect("some skim");
+        assert!(rows[first_skim..].iter().all(|r| r.skim));
+    }
+
+    #[test]
+    fn measured_times_are_positive_and_ordered() {
+        let rows = run(50_000, &[1, 8], 0);
+        for r in &rows {
+            assert!(r.measured_s > 0.0);
+            assert!(r.predicted_s <= r.alternative_s);
+        }
+        // More runs take longer.
+        assert!(rows[1].measured_s > rows[0].measured_s);
+    }
+}

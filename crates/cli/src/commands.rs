@@ -1,0 +1,522 @@
+//! Subcommand implementations.
+
+use crate::args::{ArgError, Parsed};
+use apples::coordinator::Coordinator;
+use apples::info::{ForecastSource, InfoPool};
+use apples::user::{PerformanceMetric, UserSpec};
+use apples::Schedule;
+use apples_apps::jacobi2d::partition::jacobi_context;
+use apples_apps::jacobi2d::{blocked_uniform, static_strip};
+use apples_apps::nile::{cleo_analysis_hat, SiteManager};
+use apples_apps::react3d;
+use metasim::exec::simulate_spmd;
+use metasim::host::HostSpec;
+use metasim::testbed::{pcl_sdsc, LoadProfile, Testbed, TestbedConfig};
+use metasim::{HostId, SimTime};
+use nws::{ResourceKey, WeatherService, WeatherServiceConfig};
+
+type CmdResult = Result<(), Box<dyn std::error::Error>>;
+
+fn profile_of(p: &Parsed) -> Result<LoadProfile, ArgError> {
+    match p.get("profile", "moderate") {
+        "dedicated" => Ok(LoadProfile::Dedicated),
+        "light" => Ok(LoadProfile::Light),
+        "moderate" => Ok(LoadProfile::Moderate),
+        "heavy" => Ok(LoadProfile::Heavy),
+        other => Err(ArgError(format!("unknown profile {other:?}"))),
+    }
+}
+
+fn build_testbed(p: &Parsed) -> Result<Testbed, Box<dyn std::error::Error>> {
+    let cfg = TestbedConfig {
+        profile: profile_of(p)?,
+        horizon: SimTime::from_secs(400_000),
+        seed: p.get_parsed("seed", 1996u64)?,
+        with_sp2: p.switch("sp2"),
+    };
+    Ok(pcl_sdsc(&cfg)?)
+}
+
+/// `apples-cli testbed`
+pub fn testbed(p: &Parsed) -> CmdResult {
+    let tb = build_testbed(p)?;
+    println!("SDSC/PCL testbed (Figure 2), profile {:?}:", profile_of(p)?);
+    for h in tb.topo.hosts() {
+        let mean = h.mean_availability(SimTime::ZERO, SimTime::from_secs(100_000));
+        println!(
+            "  {:>14}  {:>5.0} Mflop/s  {:>6.0} MB  mean availability {:.2}",
+            h.spec.name, h.spec.mflops, h.spec.mem_mb, mean
+        );
+    }
+    for l in tb.topo.links() {
+        println!(
+            "  {:>18}  {:>6.2} MB/s  {:>5.1} ms",
+            l.spec.name,
+            l.spec.bandwidth_mbps,
+            l.spec.latency.as_secs_f64() * 1e3
+        );
+    }
+    Ok(())
+}
+
+/// `apples-cli schedule`
+pub fn schedule(p: &Parsed) -> CmdResult {
+    let tb = build_testbed(p)?;
+    let n: usize = p.get_parsed("n", 2000)?;
+    let iterations: usize = p.get_parsed("iterations", 100)?;
+    let warmup = SimTime::from_secs(p.get_parsed("warmup", 600u64)?);
+
+    let (hat, mut user) = jacobi_context(n, iterations);
+    user.max_hosts = p.get_parsed("max-hosts", usize::MAX)?;
+    user.metric = match p.get("metric", "time") {
+        "time" => PerformanceMetric::ExecutionTime,
+        "speedup" => PerformanceMetric::Speedup,
+        other => match other.strip_prefix("cost:") {
+            Some(rate) => PerformanceMetric::Cost {
+                per_host_second: rate
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad cost rate {rate:?}")))?,
+            },
+            None => return Err(ArgError(format!("unknown metric {other:?}")).into()),
+        },
+    };
+    let source = match p.get("source", "nws") {
+        "nws" => ForecastSource::Nws,
+        "last-value" => ForecastSource::LastValue,
+        "oracle" => ForecastSource::Oracle,
+        "static" => ForecastSource::StaticNominal,
+        other => return Err(ArgError(format!("unknown source {other:?}")).into()),
+    };
+
+    let mut ws = WeatherService::for_topology(&tb.topo, WeatherServiceConfig::default());
+    ws.advance(&tb.topo, warmup);
+    let mut pool = InfoPool::with_nws(&tb.topo, &ws, &hat, &user, warmup);
+    pool.source = source;
+    let agent = Coordinator::new(hat.clone(), user.clone());
+    let decision = agent.decide(&pool)?;
+    let report = apples::actuator::actuate(&tb.topo, &hat, decision.schedule(), warmup)?;
+
+    println!(
+        "Jacobi2D {n}x{n}, {iterations} iterations — {} candidates considered, {} rejected",
+        decision.considered.len(),
+        decision.rejected
+    );
+    if let Schedule::Stencil(s) = decision.schedule() {
+        for part in &s.parts {
+            let h = tb.topo.host(part.host)?;
+            println!(
+                "  {:>14}: {:>5} rows ({:>5.1}%)",
+                h.spec.name,
+                part.rows,
+                part.rows as f64 / n as f64 * 100.0
+            );
+        }
+    }
+    println!(
+        "predicted {:.2} s, actuated {:.2} s",
+        decision.chosen().predicted_seconds,
+        report.elapsed_seconds
+    );
+    Ok(())
+}
+
+/// `apples-cli compare`
+pub fn compare(p: &Parsed) -> CmdResult {
+    let tb = build_testbed(p)?;
+    let n: usize = p.get_parsed("n", 2000)?;
+    let iterations: usize = p.get_parsed("iterations", 100)?;
+    let warmup = SimTime::from_secs(600);
+    let (hat, user) = jacobi_context(n, iterations);
+    let t = hat.as_stencil().expect("stencil");
+
+    let mut ws = WeatherService::for_topology(&tb.topo, WeatherServiceConfig::default());
+    ws.advance(&tb.topo, warmup);
+    let pool = InfoPool::with_nws(&tb.topo, &ws, &hat, &user, warmup);
+    let apples = apples_apps::jacobi2d::apples_stencil_schedule(&pool)?;
+    let a = simulate_spmd(&tb.topo, &apples.to_spmd_job(t, warmup))?;
+
+    let ws_hosts = tb.workstations();
+    let strip = static_strip(&tb.topo, n, iterations, &ws_hosts);
+    let s = simulate_spmd(&tb.topo, &strip.to_spmd_job(t, warmup))?;
+    let blocked = blocked_uniform(n, iterations, &ws_hosts);
+    let b = simulate_spmd(&tb.topo, &blocked.to_spmd_job(t, warmup))?;
+
+    let (a, s, b) = (
+        a.makespan(warmup).as_secs_f64(),
+        s.makespan(warmup).as_secs_f64(),
+        b.makespan(warmup).as_secs_f64(),
+    );
+    println!("Jacobi2D {n}x{n}, {iterations} iterations (one trial):");
+    println!("  AppLeS       {a:>9.2} s");
+    println!("  static Strip {s:>9.2} s   ({:.2}x)", s / a);
+    println!("  HPF Blocked  {b:>9.2} s   ({:.2}x)", b / a);
+    Ok(())
+}
+
+/// `apples-cli forecast`
+pub fn forecast(p: &Parsed) -> CmdResult {
+    let tb = build_testbed(p)?;
+    let host = HostId(p.get_parsed("host", 1usize)?);
+    let until: u64 = p.get_parsed("until", 3600u64)?;
+    let name = &tb.topo.host(host)?.spec.name;
+    println!("NWS tracking {name} for {until} s:");
+    let mut ws = WeatherService::for_topology(&tb.topo, WeatherServiceConfig::default());
+    let key = ResourceKey::Cpu(host);
+    let step = (until / 12).max(60);
+    let mut t = step;
+    println!("{:>8}  {:>8}  {:>8}  {:>7}  predictor", "time s", "measured", "forecast", "err");
+    while t <= until {
+        let now = SimTime::from_secs(t);
+        ws.advance(&tb.topo, now);
+        if let (Some(cur), Some(f)) = (ws.current(key), ws.forecast(key)) {
+            println!(
+                "{:>8}  {:>8.3}  {:>8.3}  {:>7.4}  {}",
+                t, cur, f.value, f.error, f.method
+            );
+        }
+        t += step;
+    }
+    Ok(())
+}
+
+/// `apples-cli react`
+pub fn react(p: &Parsed) -> CmdResult {
+    let seed: u64 = p.get_parsed("seed", 0u64)?;
+    let unit: usize = p.get_parsed("unit", 0usize)?;
+    let depth: usize = p.get_parsed("depth", 4usize)?;
+    let tb = react3d::casa_testbed(seed)?;
+    const HOUR: f64 = 3600.0;
+    let c90 = react3d::single_site_run(&tb, tb.c90)?.as_secs_f64() / HOUR;
+    let par = react3d::single_site_run(&tb, tb.paragon)?.as_secs_f64() / HOUR;
+    println!("3D-REACT: single-site C90 {c90:.2} h, Paragon {par:.2} h");
+    if unit > 0 {
+        let run = react3d::distributed_run(&tb, unit, depth)?;
+        println!(
+            "distributed (unit {unit}, depth {depth}): {:.2} h",
+            run.makespan(SimTime::ZERO).as_secs_f64() / HOUR
+        );
+    } else {
+        for (u, secs) in
+            react3d::sweep_pipeline_sizes(&tb, &[1, 2, 5, 10, 20, 40, 130, 520], depth)?
+        {
+            println!("  unit {u:>4}: {:.2} h", secs / HOUR);
+        }
+    }
+    Ok(())
+}
+
+/// `apples-cli nile`
+pub fn nile(p: &Parsed) -> CmdResult {
+    let events: u64 = p.get_parsed("events", 150_000u64)?;
+    let runs: usize = p.get_parsed("runs", 8usize)?;
+    let seed: u64 = p.get_parsed("seed", 0u64)?;
+
+    // A compact two-site setup: server behind a WAN, Alpha farm local.
+    let mut b = metasim::net::TopologyBuilder::new();
+    let exp = b.add_segment(metasim::net::LinkSpec::dedicated(
+        "experiment",
+        12.5,
+        SimTime::from_micros(500),
+    ));
+    let lab = b.add_segment(metasim::net::LinkSpec::dedicated(
+        "analysis",
+        12.5,
+        SimTime::from_micros(500),
+    ));
+    let wan = b.add_link(metasim::net::LinkSpec::dedicated(
+        "wan",
+        0.6,
+        SimTime::from_millis(35),
+    ));
+    b.add_route(exp, lab, vec![wan]);
+    let server = b.add_host(metasim::host::HostSpec::dedicated(
+        "event-store",
+        25.0,
+        4096.0,
+        exp,
+    ));
+    let mut compute = Vec::new();
+    for i in 0..3 {
+        compute.push(b.add_host(metasim::host::HostSpec::dedicated(
+            &format!("alpha-{i}"),
+            40.0,
+            256.0,
+            lab,
+        )));
+    }
+    let topo = b.instantiate(SimTime::from_secs(10_000_000), seed)?;
+
+    let hat = cleo_analysis_hat(events);
+    let user = UserSpec::default();
+    let pool = InfoPool::static_nominal(&topo, &hat, &user, SimTime::ZERO);
+    let sm = SiteManager {
+        runs,
+        skim_mb_factor: 3.0,
+    };
+    let plan = sm.plan_campaign(&pool, &compute, server, compute[0])?;
+    let measured = sm.run_campaign(&topo, &hat, &plan, server, compute[0], SimTime::ZERO)?;
+    println!(
+        "{events} events, {runs} run(s): Site Manager chose {} \
+         (predicted {:.1} s vs {:.1} s; measured {:.1} s)",
+        if plan.skim { "SKIM" } else { "REMOTE" },
+        plan.predicted_seconds,
+        plan.predicted_alternative_seconds,
+        measured
+    );
+    Ok(())
+}
+
+/// `apples-cli resched`
+pub fn resched(p: &Parsed) -> CmdResult {
+    use apples::rescheduler::ReschedulingAgent;
+    let n: usize = p.get_parsed("n", 1600)?;
+    let iterations: usize = p.get_parsed("iterations", 600)?;
+    let phase: usize = p.get_parsed("phase", 50)?;
+    let seed: u64 = p.get_parsed("seed", 0u64)?;
+
+    // Two host pairs that swap load regimes 60 s into the run.
+    let mut b = metasim::net::TopologyBuilder::new();
+    let seg = b.add_segment(metasim::net::LinkSpec::dedicated(
+        "seg",
+        12.5,
+        SimTime::from_micros(500),
+    ));
+    for i in 0..2 {
+        b.add_host(HostSpec::workstation(
+            &format!("early-idle-{i}"),
+            30.0,
+            1024.0,
+            seg,
+            metasim::load::LoadModel::Trace(vec![
+                (SimTime::ZERO, 0.95),
+                (SimTime::from_secs(660), 0.1),
+            ]),
+        ));
+        b.add_host(HostSpec::workstation(
+            &format!("late-idle-{i}"),
+            30.0,
+            1024.0,
+            seg,
+            metasim::load::LoadModel::Trace(vec![
+                (SimTime::ZERO, 0.1),
+                (SimTime::from_secs(660), 0.95),
+            ]),
+        ));
+    }
+    let topo = b.instantiate(SimTime::from_secs(1_000_000), seed)?;
+    let start = SimTime::from_secs(600);
+    let hat = apples::hat::jacobi2d_hat(n, iterations);
+    let user = UserSpec::default();
+
+    let mut ws1 = WeatherService::for_topology(&topo, WeatherServiceConfig::default());
+    ws1.advance(&topo, start);
+    let one_shot = Coordinator::new(hat.clone(), user.clone());
+    let (_, one_shot_report) = one_shot.run(&topo, &ws1, start)?;
+
+    let mut ws2 = WeatherService::for_topology(&topo, WeatherServiceConfig::default());
+    let mut adaptive = ReschedulingAgent::new(Coordinator::new(hat, user));
+    adaptive.policy.phase_iterations = phase;
+    let report = adaptive.run_stencil(&topo, &mut ws2, start)?;
+
+    println!("Jacobi2D {n}x{n}, {iterations} iterations; load regime flips at t = 660 s");
+    println!("one-shot:     {:>8.1} s", one_shot_report.elapsed_seconds);
+    println!(
+        "rescheduling: {:>8.1} s  ({} migration(s), phase = {phase} iterations)",
+        report.elapsed_seconds, report.migrations
+    );
+    println!(
+        "speedup: {:.2}x",
+        one_shot_report.elapsed_seconds / report.elapsed_seconds
+    );
+    Ok(())
+}
+
+/// `apples-cli advise`
+pub fn advise_cmd(p: &Parsed) -> CmdResult {
+    use apples::advisor::advise;
+    use metasim::host::SharingPolicy;
+    let wait: f64 = p.get_parsed("wait", 900.0f64)?;
+    let avail: f64 = p.get_parsed("avail", 0.35f64)?;
+    let n: usize = p.get_parsed("n", 1200)?;
+    let iterations: usize = p.get_parsed("iterations", 800)?;
+
+    let mut b = metasim::net::TopologyBuilder::new();
+    let seg = b.add_segment(metasim::net::LinkSpec::dedicated(
+        "seg",
+        20.0,
+        SimTime::from_micros(200),
+    ));
+    for i in 0..2 {
+        let mut spec = HostSpec::dedicated(&format!("batch-{i}"), 40.0, 1024.0, seg);
+        spec.sharing = SharingPolicy::SpaceShared {
+            wait: SimTime::from_secs_f64(wait),
+        };
+        b.add_host(spec);
+    }
+    for i in 0..2 {
+        b.add_host(HostSpec::workstation(
+            &format!("shared-{i}"),
+            40.0,
+            1024.0,
+            seg,
+            metasim::load::LoadModel::Constant(avail),
+        ));
+    }
+    let topo = b.instantiate(SimTime::from_secs(1_000_000), 0)?;
+
+    let hat = apples::hat::jacobi2d_hat(n, iterations);
+    let user = UserSpec::default();
+    let mut pool = InfoPool::static_nominal(&topo, &hat, &user, SimTime::ZERO);
+    pool.source = ForecastSource::Oracle;
+    let advice = advise(
+        &pool,
+        &[
+            vec![HostId(0), HostId(1)],
+            vec![HostId(2), HostId(3)],
+        ],
+    )?;
+    println!(
+        "Jacobi2D {n}x{n} x{iterations}: queue wait {wait:.0} s vs shared pool at {:.0}%",
+        avail * 100.0
+    );
+    for o in &advice.options {
+        println!(
+            "  wait {:>6.0} s -> complete in {:>9.1} s",
+            o.wait_seconds, o.completion_seconds
+        );
+    }
+    let chosen = advice.chosen();
+    println!(
+        "recommendation: {}",
+        if chosen.wait_seconds > 0.0 {
+            "WAIT for the dedicated partition"
+        } else {
+            "RUN NOW on the shared pool"
+        }
+    );
+    Ok(())
+}
+
+/// `apples-cli whatif`
+pub fn whatif(p: &Parsed) -> CmdResult {
+    use apples::whatif::{evaluate, standard_menu};
+    let tb = build_testbed(p)?;
+    let n: usize = p.get_parsed("n", 1600)?;
+    let iterations: usize = p.get_parsed("iterations", 60)?;
+    let now = SimTime::from_secs(600);
+    let mut ws = WeatherService::for_topology(&tb.topo, WeatherServiceConfig::default());
+    ws.advance(&tb.topo, now);
+    let (hat, user) = jacobi_context(n, iterations);
+    let menu = standard_menu(&tb.topo);
+    let report = evaluate(&tb.topo, &ws, &hat, &user, now, &menu)?;
+    println!(
+        "Jacobi2D {n}x{n} x{iterations}: baseline {:.2} s; top upgrades:",
+        report.baseline_seconds
+    );
+    for r in report.results.iter().take(8) {
+        println!(
+            "  {:>34}: {:>7.2} s ({:.2}x)",
+            r.upgrade.describe(&tb.topo),
+            r.upgraded_seconds,
+            r.speedup
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Parsed;
+
+    fn parsed(words: &[&str]) -> Parsed {
+        let args: Vec<String> = words.iter().map(|s| s.to_string()).collect();
+        Parsed::parse(
+            &args,
+            &[
+                "n",
+                "iterations",
+                "profile",
+                "seed",
+                "source",
+                "metric",
+                "max-hosts",
+                "warmup",
+                "host",
+                "until",
+                "unit",
+                "depth",
+                "events",
+                "runs",
+                "phase",
+                "wait",
+                "avail",
+            ],
+            &["sp2"],
+        )
+        .expect("parse")
+    }
+
+    #[test]
+    fn testbed_command_runs() {
+        assert!(testbed(&parsed(&["testbed", "--sp2"])).is_ok());
+    }
+
+    #[test]
+    fn schedule_command_runs_small() {
+        assert!(schedule(&parsed(&[
+            "schedule", "--n", "600", "--iterations", "10"
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn schedule_rejects_bad_metric_and_source() {
+        assert!(schedule(&parsed(&["schedule", "--metric", "nonsense"])).is_err());
+        assert!(schedule(&parsed(&["schedule", "--source", "nonsense"])).is_err());
+    }
+
+    #[test]
+    fn schedule_accepts_cost_metric() {
+        assert!(schedule(&parsed(&[
+            "schedule", "--n", "600", "--iterations", "5", "--metric", "cost:2.5"
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn compare_command_runs_small() {
+        assert!(compare(&parsed(&[
+            "compare", "--n", "600", "--iterations", "10"
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn forecast_command_runs() {
+        assert!(forecast(&parsed(&["forecast", "--host", "1", "--until", "900"])).is_ok());
+    }
+
+    #[test]
+    fn react_command_single_unit_runs() {
+        assert!(react(&parsed(&["react", "--unit", "10"])).is_ok());
+    }
+
+    #[test]
+    fn nile_command_runs_small() {
+        assert!(nile(&parsed(&["nile", "--events", "5000", "--runs", "2"])).is_ok());
+    }
+
+    #[test]
+    fn advise_command_runs() {
+        assert!(advise_cmd(&parsed(&[
+            "advise", "--wait", "60", "--n", "600", "--iterations", "100"
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn bad_profile_is_an_error() {
+        assert!(testbed(&parsed(&["testbed", "--profile", "imaginary"])).is_err());
+    }
+}

@@ -1,0 +1,105 @@
+//! `apples-cli` — drive the AppLeS reproduction from the command line.
+//!
+//! ```text
+//! apples-cli testbed   [--profile P] [--seed N] [--sp2]
+//! apples-cli schedule  [--n N] [--iterations K] [--profile P] [--seed N]
+//!                      [--source nws|last-value|oracle|static]
+//!                      [--metric time|speedup|cost:<rate>]
+//!                      [--max-hosts K] [--sp2] [--warmup SECS]
+//! apples-cli compare   [--n N] [--iterations K] [--profile P] [--seed N]
+//! apples-cli forecast  [--host I] [--until SECS] [--profile P] [--seed N]
+//! apples-cli react     [--unit U] [--depth D] [--seed N]
+//! apples-cli nile      [--events E] [--runs R] [--seed N]
+//! ```
+
+mod args;
+mod commands;
+
+use args::Parsed;
+
+const USAGE: &str = "\
+apples-cli — application-level scheduling on a simulated metacomputer
+
+USAGE:
+  apples-cli testbed   [--profile P] [--seed N] [--sp2]
+      Print the Figure 2 SDSC/PCL testbed.
+  apples-cli schedule  [--n N] [--iterations K] [--profile P] [--seed N]
+                       [--source nws|last-value|oracle|static]
+                       [--metric time|speedup|cost:<rate>]
+                       [--max-hosts K] [--sp2] [--warmup SECS]
+      Run an AppLeS agent on a Jacobi2D job and actuate its decision.
+  apples-cli compare   [--n N] [--iterations K] [--profile P] [--seed N]
+      AppLeS vs static Strip vs HPF Blocked, back-to-back (Figure 5 trial).
+  apples-cli forecast  [--host I] [--until SECS] [--profile P] [--seed N]
+      Watch the Network Weather Service track one host.
+  apples-cli react     [--unit U] [--depth D] [--seed N]
+      The 3D-REACT pipeline on the CASA testbed (unit 0 sweeps sizes).
+  apples-cli nile      [--events E] [--runs R] [--seed N]
+      The CLEO/NILE Site Manager's skim-vs-remote decision.
+  apples-cli resched   [--n N] [--iterations K] [--phase P] [--seed N]
+      Phase-wise rescheduling vs one-shot across a mid-run load swap.
+  apples-cli advise    [--wait SECS] [--avail A] [--n N] [--iterations K]
+      The wait-for-dedicated vs run-now-on-shared decision (3.2).
+  apples-cli whatif    [--n N] [--iterations K] [--profile P] [--seed N]
+      Rank hypothetical hardware upgrades by this application's speedup.
+
+Profiles: dedicated | light | moderate (default) | heavy
+";
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() || raw[0] == "--help" || raw[0] == "help" {
+        print!("{USAGE}");
+        return;
+    }
+    let parsed = match Parsed::parse(
+        &raw,
+        &[
+            "n",
+            "iterations",
+            "profile",
+            "seed",
+            "source",
+            "metric",
+            "max-hosts",
+            "warmup",
+            "host",
+            "until",
+            "unit",
+            "depth",
+            "events",
+            "runs",
+            "phase",
+            "wait",
+            "avail",
+        ],
+        &["sp2"],
+    ) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let result = match parsed.command.as_str() {
+        "testbed" => commands::testbed(&parsed),
+        "schedule" => commands::schedule(&parsed),
+        "compare" => commands::compare(&parsed),
+        "forecast" => commands::forecast(&parsed),
+        "react" => commands::react(&parsed),
+        "nile" => commands::nile(&parsed),
+        "resched" => commands::resched(&parsed),
+        "advise" => commands::advise_cmd(&parsed),
+        "whatif" => commands::whatif(&parsed),
+        other => {
+            eprintln!("error: unknown command {other:?}\n");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

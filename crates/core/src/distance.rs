@@ -1,0 +1,173 @@
+//! Application-specific resource locality (§3.3).
+//!
+//! "Two resources can be thought of as *close* if they can effectively
+//! be coupled to promote the application's performance." Closeness is
+//! not a property of the wires: it is the predicted time for the
+//! *application's own* inter-task data movement between the two
+//! resources. A pair of hosts on opposite coasts is "close" to an
+//! application that barely communicates, and two hosts on the same
+//! saturated Ethernet segment are "far" to one that exchanges large
+//! borders every iteration.
+
+use crate::info::InfoPool;
+use metasim::{HostId, SimError};
+
+/// Logical distance between two hosts for an application whose
+/// characteristic inter-task message is `message_mb`: the predicted
+/// seconds to deliver that message, given current forecasts.
+///
+/// `distance(a, a)` is zero — colocated tasks communicate through
+/// memory.
+pub fn logical_distance(
+    pool: &InfoPool<'_>,
+    a: HostId,
+    b: HostId,
+    message_mb: f64,
+) -> Result<f64, SimError> {
+    pool.transfer_seconds(a, b, message_mb)
+}
+
+/// The characteristic message size (MB) of the application described
+/// by the pool's HAT: the payload its tasks exchange most often.
+///
+/// * stencil: one border row per iteration,
+/// * pipeline: one unit,
+/// * task farm: the per-event input record.
+pub fn characteristic_message_mb(pool: &InfoPool<'_>) -> f64 {
+    use crate::hat::AppStructure::*;
+    match &pool.hat.structure {
+        IterativeStencil(t) => t.border_mb(),
+        Pipeline(t) => t.mb_per_unit,
+        IndependentTasks(t) => t.mb_per_event,
+    }
+}
+
+/// The characteristic compute volume (Mflop) of one "round" of the
+/// application: an iteration for stencils, the full unit stream for
+/// pipelines, the whole event set for farms. Used to put logical
+/// distance and compute speed on the same (seconds) scale when ranking
+/// resources.
+pub fn characteristic_work_mflop(pool: &InfoPool<'_>) -> f64 {
+    use crate::hat::AppStructure::*;
+    match &pool.hat.structure {
+        IterativeStencil(t) => t.total_mflop_per_iter(),
+        Pipeline(t) => {
+            (t.producer_mflop_per_unit + t.consumer_mflop_per_unit) * t.total_units as f64
+        }
+        IndependentTasks(t) => t.total_mflop(),
+    }
+}
+
+/// Mean logical distance from `host` to every member of `others`,
+/// using the application's characteristic message. Used by the
+/// Resource Selector to prioritize hosts that are close *to the rest of
+/// the candidate set*.
+pub fn mean_distance_to_set(
+    pool: &InfoPool<'_>,
+    host: HostId,
+    others: &[HostId],
+) -> Result<f64, SimError> {
+    let msg = characteristic_message_mb(pool);
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for &o in others {
+        if o == host {
+            continue;
+        }
+        total += logical_distance(pool, host, o, msg)?;
+        n += 1;
+    }
+    Ok(if n == 0 { 0.0 } else { total / n as f64 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hat::jacobi2d_hat;
+    use crate::info::InfoPool;
+    use crate::user::UserSpec;
+    use metasim::host::HostSpec;
+    use metasim::net::{LinkSpec, TopologyBuilder};
+    use metasim::{SimTime, Topology};
+
+    fn s(x: f64) -> SimTime {
+        SimTime::from_secs_f64(x)
+    }
+
+    /// Host 0 and 1 share a fast segment; host 2 sits behind a slow
+    /// gateway.
+    fn topo() -> Topology {
+        let mut b = TopologyBuilder::new();
+        let fast = b.add_segment(LinkSpec::dedicated("fast", 100.0, SimTime::from_micros(100)));
+        let far = b.add_segment(LinkSpec::dedicated("far", 100.0, SimTime::from_micros(100)));
+        let gw = b.add_link(LinkSpec::dedicated("gw", 0.5, SimTime::from_millis(20)));
+        b.add_route(fast, far, vec![gw]);
+        b.add_host(HostSpec::dedicated("a", 10.0, 64.0, fast));
+        b.add_host(HostSpec::dedicated("b", 10.0, 64.0, fast));
+        b.add_host(HostSpec::dedicated("c", 10.0, 64.0, far));
+        b.instantiate(s(1000.0), 0).unwrap()
+    }
+
+    #[test]
+    fn same_host_distance_is_zero() {
+        let topo = topo();
+        let hat = jacobi2d_hat(1000, 1);
+        let user = UserSpec::default();
+        let pool = InfoPool::static_nominal(&topo, &hat, &user, SimTime::ZERO);
+        assert_eq!(
+            logical_distance(&pool, HostId(0), HostId(0), 10.0).unwrap(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn gateway_host_is_farther() {
+        let topo = topo();
+        let hat = jacobi2d_hat(1000, 1);
+        let user = UserSpec::default();
+        let pool = InfoPool::static_nominal(&topo, &hat, &user, SimTime::ZERO);
+        let near = logical_distance(&pool, HostId(0), HostId(1), 1.0).unwrap();
+        let far = logical_distance(&pool, HostId(0), HostId(2), 1.0).unwrap();
+        assert!(far > 10.0 * near, "far {far} vs near {near}");
+    }
+
+    #[test]
+    fn distance_depends_on_the_application() {
+        // §3.3: hosts joined by a slow link are close for an
+        // application that barely communicates.
+        let topo = topo();
+        let hat = jacobi2d_hat(1000, 1);
+        let user = UserSpec::default();
+        let pool = InfoPool::static_nominal(&topo, &hat, &user, SimTime::ZERO);
+        let tiny = logical_distance(&pool, HostId(0), HostId(2), 0.001).unwrap();
+        let huge = logical_distance(&pool, HostId(0), HostId(2), 100.0).unwrap();
+        assert!(huge > 100.0 * tiny);
+    }
+
+    #[test]
+    fn characteristic_message_for_stencil_is_one_border() {
+        let topo = topo();
+        let hat = jacobi2d_hat(2000, 1);
+        let user = UserSpec::default();
+        let pool = InfoPool::static_nominal(&topo, &hat, &user, SimTime::ZERO);
+        // 2000 points * 8 B = 0.016 MB.
+        assert!((characteristic_message_mb(&pool) - 0.016).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_distance_to_set_averages_over_peers() {
+        let topo = topo();
+        let hat = jacobi2d_hat(1000, 1);
+        let user = UserSpec::default();
+        let pool = InfoPool::static_nominal(&topo, &hat, &user, SimTime::ZERO);
+        let all = [HostId(0), HostId(1), HostId(2)];
+        let d_near = mean_distance_to_set(&pool, HostId(1), &all).unwrap();
+        let d_far = mean_distance_to_set(&pool, HostId(2), &all).unwrap();
+        assert!(d_far > d_near);
+        // A singleton set has no peers.
+        assert_eq!(
+            mean_distance_to_set(&pool, HostId(0), &[HostId(0)]).unwrap(),
+            0.0
+        );
+    }
+}

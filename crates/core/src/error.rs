@@ -1,0 +1,79 @@
+//! Error type for the scheduling framework.
+
+use metasim::SimError;
+use std::fmt;
+
+/// Errors surfaced while deriving or actuating a schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ApplesError {
+    /// The resource selector found no feasible resource set (everything
+    /// was filtered out by user constraints or capacity checks).
+    NoFeasibleResources,
+    /// The planner could not produce a schedule for a resource set.
+    PlanningFailed(String),
+    /// No candidate schedule survived estimation.
+    NoViableSchedule,
+    /// The HAT does not match the requested planning strategy (e.g.
+    /// asked for a strip plan of a pipeline application).
+    TemplateMismatch {
+        /// What the planner expected.
+        expected: &'static str,
+        /// What the HAT contained.
+        found: &'static str,
+    },
+    /// The underlying simulator rejected an operation.
+    Sim(SimError),
+    /// A configuration constraint was violated.
+    Invalid(String),
+}
+
+impl fmt::Display for ApplesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApplesError::NoFeasibleResources => {
+                write!(f, "no feasible resource set after filtering")
+            }
+            ApplesError::PlanningFailed(msg) => write!(f, "planning failed: {msg}"),
+            ApplesError::NoViableSchedule => {
+                write!(f, "no candidate schedule survived estimation")
+            }
+            ApplesError::TemplateMismatch { expected, found } => {
+                write!(f, "template mismatch: planner expects {expected}, HAT is {found}")
+            }
+            ApplesError::Sim(e) => write!(f, "simulator error: {e}"),
+            ApplesError::Invalid(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ApplesError {}
+
+impl From<SimError> for ApplesError {
+    fn from(e: SimError) -> Self {
+        ApplesError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(ApplesError::NoFeasibleResources.to_string().contains("feasible"));
+        assert!(ApplesError::PlanningFailed("x".into()).to_string().contains("x"));
+        let tm = ApplesError::TemplateMismatch {
+            expected: "stencil",
+            found: "pipeline",
+        };
+        assert!(tm.to_string().contains("stencil"));
+        assert!(tm.to_string().contains("pipeline"));
+    }
+
+    #[test]
+    fn sim_errors_convert() {
+        let e: ApplesError = SimError::UnknownHost(3).into();
+        assert!(matches!(e, ApplesError::Sim(_)));
+        assert!(e.to_string().contains("unknown host"));
+    }
+}

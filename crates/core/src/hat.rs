@@ -1,0 +1,310 @@
+//! The Heterogeneous Application Template (HAT).
+//!
+//! The HAT is the interface through which "the user provides specific
+//! information about the structure, characteristics and current
+//! implementations of the application and its tasks" (§4.1). It carries
+//! the *implementation-independent* structure (task relationships,
+//! communication regularity — §3.4) and the *implementation-dependent*
+//! constants (flops per point, bytes per message, per-architecture
+//! efficiencies) the planner and estimator parameterize their models
+//! with.
+//!
+//! Three templates cover the application shapes the paper discusses:
+//!
+//! * [`StencilTemplate`] — iterative data-parallel grid codes (Jacobi2D,
+//!   §5),
+//! * [`PipelineTemplate`] — two-task producer/consumer codes (3D-REACT,
+//!   §2.2),
+//! * [`TaskFarmTemplate`] — independent-task data-parallel analysis
+//!   (CLEO/NILE event processing, §2.1).
+
+/// A named application description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hat {
+    /// Application name (for reports).
+    pub name: String,
+    /// Structural template.
+    pub structure: AppStructure,
+}
+
+impl Hat {
+    /// A HAT for an iterative stencil code.
+    pub fn stencil(name: &str, t: StencilTemplate) -> Self {
+        Hat {
+            name: name.to_string(),
+            structure: AppStructure::IterativeStencil(t),
+        }
+    }
+
+    /// A HAT for a two-task pipeline code.
+    pub fn pipeline(name: &str, t: PipelineTemplate) -> Self {
+        Hat {
+            name: name.to_string(),
+            structure: AppStructure::Pipeline(t),
+        }
+    }
+
+    /// A HAT for an independent-task farm.
+    pub fn task_farm(name: &str, t: TaskFarmTemplate) -> Self {
+        Hat {
+            name: name.to_string(),
+            structure: AppStructure::IndependentTasks(t),
+        }
+    }
+
+    /// Short name of the structural class.
+    pub fn class_name(&self) -> &'static str {
+        match self.structure {
+            AppStructure::IterativeStencil(_) => "iterative-stencil",
+            AppStructure::Pipeline(_) => "pipeline",
+            AppStructure::IndependentTasks(_) => "task-farm",
+        }
+    }
+
+    /// The stencil template, if this is a stencil application.
+    pub fn as_stencil(&self) -> Option<&StencilTemplate> {
+        match &self.structure {
+            AppStructure::IterativeStencil(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The pipeline template, if this is a pipeline application.
+    pub fn as_pipeline(&self) -> Option<&PipelineTemplate> {
+        match &self.structure {
+            AppStructure::Pipeline(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The task-farm template, if this is a task-farm application.
+    pub fn as_task_farm(&self) -> Option<&TaskFarmTemplate> {
+        match &self.structure {
+            AppStructure::IndependentTasks(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// Structural classification of the application.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AppStructure {
+    /// Bulk-synchronous iterative grid code.
+    IterativeStencil(StencilTemplate),
+    /// Two-task producer/consumer pipeline.
+    Pipeline(PipelineTemplate),
+    /// Independent tasks over a partitioned data set.
+    IndependentTasks(TaskFarmTemplate),
+}
+
+/// Template for an `n × n` iterative 5-point stencil code (Jacobi2D).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StencilTemplate {
+    /// Grid edge length (the grid is `n × n` points).
+    pub n: usize,
+    /// Floating-point operations per point per iteration (a 5-point
+    /// Jacobi update is 5: four adds and one multiply).
+    pub flops_per_point: f64,
+    /// Resident bytes per point (Jacobi double-buffers an `f64` grid:
+    /// 16 bytes).
+    pub bytes_per_point: f64,
+    /// Bytes exchanged per border point per neighbour per iteration
+    /// (one `f64` row element: 8 bytes).
+    pub border_bytes_per_point: f64,
+    /// Iterations to run.
+    pub iterations: usize,
+}
+
+impl StencilTemplate {
+    /// Total Mflop per iteration over the whole grid.
+    pub fn total_mflop_per_iter(&self) -> f64 {
+        (self.n as f64) * (self.n as f64) * self.flops_per_point / 1e6
+    }
+
+    /// Mflop per iteration for a strip of `rows` rows.
+    pub fn strip_mflop_per_iter(&self, rows: usize) -> f64 {
+        (rows as f64) * (self.n as f64) * self.flops_per_point / 1e6
+    }
+
+    /// Resident MB for a strip of `rows` rows.
+    pub fn strip_resident_mb(&self, rows: usize) -> f64 {
+        (rows as f64) * (self.n as f64) * self.bytes_per_point / 1e6
+    }
+
+    /// MB shipped across one border per iteration.
+    pub fn border_mb(&self) -> f64 {
+        (self.n as f64) * self.border_bytes_per_point / 1e6
+    }
+}
+
+/// Per-architecture relative efficiency of a task implementation.
+///
+/// §2.3 notes that 3D-REACT's Log-D "has been optimized for vector
+/// execution" on the Cray and is "different than the implementation
+/// that the Paragon uses": the same task delivers a different fraction
+/// of peak on different machines. Efficiency is matched by substring
+/// against host names; unmatched hosts get [`ArchEfficiency::default_efficiency`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchEfficiency {
+    /// `(host-name substring, efficiency in (0, 1])` pairs, first match
+    /// wins.
+    pub rules: Vec<(String, f64)>,
+    /// Efficiency for hosts no rule matches.
+    pub default_efficiency: f64,
+}
+
+impl Default for ArchEfficiency {
+    fn default() -> Self {
+        ArchEfficiency {
+            rules: Vec::new(),
+            default_efficiency: 1.0,
+        }
+    }
+}
+
+impl ArchEfficiency {
+    /// The efficiency for a host with the given name.
+    pub fn for_host(&self, host_name: &str) -> f64 {
+        for (pat, eff) in &self.rules {
+            if host_name.contains(pat.as_str()) {
+                return *eff;
+            }
+        }
+        self.default_efficiency
+    }
+}
+
+/// Template for a two-task pipeline (LHSF → Log-D/ASY in 3D-REACT).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineTemplate {
+    /// Total work units to stream (surface functions in 3D-REACT).
+    pub total_units: usize,
+    /// Producer Mflop per unit at efficiency 1.
+    pub producer_mflop_per_unit: f64,
+    /// Consumer Mflop per unit at efficiency 1.
+    pub consumer_mflop_per_unit: f64,
+    /// MB transferred per unit.
+    pub mb_per_unit: f64,
+    /// Producer resident MB (independent of batching).
+    pub producer_resident_mb: f64,
+    /// Consumer base resident MB.
+    pub consumer_base_mb: f64,
+    /// Extra consumer MB per *buffered unit* — the §2.3 "buffering
+    /// performance cost" of a large pipeline size.
+    pub consumer_mb_per_buffered_unit: f64,
+    /// Per-message fixed overhead in MB-equivalents is captured by link
+    /// latency; per-message CPU overhead (marshalling, data-format
+    /// conversion between machine formats, §2.2) in Mflop.
+    pub convert_mflop_per_message: f64,
+    /// Producer-task efficiency per architecture.
+    pub producer_efficiency: ArchEfficiency,
+    /// Consumer-task efficiency per architecture.
+    pub consumer_efficiency: ArchEfficiency,
+}
+
+/// Template for an independent-task farm over a distributed data set
+/// (CLEO/NILE event analysis).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskFarmTemplate {
+    /// Number of events (records) to analyze.
+    pub events: u64,
+    /// Mflop per event.
+    pub mflop_per_event: f64,
+    /// MB read per event from the data's home site.
+    pub mb_per_event: f64,
+    /// MB of results aggregated back to the submitting site per event.
+    pub result_mb_per_event: f64,
+}
+
+impl TaskFarmTemplate {
+    /// Total compute in Mflop.
+    pub fn total_mflop(&self) -> f64 {
+        self.events as f64 * self.mflop_per_event
+    }
+
+    /// Total input data volume in MB.
+    pub fn total_data_mb(&self) -> f64 {
+        self.events as f64 * self.mb_per_event
+    }
+}
+
+/// The Jacobi2D HAT used throughout the paper's §5 experiments.
+pub fn jacobi2d_hat(n: usize, iterations: usize) -> Hat {
+    Hat::stencil(
+        "jacobi2d",
+        StencilTemplate {
+            n,
+            flops_per_point: 5.0,
+            bytes_per_point: 16.0,
+            border_bytes_per_point: 8.0,
+            iterations,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jacobi_hat_constants() {
+        let hat = jacobi2d_hat(1000, 10);
+        let t = hat.as_stencil().unwrap();
+        // 1e6 points * 5 flop = 5 Mflop per iteration.
+        assert!((t.total_mflop_per_iter() - 5.0).abs() < 1e-12);
+        // A 100-row strip: 100 * 1000 * 16 B = 1.6 MB resident.
+        assert!((t.strip_resident_mb(100) - 1.6).abs() < 1e-12);
+        // Border: 1000 * 8 B = 0.008 MB.
+        assert!((t.border_mb() - 0.008).abs() < 1e-15);
+        assert_eq!(hat.class_name(), "iterative-stencil");
+    }
+
+    #[test]
+    fn strip_work_scales_with_rows() {
+        let t = jacobi2d_hat(2000, 1);
+        let t = t.as_stencil().unwrap();
+        assert!(
+            (t.strip_mflop_per_iter(500) * 4.0 - t.total_mflop_per_iter()).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn accessors_reject_wrong_class() {
+        let hat = jacobi2d_hat(100, 1);
+        assert!(hat.as_pipeline().is_none());
+        assert!(hat.as_task_farm().is_none());
+        assert!(hat.as_stencil().is_some());
+    }
+
+    #[test]
+    fn arch_efficiency_matching() {
+        let eff = ArchEfficiency {
+            rules: vec![("cray".into(), 1.0), ("paragon".into(), 0.6)],
+            default_efficiency: 0.4,
+        };
+        assert_eq!(eff.for_host("sdsc-cray-c90"), 1.0);
+        assert_eq!(eff.for_host("caltech-paragon-3"), 0.6);
+        assert_eq!(eff.for_host("random-ws"), 0.4);
+    }
+
+    #[test]
+    fn arch_efficiency_first_match_wins() {
+        let eff = ArchEfficiency {
+            rules: vec![("sdsc".into(), 0.9), ("sdsc-cray".into(), 0.1)],
+            default_efficiency: 1.0,
+        };
+        assert_eq!(eff.for_host("sdsc-cray"), 0.9);
+    }
+
+    #[test]
+    fn task_farm_totals() {
+        let t = TaskFarmTemplate {
+            events: 1000,
+            mflop_per_event: 2.0,
+            mb_per_event: 0.02,
+            result_mb_per_event: 0.001,
+        };
+        assert_eq!(t.total_mflop(), 2000.0);
+        assert!((t.total_data_mb() - 20.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,339 @@
+//! The Information Pool.
+//!
+//! §4.1: "Application-specific, system-specific, and dynamic information
+//! used by these subsystems constitute an Information Pool which all
+//! subsystems share." The pool bundles the four information sources —
+//! NWS forecasts, the HAT, the models, and the User Specifications —
+//! behind the queries the subsystems actually make: *what compute rate
+//! will this host deliver?* and *what bandwidth will this route
+//! deliver?* in the imminent scheduling window.
+//!
+//! The pool's [`ForecastSource`] selects where dynamic information comes
+//! from. Besides the NWS there are three alternates used by the
+//! prediction-quality ablation (§3.6: "a schedule is only as good as
+//! the accuracy of its underlying predictions"):
+//!
+//! * [`ForecastSource::LastValue`] — raw most-recent measurement,
+//! * [`ForecastSource::Oracle`] — the true mean availability over the
+//!   upcoming window (an unrealizable upper bound on forecast quality),
+//! * [`ForecastSource::StaticNominal`] — assume dedicated resources,
+//!   which is exactly what the paper's static Strip and Blocked
+//!   partitions assume.
+
+use crate::hat::Hat;
+use crate::user::UserSpec;
+use metasim::{HostId, SimError, SimTime, Topology};
+use nws::{ResourceKey, WeatherService};
+
+/// Where the pool's dynamic availability information comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForecastSource {
+    /// NWS adaptive-selector forecasts (the AppLeS design point).
+    Nws,
+    /// The most recent raw measurement, no forecasting.
+    LastValue,
+    /// Cheat: the realized mean availability over the upcoming window.
+    Oracle,
+    /// Assume every resource is fully available (static scheduling).
+    StaticNominal,
+}
+
+/// Shared information context for one scheduling decision.
+pub struct InfoPool<'a> {
+    /// The system being scheduled onto.
+    pub topo: &'a Topology,
+    /// The weather service (may be absent for static scheduling).
+    pub weather: Option<&'a WeatherService>,
+    /// The application template.
+    pub hat: &'a Hat,
+    /// The user specifications.
+    pub user: &'a UserSpec,
+    /// Source of dynamic information.
+    pub source: ForecastSource,
+    /// The decision time: forecasts are for the window starting here.
+    pub now: SimTime,
+    /// Window length the oracle averages the true availability over.
+    pub oracle_window: SimTime,
+    /// When set and the source is NWS, forecasts use
+    /// [`WeatherService::forecast_mean_over`] with this horizon — the
+    /// expected duration of the run being scheduled (§3.2: forecasts
+    /// "for the time frame in which the application will be
+    /// scheduled"). `None` uses one-step forecasts.
+    pub nws_horizon: Option<SimTime>,
+}
+
+impl<'a> InfoPool<'a> {
+    /// A pool using NWS forecasts.
+    pub fn with_nws(
+        topo: &'a Topology,
+        weather: &'a WeatherService,
+        hat: &'a Hat,
+        user: &'a UserSpec,
+        now: SimTime,
+    ) -> Self {
+        InfoPool {
+            topo,
+            weather: Some(weather),
+            hat,
+            user,
+            source: ForecastSource::Nws,
+            now,
+            oracle_window: SimTime::from_secs(600),
+            nws_horizon: None,
+        }
+    }
+
+    /// A pool that assumes dedicated resources (static scheduling).
+    pub fn static_nominal(
+        topo: &'a Topology,
+        hat: &'a Hat,
+        user: &'a UserSpec,
+        now: SimTime,
+    ) -> Self {
+        InfoPool {
+            topo,
+            weather: None,
+            hat,
+            user,
+            source: ForecastSource::StaticNominal,
+            now,
+            oracle_window: SimTime::from_secs(600),
+            nws_horizon: None,
+        }
+    }
+
+    /// Predicted CPU availability fraction of `host` for the imminent
+    /// window. Falls back to `1.0` when no information is available.
+    pub fn cpu_availability(&self, host: HostId) -> f64 {
+        self.availability(ResourceKey::Cpu(host), |w| {
+            self.topo
+                .host(host)
+                .map(|h| h.availability().mean(self.now, self.now + w))
+                .unwrap_or(1.0)
+        })
+    }
+
+    /// Predicted available-capacity fraction of a link.
+    pub fn link_availability(&self, link: metasim::LinkId) -> f64 {
+        self.availability(ResourceKey::Link(link), |w| {
+            self.topo
+                .link(link)
+                .map(|l| l.availability().mean(self.now, self.now + w))
+                .unwrap_or(1.0)
+        })
+    }
+
+    fn availability(
+        &self,
+        key: ResourceKey,
+        oracle: impl Fn(SimTime) -> f64,
+    ) -> f64 {
+        match self.source {
+            ForecastSource::StaticNominal => 1.0,
+            ForecastSource::Oracle => oracle(self.oracle_window),
+            ForecastSource::LastValue => self
+                .weather
+                .and_then(|w| w.current(key))
+                .unwrap_or(1.0)
+                .clamp(0.0, 1.0),
+            ForecastSource::Nws => self
+                .weather
+                .and_then(|w| match self.nws_horizon {
+                    Some(h) => w.forecast_mean_over(key, h),
+                    None => w.forecast(key),
+                })
+                .map(|f| f.value)
+                .unwrap_or(1.0),
+        }
+    }
+
+    /// Predicted effective compute rate of `host` in Mflop/s: nominal
+    /// speed scaled by the availability forecast. Memory effects are
+    /// applied by the estimator, which knows the schedule's footprint.
+    pub fn effective_mflops(&self, host: HostId) -> Result<f64, SimError> {
+        let h = self.topo.host(host)?;
+        Ok(h.spec.mflops * self.cpu_availability(host))
+    }
+
+    /// Predicted bottleneck bandwidth (MB/s) along the route between
+    /// two hosts. Same-host routes report `f64::INFINITY`.
+    pub fn route_bandwidth(&self, from: HostId, to: HostId) -> Result<f64, SimError> {
+        let route = self.topo.route(from, to)?;
+        let mut bw = f64::INFINITY;
+        for l in route {
+            let link = self.topo.link(l)?;
+            let avail = self.link_availability(l);
+            bw = bw.min(link.spec.bandwidth_mbps * avail);
+        }
+        Ok(bw)
+    }
+
+    /// Route latency between two hosts (static information).
+    pub fn route_latency(&self, from: HostId, to: HostId) -> Result<SimTime, SimError> {
+        self.topo.route_latency(from, to)
+    }
+
+    /// Predicted seconds to move `mb` between two hosts: latency plus
+    /// payload over predicted bottleneck bandwidth.
+    pub fn transfer_seconds(&self, from: HostId, to: HostId, mb: f64) -> Result<f64, SimError> {
+        if from == to || mb <= 0.0 {
+            return Ok(0.0);
+        }
+        let bw = self.route_bandwidth(from, to)?;
+        if bw <= 0.0 {
+            return Err(SimError::NeverCompletes { work: mb });
+        }
+        Ok(self.route_latency(from, to)?.as_secs_f64() + mb / bw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hat::jacobi2d_hat;
+    use metasim::host::HostSpec;
+    use metasim::load::LoadModel;
+    use metasim::net::{LinkSpec, TopologyBuilder};
+    use nws::WeatherServiceConfig;
+
+    fn s(x: f64) -> SimTime {
+        SimTime::from_secs_f64(x)
+    }
+
+    fn topo() -> Topology {
+        let mut b = TopologyBuilder::new();
+        let seg = b.add_segment(LinkSpec::shared(
+            "seg",
+            10.0,
+            SimTime::from_millis(2),
+            LoadModel::Constant(0.8),
+        ));
+        b.add_host(HostSpec::workstation(
+            "a",
+            100.0,
+            64.0,
+            seg,
+            LoadModel::Constant(0.5),
+        ));
+        b.add_host(HostSpec::dedicated("b", 50.0, 64.0, seg));
+        b.instantiate(s(10_000.0), 0).unwrap()
+    }
+
+    #[test]
+    fn static_nominal_assumes_full_availability() {
+        let topo = topo();
+        let hat = jacobi2d_hat(100, 1);
+        let user = UserSpec::default();
+        let pool = InfoPool::static_nominal(&topo, &hat, &user, SimTime::ZERO);
+        assert_eq!(pool.cpu_availability(HostId(0)), 1.0);
+        assert_eq!(pool.effective_mflops(HostId(0)).unwrap(), 100.0);
+        assert_eq!(pool.route_bandwidth(HostId(0), HostId(1)).unwrap(), 10.0);
+    }
+
+    #[test]
+    fn nws_pool_reflects_measured_load() {
+        let topo = topo();
+        let hat = jacobi2d_hat(100, 1);
+        let user = UserSpec::default();
+        let mut ws = WeatherService::for_topology(&topo, WeatherServiceConfig::default());
+        ws.advance(&topo, s(500.0));
+        let pool = InfoPool::with_nws(&topo, &ws, &hat, &user, s(500.0));
+        assert!((pool.cpu_availability(HostId(0)) - 0.5).abs() < 1e-9);
+        assert!((pool.effective_mflops(HostId(0)).unwrap() - 50.0).abs() < 1e-6);
+        // Link at 0.8 availability: 8 MB/s.
+        assert!((pool.route_bandwidth(HostId(0), HostId(1)).unwrap() - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn oracle_reads_true_future_mean() {
+        let mut b = TopologyBuilder::new();
+        let seg = b.add_segment(LinkSpec::dedicated("seg", 10.0, SimTime::ZERO));
+        b.add_host(HostSpec::workstation(
+            "a",
+            100.0,
+            64.0,
+            seg,
+            LoadModel::Trace(vec![(s(0.0), 1.0), (s(100.0), 0.2)]),
+        ));
+        let topo = b.instantiate(s(10_000.0), 0).unwrap();
+        let hat = jacobi2d_hat(100, 1);
+        let user = UserSpec::default();
+        let mut pool = InfoPool::static_nominal(&topo, &hat, &user, s(100.0));
+        pool.source = ForecastSource::Oracle;
+        pool.oracle_window = s(50.0);
+        // Oracle window [100, 150] lies entirely in the 0.2 regime.
+        assert!((pool.cpu_availability(HostId(0)) - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn last_value_uses_raw_measurement() {
+        let topo = topo();
+        let hat = jacobi2d_hat(100, 1);
+        let user = UserSpec::default();
+        let mut ws = WeatherService::for_topology(&topo, WeatherServiceConfig::default());
+        ws.advance(&topo, s(100.0));
+        let mut pool = InfoPool::with_nws(&topo, &ws, &hat, &user, s(100.0));
+        pool.source = ForecastSource::LastValue;
+        assert!((pool.cpu_availability(HostId(0)) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn horizon_forecast_discounts_transient_states() {
+        // A host that flaps between 0.9 and 0.1 with ~2 min holding
+        // times: the one-step forecast tracks the current state, but a
+        // pool scheduling a very long run should see something close to
+        // the long-run mean instead.
+        let mut b = TopologyBuilder::new();
+        let seg = b.add_segment(LinkSpec::dedicated("seg", 10.0, SimTime::ZERO));
+        b.add_host(HostSpec::workstation(
+            "flapper",
+            100.0,
+            64.0,
+            seg,
+            LoadModel::MarkovOnOff {
+                idle_avail: 0.9,
+                busy_avail: 0.1,
+                mean_idle: SimTime::from_secs(120),
+                mean_busy: SimTime::from_secs(120),
+            },
+        ));
+        let topo = b.instantiate(s(1_000_000.0), 5).unwrap();
+        let hat = jacobi2d_hat(100, 1);
+        let user = UserSpec::default();
+        let mut ws = WeatherService::for_topology(&topo, WeatherServiceConfig::default());
+        ws.advance(&topo, s(50_000.0));
+
+        let mut pool = InfoPool::with_nws(&topo, &ws, &hat, &user, s(50_000.0));
+        let one_step = pool.cpu_availability(HostId(0));
+        pool.nws_horizon = Some(s(100_000.0));
+        let long = pool.cpu_availability(HostId(0));
+        // The one-step forecast sits near one of the two levels; the
+        // long-horizon forecast regresses toward the middle.
+        assert!(
+            (long - 0.5).abs() < (one_step - 0.5).abs() + 1e-12,
+            "long {long} should be nearer the mean than one-step {one_step}"
+        );
+    }
+
+    #[test]
+    fn transfer_seconds_model() {
+        let topo = topo();
+        let hat = jacobi2d_hat(100, 1);
+        let user = UserSpec::default();
+        let pool = InfoPool::static_nominal(&topo, &hat, &user, SimTime::ZERO);
+        // 20 MB at 10 MB/s + 2 ms latency.
+        let t = pool.transfer_seconds(HostId(0), HostId(1), 20.0).unwrap();
+        assert!((t - 2.002).abs() < 1e-6);
+        // Local transfer is free.
+        assert_eq!(pool.transfer_seconds(HostId(0), HostId(0), 20.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn unknown_host_errors() {
+        let topo = topo();
+        let hat = jacobi2d_hat(100, 1);
+        let user = UserSpec::default();
+        let pool = InfoPool::static_nominal(&topo, &hat, &user, SimTime::ZERO);
+        assert!(pool.effective_mflops(HostId(9)).is_err());
+    }
+}

@@ -1,0 +1,63 @@
+#![warn(missing_docs)]
+
+//! # apples — Application-Level Schedulers
+//!
+//! A reproduction of the scheduling framework from **Berman & Wolski,
+//! "Scheduling from the Perspective of the Application" (HPDC 1996)**.
+//!
+//! The paper's thesis is *application-centric scheduling*: in a
+//! metacomputing system there is no global scheduler, so each
+//! application carries its own scheduling agent — an **AppLeS** — that
+//! evaluates everything about the system purely in terms of its impact
+//! on that application's performance. An agent is organized as a
+//! [`coordinator::Coordinator`] driving four subsystems (§4.1):
+//!
+//! * the [`selector::ResourceSelector`] — chooses and filters resource
+//!   combinations, ordered by an application-specific notion of
+//!   *distance* ([`distance`]),
+//! * the [`planner`] — turns a resource set into a concrete
+//!   candidate [`schedule::Schedule`],
+//! * the [`estimator`] — predicts each candidate's
+//!   performance under the user's metric, parameterized by Network
+//!   Weather Service forecasts,
+//! * the [`actuator`] — implements the chosen schedule on the
+//!   underlying resource-management substrate (here, [`metasim`]).
+//!
+//! The subsystems share an [`info::InfoPool`] fed by four sources: the
+//! NWS ([`nws`]), the Heterogeneous Application Template ([`hat`]), the
+//! performance models ([`estimator`]), and the User Specifications
+//! ([`user::UserSpec`]).
+//!
+//! ## The §5 blueprint
+//!
+//! The Jacobi2D AppLeS in the paper follows a four-step *blueprint*,
+//! which [`coordinator::Coordinator::decide`] implements literally:
+//!
+//! 1. select candidate resource sets `S_i`;
+//! 2. for each `S_i`, plan a strip-decomposition schedule and estimate
+//!    its cost with `T_i = A_i * P_i + C_i`;
+//! 3. pick the resource set and schedule with the minimum predicted
+//!    execution time;
+//! 4. actuate the selected schedule.
+
+pub mod actuator;
+pub mod advisor;
+pub mod coordinator;
+pub mod distance;
+pub mod error;
+pub mod estimator;
+pub mod hat;
+pub mod info;
+pub mod planner;
+pub mod rescheduler;
+pub mod schedule;
+pub mod selector;
+pub mod user;
+pub mod whatif;
+
+pub use coordinator::{Coordinator, Decision};
+pub use error::ApplesError;
+pub use hat::{Hat, PipelineTemplate, StencilTemplate, TaskFarmTemplate};
+pub use info::InfoPool;
+pub use schedule::{Schedule, StencilSchedule};
+pub use user::{PerformanceMetric, UserSpec};

@@ -1,0 +1,299 @@
+//! The Resource Selector (§4.1, §4.2).
+//!
+//! "Using information from the HAT and US to guide the selection
+//! process, the Resource Selector routines identify promising sets of
+//! resources for the Coordinator to consider. Access rights, resource
+//! capacities, user directives, and other constraints are used to
+//! 'filter' infeasible resource sets. The Resource Selector uses an
+//! application-specific notion of logical 'distance' between resources
+//! to prioritize them."
+//!
+//! Two candidate-generation strategies are provided. The paper's §5
+//! prototype considered *all subsets* of its eight workstations —
+//! [`CandidateStrategy::Exhaustive`] reproduces that. For larger pools
+//! that is exponential, so [`CandidateStrategy::GreedyPrefixes`] ranks
+//! hosts by forecast speed discounted by logical distance to the
+//! already-selected set and emits each prefix as a candidate.
+
+use crate::distance::{characteristic_message_mb, characteristic_work_mflop, logical_distance};
+use crate::error::ApplesError;
+use crate::info::InfoPool;
+use metasim::HostId;
+
+/// How candidate resource sets are generated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CandidateStrategy {
+    /// Every non-empty subset of the feasible hosts (the §5 approach).
+    /// Refuses pools with more than 16 feasible hosts.
+    Exhaustive,
+    /// Greedy distance-aware ranking; candidate `k` is the first `k`
+    /// hosts of the ranking.
+    GreedyPrefixes,
+    /// Exhaustive when the feasible pool is small, greedy otherwise.
+    Auto,
+}
+
+/// Generates filtered, prioritized candidate resource sets.
+#[derive(Debug, Clone, Copy)]
+pub struct ResourceSelector {
+    /// Candidate-generation strategy.
+    pub strategy: CandidateStrategy,
+}
+
+impl Default for ResourceSelector {
+    fn default() -> Self {
+        ResourceSelector {
+            strategy: CandidateStrategy::Auto,
+        }
+    }
+}
+
+/// Largest feasible pool the exhaustive strategy will enumerate.
+const EXHAUSTIVE_LIMIT: usize = 16;
+
+impl ResourceSelector {
+    /// Hosts that pass the user's access filter and have a positive
+    /// predicted availability.
+    pub fn feasible_hosts(pool: &InfoPool<'_>) -> Vec<HostId> {
+        pool.topo
+            .hosts()
+            .iter()
+            .map(|h| h.id)
+            .filter(|&h| pool.user.permits(h))
+            .filter(|&h| pool.effective_mflops(h).map(|v| v > 0.0).unwrap_or(false))
+            .collect()
+    }
+
+    /// Candidate resource sets, filtered and prioritized.
+    pub fn candidates(&self, pool: &InfoPool<'_>) -> Result<Vec<Vec<HostId>>, ApplesError> {
+        let feasible = Self::feasible_hosts(pool);
+        if feasible.is_empty() {
+            return Err(ApplesError::NoFeasibleResources);
+        }
+        let max = pool.user.max_hosts.min(feasible.len());
+        let strategy = match self.strategy {
+            CandidateStrategy::Auto => {
+                if feasible.len() <= EXHAUSTIVE_LIMIT {
+                    CandidateStrategy::Exhaustive
+                } else {
+                    CandidateStrategy::GreedyPrefixes
+                }
+            }
+            s => s,
+        };
+        match strategy {
+            CandidateStrategy::Exhaustive => {
+                if feasible.len() > EXHAUSTIVE_LIMIT {
+                    return Err(ApplesError::Invalid(format!(
+                        "exhaustive selection over {} hosts would enumerate 2^{} sets",
+                        feasible.len(),
+                        feasible.len()
+                    )));
+                }
+                let n = feasible.len();
+                let mut out = Vec::with_capacity((1usize << n) - 1);
+                for mask in 1u32..(1u32 << n) {
+                    if (mask.count_ones() as usize) > max {
+                        continue;
+                    }
+                    let set: Vec<HostId> = (0..n)
+                        .filter(|&i| mask & (1 << i) != 0)
+                        .map(|i| feasible[i])
+                        .collect();
+                    out.push(set);
+                }
+                Ok(out)
+            }
+            CandidateStrategy::GreedyPrefixes => {
+                let ranked = Self::greedy_rank(pool, &feasible)?;
+                Ok((1..=max).map(|k| ranked[..k].to_vec()).collect())
+            }
+            CandidateStrategy::Auto => unreachable!("resolved above"),
+        }
+    }
+
+    /// Rank hosts greedily: start with the fastest, then repeatedly add
+    /// the host whose *projected contribution time* is smallest — the
+    /// time it would take to compute an even share of the application's
+    /// characteristic work plus the cost of exchanging the
+    /// application's characteristic messages with the hosts already
+    /// chosen. Both terms are in seconds, so "fast but far" and "slow
+    /// but near" are compared on the application's own scale (§3.3).
+    fn greedy_rank(
+        pool: &InfoPool<'_>,
+        feasible: &[HostId],
+    ) -> Result<Vec<HostId>, ApplesError> {
+        let msg = characteristic_message_mb(pool);
+        let work = characteristic_work_mflop(pool);
+        let mut remaining: Vec<HostId> = feasible.to_vec();
+        let mut chosen: Vec<HostId> = Vec::with_capacity(feasible.len());
+
+        // Seed with the fastest host.
+        remaining.sort_by(|&a, &b| {
+            let sa = pool.effective_mflops(a).unwrap_or(0.0);
+            let sb = pool.effective_mflops(b).unwrap_or(0.0);
+            sb.partial_cmp(&sa).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        chosen.push(remaining.remove(0));
+
+        while !remaining.is_empty() {
+            let share = work / (chosen.len() + 1) as f64;
+            let mut best_idx = 0;
+            let mut best_time = f64::INFINITY;
+            for (i, &h) in remaining.iter().enumerate() {
+                let speed = pool.effective_mflops(h)?.max(1e-12);
+                let mut dist = 0.0;
+                for &c in &chosen {
+                    dist += logical_distance(pool, h, c, msg)?;
+                }
+                dist /= chosen.len() as f64;
+                // Even compute share plus send+receive with up to two
+                // neighbours per round.
+                let projected = share / speed + 4.0 * dist;
+                if projected < best_time {
+                    best_time = projected;
+                    best_idx = i;
+                }
+            }
+            chosen.push(remaining.remove(best_idx));
+        }
+        Ok(chosen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hat::jacobi2d_hat;
+    use crate::info::InfoPool;
+    use crate::user::UserSpec;
+    use metasim::host::HostSpec;
+    use metasim::net::{LinkSpec, TopologyBuilder};
+    use metasim::{SimTime, Topology};
+
+    fn s(x: f64) -> SimTime {
+        SimTime::from_secs_f64(x)
+    }
+
+    fn topo4() -> Topology {
+        let mut b = TopologyBuilder::new();
+        let near = b.add_segment(LinkSpec::dedicated("near", 100.0, SimTime::from_micros(100)));
+        let far = b.add_segment(LinkSpec::dedicated("far", 100.0, SimTime::from_micros(100)));
+        let gw = b.add_link(LinkSpec::dedicated("gw", 0.1, SimTime::from_millis(50)));
+        b.add_route(near, far, vec![gw]);
+        b.add_host(HostSpec::dedicated("fast", 40.0, 256.0, near));
+        b.add_host(HostSpec::dedicated("mid", 20.0, 256.0, near));
+        b.add_host(HostSpec::dedicated("slow", 10.0, 256.0, near));
+        b.add_host(HostSpec::dedicated("fast-far", 40.0, 256.0, far));
+        b.instantiate(s(1000.0), 0).unwrap()
+    }
+
+    #[test]
+    fn exhaustive_enumerates_all_subsets() {
+        let topo = topo4();
+        let hat = jacobi2d_hat(100, 1);
+        let user = UserSpec::default();
+        let pool = InfoPool::static_nominal(&topo, &hat, &user, SimTime::ZERO);
+        let sel = ResourceSelector {
+            strategy: CandidateStrategy::Exhaustive,
+        };
+        let c = sel.candidates(&pool).unwrap();
+        assert_eq!(c.len(), 15); // 2^4 - 1
+    }
+
+    #[test]
+    fn max_hosts_caps_subset_size() {
+        let topo = topo4();
+        let hat = jacobi2d_hat(100, 1);
+        let user = UserSpec {
+            max_hosts: 2,
+            ..Default::default()
+        };
+        let pool = InfoPool::static_nominal(&topo, &hat, &user, SimTime::ZERO);
+        let sel = ResourceSelector {
+            strategy: CandidateStrategy::Exhaustive,
+        };
+        let c = sel.candidates(&pool).unwrap();
+        // 4 singletons + 6 pairs.
+        assert_eq!(c.len(), 10);
+        assert!(c.iter().all(|set| set.len() <= 2));
+    }
+
+    #[test]
+    fn excluded_hosts_never_appear() {
+        let topo = topo4();
+        let hat = jacobi2d_hat(100, 1);
+        let user = UserSpec {
+            excluded_hosts: vec![HostId(0)],
+            ..Default::default()
+        };
+        let pool = InfoPool::static_nominal(&topo, &hat, &user, SimTime::ZERO);
+        let sel = ResourceSelector::default();
+        let c = sel.candidates(&pool).unwrap();
+        assert!(c.iter().all(|set| !set.contains(&HostId(0))));
+    }
+
+    #[test]
+    fn empty_feasible_set_is_an_error() {
+        let topo = topo4();
+        let hat = jacobi2d_hat(100, 1);
+        let user = UserSpec {
+            allowed_hosts: Some(vec![]),
+            ..Default::default()
+        };
+        let pool = InfoPool::static_nominal(&topo, &hat, &user, SimTime::ZERO);
+        let sel = ResourceSelector::default();
+        assert!(matches!(
+            sel.candidates(&pool),
+            Err(ApplesError::NoFeasibleResources)
+        ));
+    }
+
+    #[test]
+    fn greedy_prefixes_start_with_fastest() {
+        let topo = topo4();
+        let hat = jacobi2d_hat(100, 1);
+        let user = UserSpec::default();
+        let pool = InfoPool::static_nominal(&topo, &hat, &user, SimTime::ZERO);
+        let sel = ResourceSelector {
+            strategy: CandidateStrategy::GreedyPrefixes,
+        };
+        let c = sel.candidates(&pool).unwrap();
+        assert_eq!(c.len(), 4);
+        assert_eq!(c[0], vec![HostId(0)]);
+        // Every prefix extends the previous one.
+        for w in c.windows(2) {
+            assert_eq!(&w[1][..w[0].len()], &w[0][..]);
+        }
+    }
+
+    #[test]
+    fn greedy_prefers_near_host_over_equally_fast_far_host() {
+        let topo = topo4();
+        let hat = jacobi2d_hat(2000, 1); // borders: 16 KB messages
+        let user = UserSpec::default();
+        let pool = InfoPool::static_nominal(&topo, &hat, &user, SimTime::ZERO);
+        let sel = ResourceSelector {
+            strategy: CandidateStrategy::GreedyPrefixes,
+        };
+        let c = sel.candidates(&pool).unwrap();
+        let ranking = &c[3];
+        // `fast-far` (host 3) is as fast as `fast` but behind a 0.1 MB/s
+        // gateway: it must rank below the near `mid` host.
+        let pos = |h: usize| ranking.iter().position(|&x| x == HostId(h)).unwrap();
+        assert!(
+            pos(1) < pos(3),
+            "near mid host should outrank far fast host: {ranking:?}"
+        );
+    }
+
+    #[test]
+    fn auto_uses_exhaustive_for_small_pools() {
+        let topo = topo4();
+        let hat = jacobi2d_hat(100, 1);
+        let user = UserSpec::default();
+        let pool = InfoPool::static_nominal(&topo, &hat, &user, SimTime::ZERO);
+        let sel = ResourceSelector::default();
+        assert_eq!(sel.candidates(&pool).unwrap().len(), 15);
+    }
+}

@@ -1,0 +1,142 @@
+//! User Specifications (US).
+//!
+//! §3.5: "user preferences act as a filter over the possible resources
+//! and implementations available to the user", and §3.1: performance
+//! criteria vary with the user — one user minimizes execution time,
+//! another optimizes cost or speedup. The US carries both: the metric
+//! the Performance Estimator optimizes and the constraints the Resource
+//! Selector filters with.
+
+use metasim::{HostId, SimTime};
+
+/// The performance objective a schedule is optimized for (§3.1).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PerformanceMetric {
+    /// Minimize predicted wall-clock execution time.
+    ExecutionTime,
+    /// Maximize predicted speedup over the best single-host schedule
+    /// (equivalently: minimize the ratio of predicted time to the best
+    /// single-host time).
+    Speedup,
+    /// Minimize a monetary-style cost: predicted execution time plus a
+    /// per-host-second usage charge.
+    Cost {
+        /// Charge per host per second of occupancy, in the same
+        /// abstract cost units as a second of elapsed time.
+        per_host_second: f64,
+    },
+}
+
+/// Constraints and preferences supplied by the user.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserSpec {
+    /// Hosts the user may log into. `None` means "all hosts".
+    pub allowed_hosts: Option<Vec<HostId>>,
+    /// Hosts the user refuses to use (e.g. no CORBA ORB, §3.5).
+    pub excluded_hosts: Vec<HostId>,
+    /// Hosts the user *prefers* (§3.5: the 3D-REACT team wanted the
+    /// CASA platform specifically). Preference is soft: when two
+    /// candidate schedules score within `preference_margin` of each
+    /// other, the one using more preferred hosts wins.
+    pub preferred_hosts: Vec<HostId>,
+    /// Relative objective slack within which preference may override
+    /// raw score (e.g. `0.05` = preferred schedules win ties up to a
+    /// 5% objective penalty).
+    pub preference_margin: f64,
+    /// Upper bound on the number of hosts a schedule may use.
+    pub max_hosts: usize,
+    /// The metric to optimize.
+    pub metric: PerformanceMetric,
+    /// Only consider strip decompositions (the §5 Jacobi2D user set
+    /// exactly this preference because predictions for non-strip
+    /// decompositions were too complex).
+    pub strip_only: bool,
+    /// Refuse schedules whose predicted per-host resident set exceeds
+    /// physical memory (the scheduler will spread instead of spill).
+    /// When no spill-free schedule exists, the planner relaxes this.
+    pub avoid_memory_spill: bool,
+    /// Time the application should be scheduled to start.
+    pub earliest_start: SimTime,
+}
+
+impl Default for UserSpec {
+    fn default() -> Self {
+        UserSpec {
+            allowed_hosts: None,
+            excluded_hosts: Vec::new(),
+            preferred_hosts: Vec::new(),
+            preference_margin: 0.05,
+            max_hosts: usize::MAX,
+            metric: PerformanceMetric::ExecutionTime,
+            strip_only: true,
+            avoid_memory_spill: true,
+            earliest_start: SimTime::ZERO,
+        }
+    }
+}
+
+impl UserSpec {
+    /// Whether the user can and will use `host`.
+    pub fn permits(&self, host: HostId) -> bool {
+        if self.excluded_hosts.contains(&host) {
+            return false;
+        }
+        match &self.allowed_hosts {
+            Some(allowed) => allowed.contains(&host),
+            None => true,
+        }
+    }
+
+    /// How many of `hosts` the user prefers.
+    pub fn preference_count(&self, hosts: &[HostId]) -> usize {
+        hosts
+            .iter()
+            .filter(|h| self.preferred_hosts.contains(h))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_permits_everything() {
+        let us = UserSpec::default();
+        assert!(us.permits(HostId(0)));
+        assert!(us.permits(HostId(99)));
+        assert_eq!(us.metric, PerformanceMetric::ExecutionTime);
+        assert!(us.strip_only);
+    }
+
+    #[test]
+    fn allowlist_restricts() {
+        let us = UserSpec {
+            allowed_hosts: Some(vec![HostId(1), HostId(2)]),
+            ..Default::default()
+        };
+        assert!(!us.permits(HostId(0)));
+        assert!(us.permits(HostId(1)));
+    }
+
+    #[test]
+    fn preference_count_counts_only_listed_hosts() {
+        let us = UserSpec {
+            preferred_hosts: vec![HostId(2), HostId(5)],
+            ..Default::default()
+        };
+        assert_eq!(us.preference_count(&[HostId(2), HostId(3)]), 1);
+        assert_eq!(us.preference_count(&[HostId(2), HostId(5)]), 2);
+        assert_eq!(us.preference_count(&[]), 0);
+    }
+
+    #[test]
+    fn exclusions_beat_allowlist() {
+        let us = UserSpec {
+            allowed_hosts: Some(vec![HostId(1)]),
+            excluded_hosts: vec![HostId(1)],
+            ..Default::default()
+        };
+        assert!(!us.permits(HostId(1)));
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type shared across the simulator.
+
+use std::fmt;
+
+/// Errors surfaced by simulator operations.
+///
+/// The simulator is deliberately strict: malformed configurations
+/// (unknown hosts, unroutable pairs, non-positive capacities) are
+/// reported as errors rather than silently producing nonsense timings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// Referenced a host id that does not exist in the topology.
+    UnknownHost(usize),
+    /// Referenced a link id that does not exist in the topology.
+    UnknownLink(usize),
+    /// Referenced a segment id that does not exist in the topology.
+    UnknownSegment(usize),
+    /// No route exists between the two hosts.
+    NoRoute {
+        /// Source host id.
+        from: usize,
+        /// Destination host id.
+        to: usize,
+    },
+    /// A quantity that must be positive was not (speed, bandwidth, ...).
+    NonPositive {
+        /// Name of the offending quantity.
+        what: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The requested work never completes under the given availability
+    /// process (e.g. availability is pinned at zero forever).
+    NeverCompletes {
+        /// Work still outstanding when progress stopped forever.
+        work: f64,
+    },
+    /// A schedule referenced no hosts at all.
+    EmptySchedule,
+    /// A configuration constraint was violated.
+    Invalid(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownHost(id) => write!(f, "unknown host id {id}"),
+            SimError::UnknownLink(id) => write!(f, "unknown link id {id}"),
+            SimError::UnknownSegment(id) => write!(f, "unknown segment id {id}"),
+            SimError::NoRoute { from, to } => {
+                write!(f, "no route between host {from} and host {to}")
+            }
+            SimError::NonPositive { what, value } => {
+                write!(f, "{what} must be positive, got {value}")
+            }
+            SimError::NeverCompletes { work } => {
+                write!(f, "work of {work} units never completes (availability stuck at 0)")
+            }
+            SimError::EmptySchedule => write!(f, "schedule assigns work to no hosts"),
+            SimError::Invalid(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert_eq!(SimError::UnknownHost(3).to_string(), "unknown host id 3");
+        assert!(SimError::NoRoute { from: 1, to: 2 }
+            .to_string()
+            .contains("host 1"));
+        assert!(SimError::NonPositive {
+            what: "bandwidth",
+            value: -1.0
+        }
+        .to_string()
+        .contains("bandwidth"));
+        assert!(SimError::NeverCompletes { work: 5.0 }
+            .to_string()
+            .contains("never completes"));
+    }
+}

@@ -1,0 +1,462 @@
+//! Bulk-synchronous SPMD execution.
+//!
+//! Models the execution structure of Jacobi2D and similar iterative
+//! stencil codes: on each iteration every worker computes over its
+//! region, then exchanges borders with its neighbours, and no worker
+//! begins iteration `k+1` until all of iteration `k`'s exchanges have
+//! been delivered. This barriered (BSP) structure matches the cost
+//! model the paper's AppLeS prototype plans against (§5):
+//! `T_i = A_i * P_i + C_i`, with the iteration taking `max_i T_i`.
+//!
+//! Border transfers within one iteration are simulated with full
+//! bandwidth contention — concurrent exchanges crossing the same shared
+//! Ethernet segment slow each other down, which is exactly the effect
+//! that makes naive partitions underperform on the paper's testbed.
+
+use crate::error::SimError;
+use crate::host::HostId;
+use crate::net::{simulate_transfers, Topology, TransferReq};
+use crate::time::SimTime;
+
+/// One worker's placement and per-iteration behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpmdPlacement {
+    /// Host executing this worker.
+    pub host: HostId,
+    /// Compute per iteration, in Mflop.
+    pub work_mflop: f64,
+    /// Resident memory footprint, in MB (drives the paging penalty).
+    pub resident_mb: f64,
+    /// Border messages sent each iteration: `(destination worker index,
+    /// payload MB)`.
+    pub sends: Vec<(usize, f64)>,
+}
+
+/// A complete SPMD job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpmdJob {
+    /// Worker placements; worker indices are positions in this vector.
+    pub placements: Vec<SpmdPlacement>,
+    /// Number of iterations to run.
+    pub iterations: usize,
+    /// Job submission time.
+    pub start: SimTime,
+}
+
+/// Results of simulating an SPMD job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpmdOutcome {
+    /// Time the final iteration's last exchange was delivered.
+    pub finish: SimTime,
+    /// Barrier time after each iteration.
+    pub iteration_ends: Vec<SimTime>,
+    /// Total per-worker compute time (seconds of wall-clock spent in
+    /// the compute phase, including slowdown from load and paging).
+    pub compute_seconds: Vec<f64>,
+    /// Total per-worker time between finishing compute and the
+    /// iteration barrier (communication + waiting for stragglers).
+    pub sync_seconds: Vec<f64>,
+}
+
+impl SpmdOutcome {
+    /// Elapsed wall-clock time from job start to finish.
+    pub fn makespan(&self, job_start: SimTime) -> SimTime {
+        self.finish.saturating_sub(job_start)
+    }
+}
+
+/// Per-iteration detail of an SPMD run, for straggler analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpmdTrace {
+    /// `compute_done[iteration][worker]`: when each worker finished its
+    /// compute phase.
+    pub compute_done: Vec<Vec<SimTime>>,
+}
+
+impl SpmdTrace {
+    /// The worker that finished its compute phase last in `iteration`
+    /// (the iteration's straggler), if the iteration exists.
+    pub fn straggler(&self, iteration: usize) -> Option<usize> {
+        self.compute_done.get(iteration).and_then(|row| {
+            row.iter()
+                .enumerate()
+                .max_by_key(|&(_, &t)| t)
+                .map(|(w, _)| w)
+        })
+    }
+
+    /// How many iterations each worker was the straggler for.
+    pub fn straggler_counts(&self) -> Vec<usize> {
+        let workers = self.compute_done.first().map(|r| r.len()).unwrap_or(0);
+        let mut counts = vec![0usize; workers];
+        for it in 0..self.compute_done.len() {
+            if let Some(w) = self.straggler(it) {
+                counts[w] += 1;
+            }
+        }
+        counts
+    }
+}
+
+/// Simulate a bulk-synchronous SPMD job on the topology.
+///
+/// Execution begins once every worker's host is ready (the maximum
+/// startup wait across the placements — a co-allocation of space-shared
+/// resources). Sends that name an out-of-range worker index are an
+/// error, as is an empty placement list.
+pub fn simulate_spmd(topo: &Topology, job: &SpmdJob) -> Result<SpmdOutcome, SimError> {
+    simulate_spmd_traced(topo, job).map(|(o, _)| o)
+}
+
+/// [`simulate_spmd`] plus the per-iteration compute-completion trace.
+pub fn simulate_spmd_traced(
+    topo: &Topology,
+    job: &SpmdJob,
+) -> Result<(SpmdOutcome, SpmdTrace), SimError> {
+    if job.placements.is_empty() {
+        return Err(SimError::EmptySchedule);
+    }
+    let n = job.placements.len();
+    for p in &job.placements {
+        topo.host(p.host)?;
+        for &(dst, mb) in &p.sends {
+            if dst >= n {
+                return Err(SimError::Invalid(format!(
+                    "send targets worker {dst} but there are only {n} workers"
+                )));
+            }
+            if mb < 0.0 {
+                return Err(SimError::NonPositive {
+                    what: "send payload",
+                    value: mb,
+                });
+            }
+        }
+        if p.work_mflop < 0.0 {
+            return Err(SimError::NonPositive {
+                what: "work_mflop",
+                value: p.work_mflop,
+            });
+        }
+    }
+
+    // Co-allocation: wait for the slowest host acquisition.
+    let mut barrier = job.start;
+    for p in &job.placements {
+        let ready = job.start + topo.host(p.host)?.startup_wait();
+        barrier = barrier.max(ready);
+    }
+
+    let mut iteration_ends = Vec::with_capacity(job.iterations);
+    let mut compute_seconds = vec![0.0; n];
+    let mut sync_seconds = vec![0.0; n];
+    let mut trace = SpmdTrace {
+        compute_done: Vec::with_capacity(job.iterations),
+    };
+
+    for _ in 0..job.iterations {
+        // Compute phase.
+        let mut compute_done = Vec::with_capacity(n);
+        for (w, p) in job.placements.iter().enumerate() {
+            let host = topo.host(p.host)?;
+            let done = host.compute_finish(barrier, p.work_mflop, p.resident_mb)?;
+            compute_seconds[w] += (done - barrier).as_secs_f64();
+            compute_done.push(done);
+        }
+
+        // Exchange phase: all sends enter the network together.
+        let mut reqs = Vec::new();
+        for (w, p) in job.placements.iter().enumerate() {
+            for &(dst, mb) in &p.sends {
+                reqs.push(TransferReq {
+                    from: p.host,
+                    to: job.placements[dst].host,
+                    mb,
+                    start: compute_done[w],
+                    tag: w,
+                });
+            }
+        }
+        let mut next_barrier = compute_done
+            .iter()
+            .copied()
+            .fold(barrier, SimTime::max);
+        if !reqs.is_empty() {
+            for r in simulate_transfers(topo, &reqs)? {
+                next_barrier = next_barrier.max(r.delivered);
+            }
+        }
+
+        for (w, &done) in compute_done.iter().enumerate() {
+            sync_seconds[w] += (next_barrier - done).as_secs_f64();
+        }
+        trace.compute_done.push(compute_done);
+        barrier = next_barrier;
+        iteration_ends.push(barrier);
+    }
+
+    Ok((
+        SpmdOutcome {
+            finish: barrier,
+            iteration_ends,
+            compute_seconds,
+            sync_seconds,
+        },
+        trace,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::HostSpec;
+    use crate::load::LoadModel;
+    use crate::net::{LinkSpec, TopologyBuilder};
+
+    fn s(x: f64) -> SimTime {
+        SimTime::from_secs_f64(x)
+    }
+
+    /// Two dedicated 10 Mflop/s hosts on a dedicated 10 MB/s segment.
+    fn topo2() -> Topology {
+        let mut b = TopologyBuilder::new();
+        let seg = b.add_segment(LinkSpec::dedicated("seg", 10.0, SimTime::ZERO));
+        b.add_host(HostSpec::dedicated("a", 10.0, 1024.0, seg));
+        b.add_host(HostSpec::dedicated("b", 10.0, 1024.0, seg));
+        b.instantiate(s(100_000.0), 0).unwrap()
+    }
+
+    fn placement(host: usize, work: f64, sends: Vec<(usize, f64)>) -> SpmdPlacement {
+        SpmdPlacement {
+            host: HostId(host),
+            work_mflop: work,
+            resident_mb: 1.0,
+            sends,
+        }
+    }
+
+    #[test]
+    fn single_worker_no_comm() {
+        let topo = topo2();
+        let job = SpmdJob {
+            placements: vec![placement(0, 100.0, vec![])],
+            iterations: 3,
+            start: SimTime::ZERO,
+        };
+        let out = simulate_spmd(&topo, &job).unwrap();
+        // 100 Mflop at 10 Mflop/s = 10 s per iteration.
+        assert_eq!(out.finish, s(30.0));
+        assert_eq!(out.iteration_ends, vec![s(10.0), s(20.0), s(30.0)]);
+        assert!((out.compute_seconds[0] - 30.0).abs() < 1e-6);
+        assert!(out.sync_seconds[0].abs() < 1e-6);
+    }
+
+    #[test]
+    fn barrier_waits_for_slowest_worker() {
+        let topo = topo2();
+        let job = SpmdJob {
+            placements: vec![
+                placement(0, 100.0, vec![]), // 10 s
+                placement(1, 50.0, vec![]),  // 5 s
+            ],
+            iterations: 1,
+            start: SimTime::ZERO,
+        };
+        let out = simulate_spmd(&topo, &job).unwrap();
+        assert_eq!(out.finish, s(10.0));
+        // The fast worker idles 5 s at the barrier.
+        assert!((out.sync_seconds[1] - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exchange_extends_the_iteration() {
+        let topo = topo2();
+        let job = SpmdJob {
+            placements: vec![
+                placement(0, 100.0, vec![(1, 10.0)]), // 10 s compute + 1 s send
+                placement(1, 100.0, vec![(0, 10.0)]),
+            ],
+            iterations: 2,
+            start: SimTime::ZERO,
+        };
+        let out = simulate_spmd(&topo, &job).unwrap();
+        // Both sends start at t=10 and share the 10 MB/s segment: each
+        // runs at 5 MB/s, finishing 10 MB at t=12. Iteration = 12 s.
+        assert_eq!(out.iteration_ends[0], s(12.0));
+        assert_eq!(out.finish, s(24.0));
+    }
+
+    #[test]
+    fn contention_on_shared_segment_slows_exchange() {
+        // Same job but with 4 workers all exchanging on one segment.
+        let mut b = TopologyBuilder::new();
+        let seg = b.add_segment(LinkSpec::dedicated("seg", 10.0, SimTime::ZERO));
+        for i in 0..4 {
+            b.add_host(HostSpec::dedicated(&format!("h{i}"), 10.0, 1024.0, seg));
+        }
+        let topo = b.instantiate(s(100_000.0), 0).unwrap();
+        let ring: Vec<SpmdPlacement> = (0..4)
+            .map(|w| placement(w, 100.0, vec![((w + 1) % 4, 10.0)]))
+            .collect();
+        let out = simulate_spmd(
+            &topo,
+            &SpmdJob {
+                placements: ring,
+                iterations: 1,
+                start: SimTime::ZERO,
+            },
+        )
+        .unwrap();
+        // 4 concurrent 10 MB flows share 10 MB/s: 2.5 MB/s each ⇒ 4 s.
+        assert_eq!(out.finish, s(14.0));
+    }
+
+    #[test]
+    fn loaded_host_stretches_compute() {
+        let mut b = TopologyBuilder::new();
+        let seg = b.add_segment(LinkSpec::dedicated("seg", 10.0, SimTime::ZERO));
+        b.add_host(HostSpec::workstation(
+            "busy",
+            10.0,
+            1024.0,
+            seg,
+            LoadModel::Constant(0.25),
+        ));
+        let topo = b.instantiate(s(100_000.0), 0).unwrap();
+        let out = simulate_spmd(
+            &topo,
+            &SpmdJob {
+                placements: vec![placement(0, 100.0, vec![])],
+                iterations: 1,
+                start: SimTime::ZERO,
+            },
+        )
+        .unwrap();
+        // Only 25% of 10 Mflop/s available ⇒ 40 s.
+        assert_eq!(out.finish, s(40.0));
+    }
+
+    #[test]
+    fn space_shared_startup_wait_delays_everyone() {
+        let mut b = TopologyBuilder::new();
+        let seg = b.add_segment(LinkSpec::dedicated("seg", 10.0, SimTime::ZERO));
+        b.add_host(HostSpec::dedicated("fast", 10.0, 1024.0, seg));
+        let mut queued = HostSpec::dedicated("queued", 10.0, 1024.0, seg);
+        queued.sharing = crate::host::SharingPolicy::SpaceShared { wait: s(100.0) };
+        b.add_host(queued);
+        let topo = b.instantiate(s(100_000.0), 0).unwrap();
+        let out = simulate_spmd(
+            &topo,
+            &SpmdJob {
+                placements: vec![placement(0, 100.0, vec![]), placement(1, 100.0, vec![])],
+                iterations: 1,
+                start: SimTime::ZERO,
+            },
+        )
+        .unwrap();
+        // Co-allocation waits out the 100 s queue, then 10 s compute.
+        assert_eq!(out.finish, s(110.0));
+    }
+
+    #[test]
+    fn empty_job_is_an_error() {
+        let topo = topo2();
+        let job = SpmdJob {
+            placements: vec![],
+            iterations: 1,
+            start: SimTime::ZERO,
+        };
+        assert!(matches!(
+            simulate_spmd(&topo, &job),
+            Err(SimError::EmptySchedule)
+        ));
+    }
+
+    #[test]
+    fn out_of_range_send_is_an_error() {
+        let topo = topo2();
+        let job = SpmdJob {
+            placements: vec![placement(0, 1.0, vec![(5, 1.0)])],
+            iterations: 1,
+            start: SimTime::ZERO,
+        };
+        assert!(matches!(
+            simulate_spmd(&topo, &job),
+            Err(SimError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn zero_iterations_finishes_immediately() {
+        let topo = topo2();
+        let job = SpmdJob {
+            placements: vec![placement(0, 100.0, vec![])],
+            iterations: 0,
+            start: s(7.0),
+        };
+        let out = simulate_spmd(&topo, &job).unwrap();
+        assert_eq!(out.finish, s(7.0));
+        assert!(out.iteration_ends.is_empty());
+    }
+
+    #[test]
+    fn trace_identifies_the_straggler() {
+        let topo = topo2();
+        let job = SpmdJob {
+            placements: vec![
+                placement(0, 200.0, vec![]), // 20 s/iter — the straggler
+                placement(1, 50.0, vec![]),  // 5 s/iter
+            ],
+            iterations: 4,
+            start: SimTime::ZERO,
+        };
+        let (out, trace) = simulate_spmd_traced(&topo, &job).unwrap();
+        assert_eq!(trace.compute_done.len(), 4);
+        assert_eq!(trace.compute_done[0].len(), 2);
+        for it in 0..4 {
+            assert_eq!(trace.straggler(it), Some(0));
+        }
+        assert_eq!(trace.straggler_counts(), vec![4, 0]);
+        assert!(trace.straggler(99).is_none());
+        // The traced outcome matches the untraced entry point.
+        let plain = simulate_spmd(&topo, &job).unwrap();
+        assert_eq!(out, plain);
+    }
+
+    #[test]
+    fn memory_spill_dominates_runtime() {
+        let mut b = TopologyBuilder::new();
+        let seg = b.add_segment(LinkSpec::dedicated("seg", 10.0, SimTime::ZERO));
+        b.add_host(HostSpec::dedicated("small", 10.0, 10.0, seg));
+        let topo = b.instantiate(s(1e7), 0).unwrap();
+        let fits = simulate_spmd(
+            &topo,
+            &SpmdJob {
+                placements: vec![SpmdPlacement {
+                    host: HostId(0),
+                    work_mflop: 100.0,
+                    resident_mb: 5.0,
+                    sends: vec![],
+                }],
+                iterations: 1,
+                start: SimTime::ZERO,
+            },
+        )
+        .unwrap();
+        let spills = simulate_spmd(
+            &topo,
+            &SpmdJob {
+                placements: vec![SpmdPlacement {
+                    host: HostId(0),
+                    work_mflop: 100.0,
+                    resident_mb: 20.0,
+                    sends: vec![],
+                }],
+                iterations: 1,
+                start: SimTime::ZERO,
+            },
+        )
+        .unwrap();
+        assert!(spills.finish.as_secs_f64() > 10.0 * fits.finish.as_secs_f64());
+    }
+}

@@ -1,0 +1,910 @@
+//! Network topology and data-transfer simulation.
+//!
+//! The paper's testbed (Figure 2) mixes shared 10 Mbit/s Ethernet
+//! segments, a non-dedicated FDDI ring, and a PCL↔SDSC gateway. What
+//! matters to the application is (a) which hosts share a medium, so that
+//! concurrent border exchanges contend with each other, and (b) how much
+//! of each medium's capacity background traffic has already consumed.
+//!
+//! We model every shared medium as a [`Link`] with a capacity, a latency
+//! and a background-load availability process. Hosts attach to
+//! *segments* (links designated as attachment points); a route between
+//! two hosts is the sequence of links a message crosses. Transfers are
+//! simulated with a fluid-flow model: at any instant, each link divides
+//! its currently-available capacity equally among the flows crossing it,
+//! and a flow progresses at the minimum share along its route. Rates are
+//! recomputed whenever a flow starts, a flow finishes, or a link's
+//! availability changes, so the simulation is exact for piecewise-
+//! constant availability.
+
+use crate::error::SimError;
+use crate::host::{Host, HostId, HostSpec};
+use crate::load::{LoadModel, StepSeries};
+use crate::time::SimTime;
+use std::collections::BTreeMap;
+
+/// Identifier of a link (shared medium) in a topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub usize);
+
+/// Identifier of a segment (a link hosts may attach to).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SegmentId(pub usize);
+
+/// Static description of a link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkSpec {
+    /// Human-readable name, e.g. `"pcl-ethernet-a"`.
+    pub name: String,
+    /// Capacity in MB/s (megabytes per second).
+    pub bandwidth_mbps: f64,
+    /// One-way latency.
+    pub latency: SimTime,
+    /// Background traffic model; availability scales usable capacity.
+    pub load: LoadModel,
+}
+
+impl LinkSpec {
+    /// A dedicated link with full capacity.
+    pub fn dedicated(name: &str, bandwidth_mbps: f64, latency: SimTime) -> Self {
+        LinkSpec {
+            name: name.to_string(),
+            bandwidth_mbps,
+            latency,
+            load: LoadModel::Constant(1.0),
+        }
+    }
+
+    /// A shared link with the given background-load model.
+    pub fn shared(name: &str, bandwidth_mbps: f64, latency: SimTime, load: LoadModel) -> Self {
+        LinkSpec {
+            name: name.to_string(),
+            bandwidth_mbps,
+            latency,
+            load,
+        }
+    }
+
+    /// Validate the spec.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.bandwidth_mbps <= 0.0 {
+            return Err(SimError::NonPositive {
+                what: "link bandwidth",
+                value: self.bandwidth_mbps,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A link instantiated in a simulation.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// Identifier within the topology.
+    pub id: LinkId,
+    /// Static description.
+    pub spec: LinkSpec,
+    avail: StepSeries,
+}
+
+impl Link {
+    /// The realized availability process for background traffic.
+    pub fn availability(&self) -> &StepSeries {
+        &self.avail
+    }
+
+    /// Override the availability process (tests / pinned replays).
+    pub fn set_availability(&mut self, avail: StepSeries) {
+        self.avail = avail;
+    }
+
+    /// Capacity usable by the application at time `t`, in MB/s.
+    pub fn capacity_at(&self, t: SimTime) -> f64 {
+        self.spec.bandwidth_mbps * self.avail.value_at(t)
+    }
+
+    /// Mean usable capacity over a window, in MB/s.
+    pub fn mean_capacity(&self, from: SimTime, to: SimTime) -> f64 {
+        self.spec.bandwidth_mbps * self.avail.mean(from, to)
+    }
+}
+
+/// Routing between segments: the ordered list of links a message
+/// traverses between two *distinct* segments, excluding the endpoint
+/// segments themselves (those are always included automatically).
+#[derive(Debug, Clone, Default)]
+pub struct RouteTable {
+    via: BTreeMap<(usize, usize), Vec<LinkId>>,
+}
+
+impl RouteTable {
+    /// Register a route between two segments through intermediate links.
+    /// The reverse direction is registered automatically.
+    pub fn add(&mut self, a: SegmentId, b: SegmentId, via: Vec<LinkId>) {
+        let mut rev = via.clone();
+        rev.reverse();
+        self.via.insert((a.0, b.0), via);
+        self.via.insert((b.0, a.0), rev);
+    }
+
+    /// Intermediate links between two segments, if registered.
+    pub fn via(&self, a: SegmentId, b: SegmentId) -> Option<&[LinkId]> {
+        self.via.get(&(a.0, b.0)).map(|v| v.as_slice())
+    }
+}
+
+/// Builder for a [`Topology`]: collect specs, then instantiate with a
+/// horizon and seed to realize all load processes.
+#[derive(Debug, Clone, Default)]
+pub struct TopologyBuilder {
+    links: Vec<LinkSpec>,
+    segments: Vec<LinkId>,
+    hosts: Vec<HostSpec>,
+    routes: RouteTable,
+    /// Inter-segment connections for automatic routing:
+    /// `(segment, segment, connecting link)`.
+    edges: Vec<(SegmentId, SegmentId, LinkId)>,
+}
+
+impl TopologyBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a bare link (gateway, WAN hop) that is not an attachment point.
+    pub fn add_link(&mut self, spec: LinkSpec) -> LinkId {
+        let id = LinkId(self.links.len());
+        self.links.push(spec);
+        id
+    }
+
+    /// Add a segment: a link that hosts can attach to.
+    pub fn add_segment(&mut self, spec: LinkSpec) -> SegmentId {
+        let link = self.add_link(spec);
+        let id = SegmentId(self.segments.len());
+        self.segments.push(link);
+        id
+    }
+
+    /// Add a host attached to a previously created segment.
+    pub fn add_host(&mut self, spec: HostSpec) -> HostId {
+        let id = HostId(self.hosts.len());
+        self.hosts.push(spec);
+        id
+    }
+
+    /// Register intermediate links between two segments.
+    pub fn add_route(&mut self, a: SegmentId, b: SegmentId, via: Vec<LinkId>) {
+        self.routes.add(a, b, via);
+    }
+
+    /// Declare a connecting link between two segments and let the
+    /// builder derive multi-hop routes automatically (fewest-hops BFS,
+    /// run at [`TopologyBuilder::instantiate`]). Explicitly registered
+    /// routes always win over derived ones.
+    pub fn connect(&mut self, a: SegmentId, b: SegmentId, spec: LinkSpec) -> LinkId {
+        let link = self.add_link(spec);
+        self.edges.push((a, b, link));
+        link
+    }
+
+    /// Derive fewest-hop routes for every segment pair reachable over
+    /// declared [`TopologyBuilder::connect`] edges that has no explicit
+    /// route yet.
+    fn derive_routes(&mut self) {
+        use std::collections::VecDeque;
+        let n = self.segments.len();
+        // Adjacency over segments.
+        let mut adj: Vec<Vec<(usize, LinkId)>> = vec![Vec::new(); n];
+        for &(a, b, l) in &self.edges {
+            if a.0 < n && b.0 < n {
+                adj[a.0].push((b.0, l));
+                adj[b.0].push((a.0, l));
+            }
+        }
+        for src in 0..n {
+            // BFS from src.
+            let mut prev: Vec<Option<(usize, LinkId)>> = vec![None; n];
+            let mut seen = vec![false; n];
+            seen[src] = true;
+            let mut q = VecDeque::from([src]);
+            while let Some(u) = q.pop_front() {
+                for &(v, l) in &adj[u] {
+                    if !seen[v] {
+                        seen[v] = true;
+                        prev[v] = Some((u, l));
+                        q.push_back(v);
+                    }
+                }
+            }
+            for (dst, &reached) in seen.iter().enumerate() {
+                if dst == src
+                    || !reached
+                    || self.routes.via(SegmentId(src), SegmentId(dst)).is_some()
+                {
+                    continue;
+                }
+                // Reconstruct the link path dst -> src, then reverse.
+                let mut via = Vec::new();
+                let mut cur = dst;
+                while cur != src {
+                    let (p, l) = prev[cur].expect("seen implies a predecessor");
+                    via.push(l);
+                    cur = p;
+                }
+                via.reverse();
+                self.routes.add(SegmentId(src), SegmentId(dst), via);
+            }
+        }
+    }
+
+    /// Realize every load model and produce an immutable topology.
+    ///
+    /// Per-entity seeds are derived from `seed` so that each host and
+    /// link gets an independent but reproducible availability process.
+    pub fn instantiate(mut self, horizon: SimTime, seed: u64) -> Result<Topology, SimError> {
+        self.derive_routes();
+        let mut links = Vec::with_capacity(self.links.len());
+        for (i, spec) in self.links.into_iter().enumerate() {
+            spec.validate()?;
+            let avail = spec
+                .load
+                .realize(horizon, seed.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_mul(i as u64 + 1));
+            links.push(Link {
+                id: LinkId(i),
+                spec,
+                avail,
+            });
+        }
+        let mut hosts = Vec::with_capacity(self.hosts.len());
+        for (i, spec) in self.hosts.into_iter().enumerate() {
+            if spec.segment.0 >= self.segments.len() {
+                return Err(SimError::UnknownSegment(spec.segment.0));
+            }
+            let h = Host::instantiate(
+                HostId(i),
+                spec,
+                horizon,
+                seed.wrapping_add(0xD1B5_4A32_D192_ED03).wrapping_mul(i as u64 + 1),
+            )?;
+            hosts.push(h);
+        }
+        Ok(Topology {
+            links,
+            segments: self.segments,
+            hosts,
+            routes: self.routes,
+            horizon,
+        })
+    }
+}
+
+/// An instantiated metacomputing system: hosts, links and routes, with
+/// all availability processes realized.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    links: Vec<Link>,
+    segments: Vec<LinkId>,
+    hosts: Vec<Host>,
+    routes: RouteTable,
+    horizon: SimTime,
+}
+
+impl Topology {
+    /// All hosts.
+    pub fn hosts(&self) -> &[Host] {
+        &self.hosts
+    }
+
+    /// All links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// The horizon the availability processes were realized over.
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Look up a host.
+    pub fn host(&self, id: HostId) -> Result<&Host, SimError> {
+        self.hosts.get(id.0).ok_or(SimError::UnknownHost(id.0))
+    }
+
+    /// Mutable host access (tests / pinned replays).
+    pub fn host_mut(&mut self, id: HostId) -> Result<&mut Host, SimError> {
+        self.hosts.get_mut(id.0).ok_or(SimError::UnknownHost(id.0))
+    }
+
+    /// Look up a link.
+    pub fn link(&self, id: LinkId) -> Result<&Link, SimError> {
+        self.links.get(id.0).ok_or(SimError::UnknownLink(id.0))
+    }
+
+    /// Mutable link access (tests / pinned replays).
+    pub fn link_mut(&mut self, id: LinkId) -> Result<&mut Link, SimError> {
+        self.links.get_mut(id.0).ok_or(SimError::UnknownLink(id.0))
+    }
+
+    /// The link implementing a segment.
+    pub fn segment_link(&self, seg: SegmentId) -> Result<LinkId, SimError> {
+        self.segments
+            .get(seg.0)
+            .copied()
+            .ok_or(SimError::UnknownSegment(seg.0))
+    }
+
+    /// Full route (ordered links) between two hosts. Same-host routes
+    /// are empty; same-segment routes cross only the segment link.
+    pub fn route(&self, from: HostId, to: HostId) -> Result<Vec<LinkId>, SimError> {
+        if from == to {
+            return Ok(Vec::new());
+        }
+        let sa = self.host(from)?.spec.segment;
+        let sb = self.host(to)?.spec.segment;
+        let la = self.segment_link(sa)?;
+        if sa == sb {
+            return Ok(vec![la]);
+        }
+        let lb = self.segment_link(sb)?;
+        let via = self
+            .routes
+            .via(sa, sb)
+            .ok_or(SimError::NoRoute {
+                from: from.0,
+                to: to.0,
+            })?;
+        let mut path = Vec::with_capacity(via.len() + 2);
+        path.push(la);
+        path.extend_from_slice(via);
+        path.push(lb);
+        Ok(path)
+    }
+
+    /// Total one-way latency along the route between two hosts.
+    pub fn route_latency(&self, from: HostId, to: HostId) -> Result<SimTime, SimError> {
+        let mut total = SimTime::ZERO;
+        for l in self.route(from, to)? {
+            total += self.link(l)?.spec.latency;
+        }
+        Ok(total)
+    }
+
+    /// Contention-free estimate of the time to move `mb` megabytes from
+    /// `from` to `to` starting at `at`: route latency plus transfer at
+    /// the bottleneck link's *current* usable capacity. This is the
+    /// closed-form model a scheduler's Performance Estimator uses; the
+    /// fluid-flow simulator is the ground truth it is judged against.
+    pub fn transfer_estimate(
+        &self,
+        from: HostId,
+        to: HostId,
+        mb: f64,
+        at: SimTime,
+    ) -> Result<SimTime, SimError> {
+        let route = self.route(from, to)?;
+        if route.is_empty() {
+            return Ok(SimTime::ZERO);
+        }
+        let mut latency = SimTime::ZERO;
+        let mut bottleneck = f64::INFINITY;
+        for l in &route {
+            let link = self.link(*l)?;
+            latency += link.spec.latency;
+            bottleneck = bottleneck.min(link.capacity_at(at));
+        }
+        if bottleneck <= 0.0 {
+            return Err(SimError::NeverCompletes { work: mb });
+        }
+        Ok(latency + SimTime::from_secs_f64(mb / bottleneck))
+    }
+}
+
+/// A single data transfer to simulate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferReq {
+    /// Source host.
+    pub from: HostId,
+    /// Destination host.
+    pub to: HostId,
+    /// Payload size in MB.
+    pub mb: f64,
+    /// Time the transfer is initiated.
+    pub start: SimTime,
+    /// Caller-defined tag for correlating results.
+    pub tag: usize,
+}
+
+/// Completion record for a simulated transfer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferResult {
+    /// The request's tag.
+    pub tag: usize,
+    /// Time the last byte is delivered (including route latency).
+    pub delivered: SimTime,
+}
+
+#[derive(Clone)]
+struct ActiveFlow {
+    tag: usize,
+    route: Vec<LinkId>,
+    remaining_mb: f64,
+    latency: SimTime,
+}
+
+/// Simulate a batch of transfers through the topology with full
+/// bandwidth contention. Returns one result per request, in request
+/// order. Same-host transfers complete instantly at their start time.
+pub fn simulate_transfers(
+    topo: &Topology,
+    reqs: &[TransferReq],
+) -> Result<Vec<TransferResult>, SimError> {
+    let mut results: Vec<Option<TransferResult>> = vec![None; reqs.len()];
+
+    // Resolve routes up front and dispatch trivial local transfers.
+    let mut pending: Vec<(usize, ActiveFlow, SimTime)> = Vec::new();
+    for (i, r) in reqs.iter().enumerate() {
+        let route = topo.route(r.from, r.to)?;
+        if route.is_empty() || r.mb <= 0.0 {
+            results[i] = Some(TransferResult {
+                tag: r.tag,
+                delivered: r.start,
+            });
+            continue;
+        }
+        let latency = topo.route_latency(r.from, r.to)?;
+        pending.push((
+            i,
+            ActiveFlow {
+                tag: r.tag,
+                route,
+                remaining_mb: r.mb,
+                latency,
+            },
+            r.start,
+        ));
+    }
+    // Earliest arrivals first; stable on request order.
+    pending.sort_by_key(|&(i, _, start)| (start, i));
+
+    // Collect availability change points for every link in use.
+    let mut used_links: Vec<LinkId> = pending
+        .iter()
+        .flat_map(|(_, f, _)| f.route.iter().copied())
+        .collect();
+    used_links.sort();
+    used_links.dedup();
+
+    let mut active: Vec<(usize, ActiveFlow)> = Vec::new();
+    let mut next_arrival = 0usize;
+    let mut now = pending.first().map(|&(_, _, s)| s).unwrap_or(SimTime::ZERO);
+
+    const EPS_MB: f64 = 1e-12;
+
+    while !active.is_empty() || next_arrival < pending.len() {
+        // Admit arrivals at the current time.
+        while next_arrival < pending.len() && pending[next_arrival].2 <= now {
+            let (i, f, _) = &pending[next_arrival];
+            active.push((*i, f.clone()));
+            next_arrival += 1;
+        }
+        if active.is_empty() {
+            // Jump to the next arrival.
+            now = pending[next_arrival].2;
+            continue;
+        }
+
+        // Per-link flow counts at this instant.
+        let mut counts: BTreeMap<LinkId, usize> = BTreeMap::new();
+        for (_, f) in &active {
+            for l in &f.route {
+                *counts.entry(*l).or_insert(0) += 1;
+            }
+        }
+
+        // Per-flow rates (MB/s) under equal sharing.
+        let mut rates: Vec<f64> = Vec::with_capacity(active.len());
+        for (_, f) in &active {
+            let mut rate = f64::INFINITY;
+            for l in &f.route {
+                let link = topo.link(*l)?;
+                let share = link.capacity_at(now) / counts[l] as f64;
+                rate = rate.min(share);
+            }
+            rates.push(rate);
+        }
+
+        // Next event: earliest of (a) flow completion at current rates,
+        // (b) link availability change, (c) next arrival.
+        let mut next_event = SimTime::MAX;
+        for ((_, f), &rate) in active.iter().zip(&rates) {
+            if rate > 0.0 {
+                let done = now + SimTime::from_secs_f64(f.remaining_mb / rate);
+                next_event = next_event.min(done);
+            }
+        }
+        for l in &used_links {
+            if let Some(change) = topo.link(*l)?.availability().next_change_after(now) {
+                next_event = next_event.min(change);
+            }
+        }
+        if next_arrival < pending.len() {
+            next_event = next_event.min(pending[next_arrival].2);
+        }
+        if next_event == SimTime::MAX {
+            // Every active flow is stalled at rate 0 with no future
+            // availability change and no arrivals: they never finish.
+            let stuck: f64 = active.iter().map(|(_, f)| f.remaining_mb).sum();
+            return Err(SimError::NeverCompletes { work: stuck });
+        }
+
+        // Advance all flows to `next_event`.
+        let dt = (next_event - now).as_secs_f64();
+        for ((_, f), &rate) in active.iter_mut().zip(&rates) {
+            f.remaining_mb = (f.remaining_mb - rate * dt).max(0.0);
+        }
+        now = next_event;
+
+        // Retire completed flows.
+        let mut i = 0;
+        while i < active.len() {
+            if active[i].1.remaining_mb <= EPS_MB {
+                let (idx, f) = active.swap_remove(i);
+                results[idx] = Some(TransferResult {
+                    tag: f.tag,
+                    delivered: now + f.latency,
+                });
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    Ok(results
+        .into_iter()
+        .map(|r| r.expect("every transfer resolved"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(x: f64) -> SimTime {
+        SimTime::from_secs_f64(x)
+    }
+
+    /// Two hosts on one dedicated 10 MB/s segment with 1 ms latency.
+    fn two_host_topo() -> Topology {
+        let mut b = TopologyBuilder::new();
+        let seg = b.add_segment(LinkSpec::dedicated("seg", 10.0, SimTime::from_millis(1)));
+        b.add_host(HostSpec::dedicated("a", 10.0, 64.0, seg));
+        b.add_host(HostSpec::dedicated("b", 10.0, 64.0, seg));
+        b.instantiate(s(10_000.0), 0).unwrap()
+    }
+
+    #[test]
+    fn single_transfer_takes_size_over_bandwidth_plus_latency() {
+        let topo = two_host_topo();
+        let res = simulate_transfers(
+            &topo,
+            &[TransferReq {
+                from: HostId(0),
+                to: HostId(1),
+                mb: 100.0,
+                start: SimTime::ZERO,
+                tag: 0,
+            }],
+        )
+        .unwrap();
+        // 100 MB at 10 MB/s = 10 s, plus 1 ms latency.
+        assert_eq!(res[0].delivered, s(10.0) + SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn concurrent_transfers_share_the_medium() {
+        let topo = two_host_topo();
+        let reqs: Vec<TransferReq> = (0..2)
+            .map(|i| TransferReq {
+                from: HostId(0),
+                to: HostId(1),
+                mb: 50.0,
+                start: SimTime::ZERO,
+                tag: i,
+            })
+            .collect();
+        let res = simulate_transfers(&topo, &reqs).unwrap();
+        // Two equal flows on a 10 MB/s link each get 5 MB/s: 10 s each.
+        for r in &res {
+            assert_eq!(r.delivered, s(10.0) + SimTime::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn staggered_transfer_speeds_up_after_first_finishes() {
+        let topo = two_host_topo();
+        let res = simulate_transfers(
+            &topo,
+            &[
+                TransferReq {
+                    from: HostId(0),
+                    to: HostId(1),
+                    mb: 50.0,
+                    start: SimTime::ZERO,
+                    tag: 0,
+                },
+                TransferReq {
+                    from: HostId(0),
+                    to: HostId(1),
+                    mb: 100.0,
+                    start: SimTime::ZERO,
+                    tag: 1,
+                },
+            ],
+        )
+        .unwrap();
+        // Shared at 5 MB/s until flow 0 finishes at t=10 (50 MB each
+        // done). Flow 1 then has 50 MB left at 10 MB/s: done at t=15.
+        assert_eq!(res[0].delivered, s(10.0) + SimTime::from_millis(1));
+        assert_eq!(res[1].delivered, s(15.0) + SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn same_host_transfer_is_instant() {
+        let topo = two_host_topo();
+        let res = simulate_transfers(
+            &topo,
+            &[TransferReq {
+                from: HostId(0),
+                to: HostId(0),
+                mb: 1e9,
+                start: s(5.0),
+                tag: 7,
+            }],
+        )
+        .unwrap();
+        assert_eq!(res[0].delivered, s(5.0));
+        assert_eq!(res[0].tag, 7);
+    }
+
+    #[test]
+    fn background_load_halves_capacity() {
+        let mut b = TopologyBuilder::new();
+        let seg = b.add_segment(LinkSpec::shared(
+            "seg",
+            10.0,
+            SimTime::ZERO,
+            LoadModel::Constant(0.5),
+        ));
+        b.add_host(HostSpec::dedicated("a", 10.0, 64.0, seg));
+        b.add_host(HostSpec::dedicated("b", 10.0, 64.0, seg));
+        let topo = b.instantiate(s(1000.0), 0).unwrap();
+        let res = simulate_transfers(
+            &topo,
+            &[TransferReq {
+                from: HostId(0),
+                to: HostId(1),
+                mb: 50.0,
+                start: SimTime::ZERO,
+                tag: 0,
+            }],
+        )
+        .unwrap();
+        // 50 MB at 5 MB/s usable = 10 s.
+        assert_eq!(res[0].delivered, s(10.0));
+    }
+
+    #[test]
+    fn transfer_stalls_through_outage() {
+        let mut b = TopologyBuilder::new();
+        let seg = b.add_segment(LinkSpec::shared(
+            "seg",
+            10.0,
+            SimTime::ZERO,
+            LoadModel::Trace(vec![(s(0.0), 1.0), (s(2.0), 0.0), (s(7.0), 1.0)]),
+        ));
+        b.add_host(HostSpec::dedicated("a", 10.0, 64.0, seg));
+        b.add_host(HostSpec::dedicated("b", 10.0, 64.0, seg));
+        let topo = b.instantiate(s(1000.0), 0).unwrap();
+        let res = simulate_transfers(
+            &topo,
+            &[TransferReq {
+                from: HostId(0),
+                to: HostId(1),
+                mb: 40.0,
+                start: SimTime::ZERO,
+                tag: 0,
+            }],
+        )
+        .unwrap();
+        // 20 MB in [0,2], stalled in [2,7], remaining 20 MB in [7,9].
+        assert_eq!(res[0].delivered, s(9.0));
+    }
+
+    #[test]
+    fn permanently_dead_link_errors() {
+        let mut b = TopologyBuilder::new();
+        let seg = b.add_segment(LinkSpec::shared(
+            "seg",
+            10.0,
+            SimTime::ZERO,
+            LoadModel::Constant(0.0),
+        ));
+        b.add_host(HostSpec::dedicated("a", 10.0, 64.0, seg));
+        b.add_host(HostSpec::dedicated("b", 10.0, 64.0, seg));
+        let topo = b.instantiate(s(1000.0), 0).unwrap();
+        let err = simulate_transfers(
+            &topo,
+            &[TransferReq {
+                from: HostId(0),
+                to: HostId(1),
+                mb: 1.0,
+                start: SimTime::ZERO,
+                tag: 0,
+            }],
+        );
+        assert!(matches!(err, Err(SimError::NeverCompletes { .. })));
+    }
+
+    #[test]
+    fn cross_segment_route_crosses_gateway() {
+        let mut b = TopologyBuilder::new();
+        let sa = b.add_segment(LinkSpec::dedicated("segA", 10.0, SimTime::from_millis(1)));
+        let sb = b.add_segment(LinkSpec::dedicated("segB", 10.0, SimTime::from_millis(1)));
+        let gw = b.add_link(LinkSpec::dedicated("gw", 2.0, SimTime::from_millis(5)));
+        b.add_route(sa, sb, vec![gw]);
+        b.add_host(HostSpec::dedicated("a", 10.0, 64.0, sa));
+        b.add_host(HostSpec::dedicated("b", 10.0, 64.0, sb));
+        let topo = b.instantiate(s(1000.0), 0).unwrap();
+
+        let route = topo.route(HostId(0), HostId(1)).unwrap();
+        assert_eq!(route.len(), 3);
+        assert_eq!(
+            topo.route_latency(HostId(0), HostId(1)).unwrap(),
+            SimTime::from_millis(7)
+        );
+
+        let res = simulate_transfers(
+            &topo,
+            &[TransferReq {
+                from: HostId(0),
+                to: HostId(1),
+                mb: 20.0,
+                start: SimTime::ZERO,
+                tag: 0,
+            }],
+        )
+        .unwrap();
+        // Bottleneck is the 2 MB/s gateway: 10 s + 7 ms latency.
+        assert_eq!(res[0].delivered, s(10.0) + SimTime::from_millis(7));
+    }
+
+    #[test]
+    fn reverse_route_is_registered_automatically() {
+        let mut b = TopologyBuilder::new();
+        let sa = b.add_segment(LinkSpec::dedicated("segA", 10.0, SimTime::ZERO));
+        let sb = b.add_segment(LinkSpec::dedicated("segB", 10.0, SimTime::ZERO));
+        let gw = b.add_link(LinkSpec::dedicated("gw", 2.0, SimTime::ZERO));
+        b.add_route(sa, sb, vec![gw]);
+        b.add_host(HostSpec::dedicated("a", 10.0, 64.0, sa));
+        b.add_host(HostSpec::dedicated("b", 10.0, 64.0, sb));
+        let topo = b.instantiate(s(1.0), 0).unwrap();
+        assert!(topo.route(HostId(1), HostId(0)).is_ok());
+    }
+
+    #[test]
+    fn connect_derives_multi_hop_routes() {
+        // A chain of three segments joined by two connect() edges:
+        // routes across the chain appear without explicit add_route.
+        let mut b = TopologyBuilder::new();
+        let sa = b.add_segment(LinkSpec::dedicated("segA", 10.0, SimTime::from_millis(1)));
+        let sb = b.add_segment(LinkSpec::dedicated("segB", 10.0, SimTime::from_millis(1)));
+        let sc = b.add_segment(LinkSpec::dedicated("segC", 10.0, SimTime::from_millis(1)));
+        let ab = b.connect(sa, sb, LinkSpec::dedicated("ab", 2.0, SimTime::from_millis(5)));
+        let bc = b.connect(sb, sc, LinkSpec::dedicated("bc", 2.0, SimTime::from_millis(5)));
+        b.add_host(HostSpec::dedicated("a", 10.0, 64.0, sa));
+        b.add_host(HostSpec::dedicated("c", 10.0, 64.0, sc));
+        let topo = b.instantiate(s(100.0), 0).unwrap();
+        let route = topo.route(HostId(0), HostId(1)).unwrap();
+        // segA link + ab + bc + segC link.
+        assert_eq!(route.len(), 4);
+        assert!(route.contains(&ab));
+        assert!(route.contains(&bc));
+        // And the reverse direction works too.
+        assert!(topo.route(HostId(1), HostId(0)).is_ok());
+    }
+
+    #[test]
+    fn explicit_routes_beat_derived_ones() {
+        // Both a direct connect edge and an explicit route through an
+        // express link exist: the explicit route must win.
+        let mut b = TopologyBuilder::new();
+        let sa = b.add_segment(LinkSpec::dedicated("segA", 10.0, SimTime::ZERO));
+        let sb = b.add_segment(LinkSpec::dedicated("segB", 10.0, SimTime::ZERO));
+        let _slow = b.connect(sa, sb, LinkSpec::dedicated("slow", 0.1, SimTime::ZERO));
+        let express = b.add_link(LinkSpec::dedicated("express", 50.0, SimTime::ZERO));
+        b.add_route(sa, sb, vec![express]);
+        b.add_host(HostSpec::dedicated("a", 10.0, 64.0, sa));
+        b.add_host(HostSpec::dedicated("b", 10.0, 64.0, sb));
+        let topo = b.instantiate(s(100.0), 0).unwrap();
+        let route = topo.route(HostId(0), HostId(1)).unwrap();
+        assert!(route.contains(&express), "route {route:?}");
+    }
+
+    #[test]
+    fn disconnected_components_still_error() {
+        let mut b = TopologyBuilder::new();
+        let sa = b.add_segment(LinkSpec::dedicated("segA", 10.0, SimTime::ZERO));
+        let sb = b.add_segment(LinkSpec::dedicated("segB", 10.0, SimTime::ZERO));
+        let sc = b.add_segment(LinkSpec::dedicated("island", 10.0, SimTime::ZERO));
+        b.connect(sa, sb, LinkSpec::dedicated("ab", 1.0, SimTime::ZERO));
+        b.add_host(HostSpec::dedicated("a", 10.0, 64.0, sa));
+        b.add_host(HostSpec::dedicated("island-host", 10.0, 64.0, sc));
+        let topo = b.instantiate(s(100.0), 0).unwrap();
+        assert!(matches!(
+            topo.route(HostId(0), HostId(1)),
+            Err(SimError::NoRoute { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_route_is_an_error() {
+        let mut b = TopologyBuilder::new();
+        let sa = b.add_segment(LinkSpec::dedicated("segA", 10.0, SimTime::ZERO));
+        let sb = b.add_segment(LinkSpec::dedicated("segB", 10.0, SimTime::ZERO));
+        b.add_host(HostSpec::dedicated("a", 10.0, 64.0, sa));
+        b.add_host(HostSpec::dedicated("b", 10.0, 64.0, sb));
+        let topo = b.instantiate(s(1.0), 0).unwrap();
+        assert!(matches!(
+            topo.route(HostId(0), HostId(1)),
+            Err(SimError::NoRoute { .. })
+        ));
+    }
+
+    #[test]
+    fn transfer_estimate_matches_uncontended_simulation() {
+        let topo = two_host_topo();
+        let est = topo
+            .transfer_estimate(HostId(0), HostId(1), 100.0, SimTime::ZERO)
+            .unwrap();
+        let sim = simulate_transfers(
+            &topo,
+            &[TransferReq {
+                from: HostId(0),
+                to: HostId(1),
+                mb: 100.0,
+                start: SimTime::ZERO,
+                tag: 0,
+            }],
+        )
+        .unwrap();
+        assert_eq!(est, sim[0].delivered);
+    }
+
+    #[test]
+    fn unknown_host_is_an_error() {
+        let topo = two_host_topo();
+        assert!(matches!(
+            topo.route(HostId(0), HostId(99)),
+            Err(SimError::UnknownHost(99))
+        ));
+    }
+
+    #[test]
+    fn zero_bandwidth_link_rejected_at_build() {
+        let mut b = TopologyBuilder::new();
+        b.add_segment(LinkSpec::dedicated("bad", 0.0, SimTime::ZERO));
+        assert!(b.instantiate(s(1.0), 0).is_err());
+    }
+
+    #[test]
+    fn instantiate_rejects_host_on_unknown_segment() {
+        let mut b = TopologyBuilder::new();
+        b.add_host(HostSpec::dedicated("a", 10.0, 64.0, SegmentId(5)));
+        assert!(matches!(
+            b.instantiate(s(1.0), 0),
+            Err(SimError::UnknownSegment(5))
+        ));
+    }
+}

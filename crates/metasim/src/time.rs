@@ -1,0 +1,219 @@
+//! Fixed-point simulated time.
+//!
+//! Simulated time is represented as an integer number of microseconds so
+//! that event ordering is exact and platform-independent. Floating-point
+//! seconds are used at the boundary for physics-style calculations (work
+//! integration, bandwidth), with conversions that always round *up* so a
+//! computed completion never lands before the work is actually done.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in simulated time, in microseconds since the start of the
+/// simulation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable time; used as "never".
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Number of microseconds in one second.
+    pub const MICROS_PER_SEC: u64 = 1_000_000;
+
+    /// Construct from whole microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Construct from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * Self::MICROS_PER_SEC)
+    }
+
+    /// Construct from fractional seconds, rounding up to the next
+    /// microsecond. Negative and NaN inputs saturate to zero; `+inf`
+    /// saturates to [`SimTime::MAX`].
+    pub fn from_secs_f64(s: f64) -> Self {
+        // NaN compares false, so NaN also saturates to zero here.
+        if s.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return SimTime::ZERO;
+        }
+        let us = s * Self::MICROS_PER_SEC as f64;
+        if us >= u64::MAX as f64 {
+            SimTime::MAX
+        } else {
+            SimTime(us.ceil() as u64)
+        }
+    }
+
+    /// This time as whole microseconds.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// This time as fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / Self::MICROS_PER_SEC as f64
+    }
+
+    /// Saturating subtraction: `self - rhs`, or zero if `rhs > self`.
+    #[inline]
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition; `None` on overflow.
+    #[inline]
+    pub fn checked_add(self, rhs: SimTime) -> Option<SimTime> {
+        self.0.checked_add(rhs.0).map(SimTime)
+    }
+
+    /// The larger of two times.
+    #[inline]
+    pub fn max(self, rhs: SimTime) -> SimTime {
+        if self >= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// The smaller of two times.
+    #[inline]
+    pub fn min(self, rhs: SimTime) -> SimTime {
+        if self <= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(
+            self.0
+                .checked_add(rhs.0)
+                .expect("SimTime addition overflowed"),
+        )
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime subtraction underflowed"),
+        )
+    }
+}
+
+impl SubAssign for SimTime {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimTime) {
+        *self = *self - rhs;
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}us", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(SimTime::from_secs(3).as_micros(), 3_000_000);
+        assert_eq!(SimTime::from_millis(5).as_micros(), 5_000);
+        assert_eq!(SimTime::from_micros(7).as_micros(), 7);
+        let t = SimTime::from_secs_f64(1.5);
+        assert_eq!(t.as_micros(), 1_500_000);
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_secs_f64_rounds_up() {
+        // 1 nanosecond of work must still take at least 1 microsecond.
+        assert_eq!(SimTime::from_secs_f64(1e-9).as_micros(), 1);
+        assert_eq!(SimTime::from_secs_f64(0.000_001_1).as_micros(), 2);
+    }
+
+    #[test]
+    fn from_secs_f64_saturates_pathological_inputs() {
+        assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::NAN), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::INFINITY), SimTime::MAX);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_secs(2);
+        let b = SimTime::from_secs(1);
+        assert_eq!(a + b, SimTime::from_secs(3));
+        assert_eq!(a - b, SimTime::from_secs(1));
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflowed")]
+    fn subtraction_underflow_panics() {
+        let _ = SimTime::from_secs(1) - SimTime::from_secs(2);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut ts = vec![
+            SimTime::from_secs(3),
+            SimTime::ZERO,
+            SimTime::from_micros(1),
+            SimTime::MAX,
+        ];
+        ts.sort();
+        assert_eq!(
+            ts,
+            vec![
+                SimTime::ZERO,
+                SimTime::from_micros(1),
+                SimTime::from_secs(3),
+                SimTime::MAX
+            ]
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! Statistics helpers and execution-timeline rendering for experiment
+//! harnesses.
+//!
+//! The paper reports *averages over back-to-back runs* (§5); benches and
+//! figure binaries use [`Stats`] to summarize repeated trials, and
+//! [`render_timeline`] draws a quick per-worker utilization bar for
+//! interactive inspection of an SPMD run.
+
+use crate::exec::SpmdOutcome;
+
+/// Summary statistics over a sample of f64 observations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stats {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator; 0 for n < 2).
+    pub std_dev: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+    /// Median observation.
+    pub median: f64,
+}
+
+impl Stats {
+    /// Compute summary statistics. Returns `None` for an empty sample.
+    pub fn from_samples(samples: &[f64]) -> Option<Stats> {
+        if samples.is_empty() {
+            return None;
+        }
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        Some(Stats {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            median,
+        })
+    }
+
+    /// Coefficient of variation (std_dev / mean); 0 when the mean is 0.
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std_dev / self.mean
+        }
+    }
+}
+
+/// Render a per-worker compute/wait summary of an SPMD run as a text
+/// bar chart: `#` is time spent computing, `.` is time waiting at the
+/// barrier (communication + stragglers). One line per worker.
+///
+/// `labels` supplies one name per worker; `width` is the bar length in
+/// characters.
+pub fn render_timeline(outcome: &SpmdOutcome, labels: &[String], width: usize) -> String {
+    assert_eq!(
+        labels.len(),
+        outcome.compute_seconds.len(),
+        "one label per worker"
+    );
+    let width = width.max(1);
+    let name_w = labels.iter().map(|l| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (w, label) in labels.iter().enumerate() {
+        let compute = outcome.compute_seconds[w];
+        let sync = outcome.sync_seconds[w];
+        let total = compute + sync;
+        let bars = if total > 0.0 {
+            let filled = ((compute / total) * width as f64).round() as usize;
+            let filled = filled.min(width);
+            format!("{}{}", "#".repeat(filled), ".".repeat(width - filled))
+        } else {
+            " ".repeat(width)
+        };
+        out.push_str(&format!(
+            "{label:>name_w$} |{bars}| {:5.1}% busy ({compute:.2}s compute, {sync:.2}s wait)\n",
+            if total > 0.0 { compute / total * 100.0 } else { 0.0 }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimTime;
+
+    #[test]
+    fn timeline_shows_busy_fraction() {
+        let outcome = SpmdOutcome {
+            finish: SimTime::from_secs(10),
+            iteration_ends: vec![SimTime::from_secs(10)],
+            compute_seconds: vec![7.5, 2.5],
+            sync_seconds: vec![2.5, 7.5],
+        };
+        let labels = vec!["fast".to_string(), "slow".to_string()];
+        let t = render_timeline(&outcome, &labels, 8);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("|######..|"), "{}", lines[0]);
+        assert!(lines[1].contains("|##......|"), "{}", lines[1]);
+        assert!(lines[0].contains("75.0% busy"));
+    }
+
+    #[test]
+    fn timeline_handles_idle_workers() {
+        let outcome = SpmdOutcome {
+            finish: SimTime::ZERO,
+            iteration_ends: vec![],
+            compute_seconds: vec![0.0],
+            sync_seconds: vec![0.0],
+        };
+        let t = render_timeline(&outcome, &["idle".to_string()], 4);
+        assert!(t.contains("0.0% busy"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per worker")]
+    fn timeline_rejects_label_mismatch() {
+        let outcome = SpmdOutcome {
+            finish: SimTime::ZERO,
+            iteration_ends: vec![],
+            compute_seconds: vec![0.0, 0.0],
+            sync_seconds: vec![0.0, 0.0],
+        };
+        render_timeline(&outcome, &["only-one".to_string()], 4);
+    }
+
+    #[test]
+    fn empty_sample_is_none() {
+        assert!(Stats::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Stats::from_samples(&[5.0]).unwrap();
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 5.0);
+        assert_eq!(s.min, 5.0);
+        assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
+    fn known_statistics() {
+        let s = Stats::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample std dev with n-1 = 7: sqrt(32/7).
+        assert!((s.std_dev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.median - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn odd_length_median() {
+        let s = Stats::from_samples(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(s.median, 2.0);
+    }
+
+    #[test]
+    fn cv_handles_zero_mean() {
+        let s = Stats::from_samples(&[0.0, 0.0]).unwrap();
+        assert_eq!(s.cv(), 0.0);
+        let s2 = Stats::from_samples(&[4.0, 6.0]).unwrap();
+        assert!(s2.cv() > 0.0);
+    }
+}

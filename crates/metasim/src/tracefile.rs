@@ -1,0 +1,137 @@
+//! Parsing externally recorded load traces.
+//!
+//! The paper's environment was driven by *real* contention; when a
+//! user has measured availability traces (e.g. from `vmstat`/`uptime`
+//! archives or an actual NWS deployment), [`parse_trace`] turns them
+//! into [`LoadModel::Trace`] inputs so experiments replay recorded
+//! conditions instead of synthetic generators.
+//!
+//! The format is deliberately minimal: one `time,value` pair per line,
+//! time in seconds (fractional allowed), value the availability in
+//! `[0, 1]`. Blank lines and `#` comments are ignored.
+
+use crate::error::SimError;
+use crate::load::LoadModel;
+use crate::time::SimTime;
+
+/// Parse a `time,value` trace into points for [`LoadModel::Trace`].
+///
+/// Returns an error naming the offending line on malformed input.
+/// Times must be non-decreasing; duplicate times keep the last value
+/// (same semantics as [`crate::load::StepSeries::from_points`]).
+pub fn parse_trace(text: &str) -> Result<Vec<(SimTime, f64)>, SimError> {
+    let mut out = Vec::new();
+    let mut last_t: Option<f64> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(2, ',');
+        let t_str = parts.next().unwrap_or("").trim();
+        let v_str = parts
+            .next()
+            .ok_or_else(|| SimError::Invalid(format!("line {}: missing comma", lineno + 1)))?
+            .trim();
+        let t: f64 = t_str.parse().map_err(|_| {
+            SimError::Invalid(format!("line {}: bad time {t_str:?}", lineno + 1))
+        })?;
+        let v: f64 = v_str.parse().map_err(|_| {
+            SimError::Invalid(format!("line {}: bad value {v_str:?}", lineno + 1))
+        })?;
+        if !(0.0..=1.0).contains(&v) {
+            return Err(SimError::Invalid(format!(
+                "line {}: availability {v} outside [0, 1]",
+                lineno + 1
+            )));
+        }
+        if t < 0.0 || !t.is_finite() {
+            return Err(SimError::Invalid(format!(
+                "line {}: time {t} must be finite and non-negative",
+                lineno + 1
+            )));
+        }
+        if let Some(prev) = last_t {
+            if t < prev {
+                return Err(SimError::Invalid(format!(
+                    "line {}: time {t} goes backwards (previous {prev})",
+                    lineno + 1
+                )));
+            }
+        }
+        last_t = Some(t);
+        out.push((SimTime::from_secs_f64(t), v));
+    }
+    if out.is_empty() {
+        return Err(SimError::Invalid("trace contains no samples".into()));
+    }
+    Ok(out)
+}
+
+/// Parse a trace directly into a [`LoadModel`].
+pub fn load_model_from_trace(text: &str) -> Result<LoadModel, SimError> {
+    Ok(LoadModel::Trace(parse_trace(text)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_simple_trace() {
+        let pts = parse_trace("0,1.0\n10,0.5\n20.5,0.25\n").unwrap();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0], (SimTime::ZERO, 1.0));
+        assert_eq!(pts[2].0, SimTime::from_secs_f64(20.5));
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let pts = parse_trace("# header\n\n0, 0.9\n# mid\n5, 0.4\n").unwrap();
+        assert_eq!(pts.len(), 2);
+    }
+
+    #[test]
+    fn rejects_missing_comma() {
+        let err = parse_trace("0 1.0").unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        assert!(parse_trace("x,0.5").is_err());
+        assert!(parse_trace("0,abc").is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_values() {
+        assert!(parse_trace("0,1.5").is_err());
+        assert!(parse_trace("0,-0.1").is_err());
+    }
+
+    #[test]
+    fn rejects_backwards_time() {
+        let err = parse_trace("0,0.5\n10,0.5\n5,0.5").unwrap_err();
+        assert!(err.to_string().contains("backwards"));
+    }
+
+    #[test]
+    fn rejects_empty_trace() {
+        assert!(parse_trace("# nothing\n").is_err());
+    }
+
+    #[test]
+    fn model_round_trips_through_realization() {
+        let model = load_model_from_trace("0,0.8\n100,0.2\n").unwrap();
+        let ss = model.realize(SimTime::from_secs(1000), 0);
+        assert_eq!(ss.value_at(SimTime::from_secs(50)), 0.8);
+        assert_eq!(ss.value_at(SimTime::from_secs(150)), 0.2);
+    }
+
+    #[test]
+    fn duplicate_times_keep_last_value() {
+        let model = load_model_from_trace("0,0.8\n10,0.5\n10,0.3\n").unwrap();
+        let ss = model.realize(SimTime::from_secs(100), 0);
+        assert_eq!(ss.value_at(SimTime::from_secs(10)), 0.3);
+    }
+}

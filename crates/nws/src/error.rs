@@ -1,0 +1,95 @@
+//! Forecast-error metrics.
+
+/// Mean absolute error between predictions and actuals.
+///
+/// # Panics
+/// Panics if the slices differ in length or are empty.
+pub fn mae(predicted: &[f64], actual: &[f64]) -> f64 {
+    check(predicted, actual);
+    predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a).abs())
+        .sum::<f64>()
+        / predicted.len() as f64
+}
+
+/// Root-mean-square error between predictions and actuals.
+///
+/// # Panics
+/// Panics if the slices differ in length or are empty.
+pub fn rmse(predicted: &[f64], actual: &[f64]) -> f64 {
+    check(predicted, actual);
+    (predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a).powi(2))
+        .sum::<f64>()
+        / predicted.len() as f64)
+        .sqrt()
+}
+
+/// Mean signed error (bias): positive means over-prediction.
+///
+/// # Panics
+/// Panics if the slices differ in length or are empty.
+pub fn mean_error(predicted: &[f64], actual: &[f64]) -> f64 {
+    check(predicted, actual);
+    predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| p - a)
+        .sum::<f64>()
+        / predicted.len() as f64
+}
+
+fn check(predicted: &[f64], actual: &[f64]) {
+    assert_eq!(
+        predicted.len(),
+        actual.len(),
+        "prediction/actual length mismatch"
+    );
+    assert!(!predicted.is_empty(), "no samples to score");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions_score_zero() {
+        let xs = [0.1, 0.5, 0.9];
+        assert_eq!(mae(&xs, &xs), 0.0);
+        assert_eq!(rmse(&xs, &xs), 0.0);
+        assert_eq!(mean_error(&xs, &xs), 0.0);
+    }
+
+    #[test]
+    fn known_errors() {
+        let p = [1.0, 2.0];
+        let a = [0.0, 4.0];
+        assert_eq!(mae(&p, &a), 1.5);
+        assert!((rmse(&p, &a) - (2.5f64).sqrt()).abs() < 1e-12);
+        // Bias: (1 - 0 + 2 - 4)/2 = -0.5.
+        assert_eq!(mean_error(&p, &a), -0.5);
+    }
+
+    #[test]
+    fn rmse_penalizes_outliers_more_than_mae() {
+        let p = [0.0, 0.0, 0.0, 0.0];
+        let a = [0.0, 0.0, 0.0, 4.0];
+        assert!(rmse(&p, &a) > mae(&p, &a));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        mae(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_panics() {
+        rmse(&[], &[]);
+    }
+}

@@ -1,0 +1,166 @@
+//! Memoryless and exponentially-weighted predictors.
+
+use super::Forecaster;
+
+/// Predicts the most recent measurement. Optimal when the signal is a
+/// random walk; terrible on noisy mean-reverting signals.
+#[derive(Debug, Clone, Default)]
+pub struct LastValue {
+    last: Option<f64>,
+}
+
+impl LastValue {
+    /// A fresh last-value predictor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Forecaster for LastValue {
+    fn name(&self) -> String {
+        "last_value".into()
+    }
+    fn update(&mut self, value: f64) {
+        self.last = Some(value);
+    }
+    fn forecast(&self) -> Option<f64> {
+        self.last
+    }
+    fn reset(&mut self) {
+        self.last = None;
+    }
+}
+
+/// Predicts the mean of *all* history. Optimal for i.i.d. noise around
+/// a fixed level; slow to react to regime changes.
+#[derive(Debug, Clone, Default)]
+pub struct RunningMean {
+    sum: f64,
+    n: u64,
+}
+
+impl RunningMean {
+    /// A fresh running-mean predictor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Forecaster for RunningMean {
+    fn name(&self) -> String {
+        "running_mean".into()
+    }
+    fn update(&mut self, value: f64) {
+        self.sum += value;
+        self.n += 1;
+    }
+    fn forecast(&self) -> Option<f64> {
+        if self.n == 0 {
+            None
+        } else {
+            Some(self.sum / self.n as f64)
+        }
+    }
+    fn reset(&mut self) {
+        self.sum = 0.0;
+        self.n = 0;
+    }
+}
+
+/// Exponential smoothing: `s ← α·x + (1-α)·s`. A tunable compromise
+/// between last-value (α→1) and long-run mean (α→0).
+#[derive(Debug, Clone)]
+pub struct ExpSmoothing {
+    alpha: f64,
+    state: Option<f64>,
+}
+
+impl ExpSmoothing {
+    /// A fresh smoother with the given smoothing factor.
+    ///
+    /// # Panics
+    /// Panics unless `0 < alpha <= 1`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "smoothing factor must be in (0, 1], got {alpha}"
+        );
+        ExpSmoothing { alpha, state: None }
+    }
+}
+
+impl Forecaster for ExpSmoothing {
+    fn name(&self) -> String {
+        format!("exp_smooth({})", self.alpha)
+    }
+    fn update(&mut self, value: f64) {
+        self.state = Some(match self.state {
+            None => value,
+            Some(s) => self.alpha * value + (1.0 - self.alpha) * s,
+        });
+    }
+    fn forecast(&self) -> Option<f64> {
+        self.state
+    }
+    fn reset(&mut self) {
+        self.state = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_value_tracks_input() {
+        let mut f = LastValue::new();
+        assert_eq!(f.forecast(), None);
+        f.update(0.3);
+        assert_eq!(f.forecast(), Some(0.3));
+        f.update(0.9);
+        assert_eq!(f.forecast(), Some(0.9));
+    }
+
+    #[test]
+    fn running_mean_averages() {
+        let mut f = RunningMean::new();
+        assert_eq!(f.forecast(), None);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            f.update(v);
+        }
+        assert_eq!(f.forecast(), Some(2.5));
+    }
+
+    #[test]
+    fn exp_smoothing_recursion() {
+        let mut f = ExpSmoothing::new(0.5);
+        f.update(1.0); // state = 1.0
+        f.update(0.0); // state = 0.5
+        f.update(0.0); // state = 0.25
+        assert_eq!(f.forecast(), Some(0.25));
+    }
+
+    #[test]
+    fn exp_smoothing_alpha_one_is_last_value() {
+        let mut f = ExpSmoothing::new(1.0);
+        f.update(0.2);
+        f.update(0.8);
+        assert_eq!(f.forecast(), Some(0.8));
+    }
+
+    #[test]
+    #[should_panic(expected = "smoothing factor")]
+    fn exp_smoothing_rejects_zero_alpha() {
+        ExpSmoothing::new(0.0);
+    }
+
+    #[test]
+    fn resets_forget_history() {
+        let mut f = RunningMean::new();
+        f.update(100.0);
+        f.reset();
+        assert_eq!(f.forecast(), None);
+        f.update(2.0);
+        assert_eq!(f.forecast(), Some(2.0));
+    }
+}

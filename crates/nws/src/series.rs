@@ -1,0 +1,179 @@
+//! Timestamped measurement streams.
+
+use metasim::SimTime;
+
+/// An append-only series of `(time, value)` measurements with strictly
+/// increasing timestamps.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Construct from existing points (must be strictly increasing).
+    ///
+    /// # Panics
+    /// Panics if timestamps are not strictly increasing.
+    pub fn from_points(points: Vec<(SimTime, f64)>) -> Self {
+        for w in points.windows(2) {
+            assert!(
+                w[0].0 < w[1].0,
+                "TimeSeries timestamps must be strictly increasing"
+            );
+        }
+        TimeSeries { points }
+    }
+
+    /// Append a measurement.
+    ///
+    /// # Panics
+    /// Panics if `t` is not after the last timestamp.
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(t > last, "measurement at {t:?} not after {last:?}");
+        }
+        self.points.push((t, v));
+    }
+
+    /// All measurements.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Values only, in time order.
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.points.iter().map(|&(_, v)| v)
+    }
+
+    /// Number of measurements.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no measurements have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The most recent measurement.
+    pub fn last(&self) -> Option<(SimTime, f64)> {
+        self.points.last().copied()
+    }
+
+    /// The last `k` values (or fewer if the series is shorter).
+    pub fn tail(&self, k: usize) -> &[(SimTime, f64)] {
+        let start = self.points.len().saturating_sub(k);
+        &self.points[start..]
+    }
+
+    /// Export as `time_seconds,value` CSV lines (the same format
+    /// [`metasim::tracefile::parse_trace`] ingests, so a measured
+    /// series can be replayed as a load model).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(self.points.len() * 16);
+        for &(t, v) in &self.points {
+            out.push_str(&format!("{},{}\n", t.as_secs_f64(), v));
+        }
+        out
+    }
+
+    /// Parse a series back from [`TimeSeries::to_csv`] output.
+    ///
+    /// Returns a message naming the offending line on malformed input
+    /// (including non-increasing timestamps).
+    pub fn from_csv(text: &str) -> Result<TimeSeries, String> {
+        let mut series = TimeSeries::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (t_str, v_str) = line
+                .split_once(',')
+                .ok_or_else(|| format!("line {}: missing comma", lineno + 1))?;
+            let t: f64 = t_str
+                .trim()
+                .parse()
+                .map_err(|_| format!("line {}: bad time {t_str:?}", lineno + 1))?;
+            let v: f64 = v_str
+                .trim()
+                .parse()
+                .map_err(|_| format!("line {}: bad value {v_str:?}", lineno + 1))?;
+            let at = SimTime::from_secs_f64(t);
+            if let Some((last, _)) = series.last() {
+                if at <= last {
+                    return Err(format!(
+                        "line {}: timestamp {t} not after the previous sample",
+                        lineno + 1
+                    ));
+                }
+            }
+            series.push(at, v);
+        }
+        Ok(series)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(x: u64) -> SimTime {
+        SimTime::from_secs(x)
+    }
+
+    #[test]
+    fn push_and_query() {
+        let mut ts = TimeSeries::new();
+        assert!(ts.is_empty());
+        ts.push(s(1), 0.5);
+        ts.push(s(2), 0.7);
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.last(), Some((s(2), 0.7)));
+        assert_eq!(ts.values().collect::<Vec<_>>(), vec![0.5, 0.7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not after")]
+    fn non_monotone_push_panics() {
+        let mut ts = TimeSeries::new();
+        ts.push(s(2), 0.5);
+        ts.push(s(2), 0.6);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn from_points_validates() {
+        TimeSeries::from_points(vec![(s(2), 0.1), (s(1), 0.2)]);
+    }
+
+    #[test]
+    fn csv_round_trips() {
+        let ts = TimeSeries::from_points(vec![(s(1), 0.5), (s(2), 0.75), (s(10), 1.0)]);
+        let csv = ts.to_csv();
+        let back = TimeSeries::from_csv(&csv).unwrap();
+        assert_eq!(ts, back);
+    }
+
+    #[test]
+    fn from_csv_skips_comments_and_rejects_garbage() {
+        let ok = TimeSeries::from_csv("# header\n1,0.5\n\n2,0.6\n").unwrap();
+        assert_eq!(ok.len(), 2);
+        assert!(TimeSeries::from_csv("1 0.5").is_err());
+        assert!(TimeSeries::from_csv("1,abc").is_err());
+        assert!(TimeSeries::from_csv("2,0.5\n1,0.5").is_err());
+    }
+
+    #[test]
+    fn tail_returns_suffix() {
+        let ts = TimeSeries::from_points(vec![(s(1), 1.0), (s(2), 2.0), (s(3), 3.0)]);
+        assert_eq!(ts.tail(2), &[(s(2), 2.0), (s(3), 3.0)]);
+        assert_eq!(ts.tail(10).len(), 3);
+        assert_eq!(ts.tail(0).len(), 0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests for the adaptive selector and the forecaster suite.
+
+use nws::forecast::{standard_suite, Forecaster, LastValue, RunningMean, SlidingWindowMean};
+use nws::AdaptiveSelector;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The selector's forecast is always one of its members' forecasts
+    /// (it selects, never blends).
+    #[test]
+    fn selector_forecast_is_a_member_forecast(values in prop::collection::vec(0.0f64..1.0, 1..200)) {
+        let mut selector = AdaptiveSelector::new();
+        let mut members = standard_suite();
+        for v in &values {
+            selector.update(*v);
+            for m in members.iter_mut() {
+                m.update(*v);
+            }
+        }
+        let sel = selector.forecast().expect("selector forecast");
+        let found = members
+            .iter()
+            .filter_map(|m| m.forecast())
+            .any(|p| (p - sel).abs() < 1e-12);
+        prop_assert!(found, "selector produced {sel}, not among member forecasts");
+    }
+
+    /// Window-bounded predictors never forecast outside the range of
+    /// values they have seen.
+    #[test]
+    fn bounded_predictors_stay_in_observed_range(values in prop::collection::vec(0.0f64..1.0, 1..100)) {
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut fs: Vec<Box<dyn Forecaster>> = vec![
+            Box::new(LastValue::new()),
+            Box::new(RunningMean::new()),
+            Box::new(SlidingWindowMean::new(8)),
+        ];
+        for v in &values {
+            for f in fs.iter_mut() {
+                f.update(*v);
+            }
+        }
+        for f in &fs {
+            let p = f.forecast().expect("forecast");
+            prop_assert!(
+                p >= lo - 1e-12 && p <= hi + 1e-12,
+                "{} forecast {p} outside [{lo}, {hi}]",
+                f.name()
+            );
+        }
+    }
+
+    /// Updating with the same stream twice in two selector instances
+    /// yields identical forecasts (pure determinism).
+    #[test]
+    fn selector_is_deterministic(values in prop::collection::vec(0.0f64..1.0, 1..150)) {
+        let mut a = AdaptiveSelector::new();
+        let mut b = AdaptiveSelector::new();
+        for v in &values {
+            a.update(*v);
+            b.update(*v);
+        }
+        prop_assert_eq!(a.forecast(), b.forecast());
+        prop_assert_eq!(a.best_name(), b.best_name());
+    }
+
+    /// On a constant tail, the selector's error estimate goes to zero
+    /// and the forecast converges to the constant.
+    #[test]
+    fn selector_converges_on_constant_tails(
+        prefix in prop::collection::vec(0.0f64..1.0, 0..30),
+        level in 0.0f64..1.0,
+    ) {
+        let mut s = AdaptiveSelector::new();
+        for v in &prefix {
+            s.update(*v);
+        }
+        for _ in 0..400 {
+            s.update(level);
+        }
+        let p = s.forecast().expect("forecast");
+        prop_assert!((p - level).abs() < 0.02, "forecast {p} vs level {level}");
+    }
+}

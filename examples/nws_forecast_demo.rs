@@ -1,0 +1,58 @@
+//! Watching the weather: the Network Weather Service observing a host
+//! whose load regime changes, with the adaptive selector switching
+//! predictors as the signal character shifts.
+//!
+//! ```sh
+//! cargo run --example nws_forecast_demo
+//! ```
+
+use metasim::host::HostSpec;
+use metasim::load::LoadModel;
+use metasim::net::{LinkSpec, TopologyBuilder};
+use metasim::{HostId, SimTime};
+use nws::{ResourceKey, WeatherService, WeatherServiceConfig};
+
+fn main() {
+    // A host that idles for 30 min, then a noisy user session starts,
+    // then the machine goes quiet again.
+    let mut b = TopologyBuilder::new();
+    let seg = b.add_segment(LinkSpec::dedicated("seg", 10.0, SimTime::ZERO));
+    b.add_host(HostSpec::workstation(
+        "watched",
+        25.0,
+        128.0,
+        seg,
+        LoadModel::Trace(vec![
+            (SimTime::ZERO, 0.95),
+            (SimTime::from_secs(1800), 0.3),
+            (SimTime::from_secs(1860), 0.5),
+            (SimTime::from_secs(1920), 0.25),
+            (SimTime::from_secs(1980), 0.45),
+            (SimTime::from_secs(2040), 0.3),
+            (SimTime::from_secs(3600), 0.9),
+        ]),
+    ));
+    let topo = b
+        .instantiate(SimTime::from_secs(10_000), 0)
+        .expect("topology");
+
+    let mut ws = WeatherService::for_topology(&topo, WeatherServiceConfig::default());
+    let key = ResourceKey::Cpu(HostId(0));
+
+    println!("time     measured  forecast  err     predictor");
+    println!("------------------------------------------------------");
+    for minute in (5..=90).step_by(5) {
+        let now = SimTime::from_secs(minute * 60);
+        ws.advance(&topo, now);
+        let current = ws.current(key).expect("measurement");
+        let f = ws.forecast(key).expect("forecast");
+        println!(
+            "{:>4} min    {:>6.2}    {:>6.2}  {:>6.3}  {}",
+            minute, current, f.value, f.error, f.method
+        );
+    }
+    println!(
+        "\nThe selector leans on long averages while the host is quiet,\n\
+         and shifts toward reactive predictors when the session starts."
+    );
+}

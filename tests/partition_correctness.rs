@@ -1,0 +1,77 @@
+//! The contract between the scheduler and the numerics: *any* strip
+//! partition the scheduling layer produces computes exactly the same
+//! grid as the sequential solver. Partitioning is a performance
+//! decision, never a correctness decision.
+
+use apples::info::InfoPool;
+use apples_apps::jacobi2d::partition::jacobi_context;
+use apples_apps::jacobi2d::{apples_stencil_schedule, static_strip, uniform_strip, Grid, PartitionedRun};
+use metasim::testbed::{pcl_sdsc, TestbedConfig};
+use metasim::SimTime;
+use nws::{WeatherService, WeatherServiceConfig};
+
+fn reference_grid(n: usize) -> Grid {
+    Grid::new(n, |r, c| {
+        if r == 0 {
+            100.0
+        } else if c == 0 {
+            25.0
+        } else {
+            0.0
+        }
+    })
+}
+
+fn check_partition(n: usize, strip_rows: &[usize], sweeps: usize) {
+    let mut seq = reference_grid(n);
+    let mut par = PartitionedRun::new(&seq, strip_rows);
+    seq.run(sweeps);
+    par.run(sweeps);
+    assert_eq!(
+        seq.data(),
+        par.assemble().as_slice(),
+        "partition {strip_rows:?} diverged from the sequential solver"
+    );
+}
+
+#[test]
+fn uniform_partitions_compute_identical_results() {
+    for hosts in 1..=6 {
+        let ids: Vec<metasim::HostId> = (0..hosts).map(metasim::HostId).collect();
+        let sched = uniform_strip(60, 1, &ids);
+        let rows: Vec<usize> = sched.parts.iter().map(|p| p.rows).collect();
+        check_partition(60, &rows, 30);
+    }
+}
+
+#[test]
+fn static_partitions_compute_identical_results() {
+    let tb = pcl_sdsc(&TestbedConfig::default()).expect("testbed");
+    let sched = static_strip(&tb.topo, 80, 1, &tb.workstations());
+    let rows: Vec<usize> = sched.parts.iter().map(|p| p.rows).collect();
+    check_partition(80, &rows, 25);
+}
+
+#[test]
+fn apples_partitions_compute_identical_results() {
+    // Whatever strips the agent picks for the real testbed, the
+    // numerics must agree with the sequential solver exactly.
+    let tb = pcl_sdsc(&TestbedConfig::default()).expect("testbed");
+    let now = SimTime::from_secs(600);
+    let mut ws = WeatherService::for_topology(&tb.topo, WeatherServiceConfig::default());
+    ws.advance(&tb.topo, now);
+    let (hat, user) = jacobi_context(96, 1);
+    let pool = InfoPool::with_nws(&tb.topo, &ws, &hat, &user, now);
+    let sched = apples_stencil_schedule(&pool).expect("plan");
+    let rows: Vec<usize> = sched.parts.iter().map(|p| p.rows).collect();
+    assert_eq!(rows.iter().sum::<usize>(), 96);
+    check_partition(96, &rows, 40);
+}
+
+#[test]
+fn pathological_partitions_still_agree() {
+    // Single-row strips, alternating sizes, one giant strip.
+    check_partition(31, &[1; 31], 20);
+    check_partition(40, &[1, 9, 1, 9, 1, 9, 1, 9], 20);
+    check_partition(50, &[49, 1], 20);
+}

@@ -1,0 +1,273 @@
+//! Property-based tests across the stack: invariants of the planner,
+//! the availability algebra, the partitioned numerics, and the
+//! forecasters, on randomized inputs.
+
+use apples::hat::jacobi2d_hat;
+use apples::info::InfoPool;
+use apples::planner::plan_strip;
+use apples::user::UserSpec;
+use apples_apps::jacobi2d::{Grid, PartitionedRun};
+use metasim::host::HostSpec;
+use metasim::load::{LoadModel, StepSeries};
+use metasim::net::{LinkSpec, TopologyBuilder};
+use metasim::{HostId, SimTime, Topology};
+use proptest::prelude::*;
+
+fn s(x: f64) -> SimTime {
+    SimTime::from_secs_f64(x)
+}
+
+/// Arbitrary small host pool on one segment.
+fn topo_from(speeds: &[f64], mems: &[f64]) -> Topology {
+    let mut b = TopologyBuilder::new();
+    let seg = b.add_segment(LinkSpec::dedicated("seg", 5.0, SimTime::from_millis(1)));
+    for (i, (&sp, &mem)) in speeds.iter().zip(mems).enumerate() {
+        b.add_host(HostSpec::dedicated(&format!("h{i}"), sp, mem, seg));
+    }
+    b.instantiate(s(1e6), 0).expect("topo")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The strip planner always emits a complete partition with
+    /// positive strips over a subset of the offered hosts.
+    #[test]
+    fn planner_output_is_always_a_valid_partition(
+        speeds in prop::collection::vec(1.0f64..200.0, 1..6),
+        n in 50usize..400,
+    ) {
+        let mems = vec![4096.0; speeds.len()];
+        let topo = topo_from(&speeds, &mems);
+        let hat = jacobi2d_hat(n, 5);
+        let user = UserSpec::default();
+        let pool = InfoPool::static_nominal(&topo, &hat, &user, SimTime::ZERO);
+        let hosts: Vec<HostId> = (0..speeds.len()).map(HostId).collect();
+        let sched = plan_strip(&pool, &hosts).expect("plan");
+        prop_assert!(sched.validate().is_ok());
+        prop_assert_eq!(sched.parts.iter().map(|p| p.rows).sum::<usize>(), n);
+        for p in &sched.parts {
+            prop_assert!(p.rows > 0);
+            prop_assert!(hosts.contains(&p.host));
+        }
+    }
+
+    /// When the spill guard is on and total memory suffices, no strip
+    /// exceeds its host's memory capacity.
+    #[test]
+    fn planner_respects_memory_caps(
+        speeds in prop::collection::vec(1.0f64..100.0, 2..5),
+        n in 100usize..300,
+    ) {
+        // Memories sized so each host holds ~2n/k rows: total capacity
+        // about twice the grid.
+        let k = speeds.len();
+        let row_mb = n as f64 * 16.0 / 1e6;
+        let mems: Vec<f64> = (0..k).map(|_| row_mb * (2 * n / k) as f64).collect();
+        let topo = topo_from(&speeds, &mems);
+        let hat = jacobi2d_hat(n, 5);
+        let user = UserSpec::default();
+        let pool = InfoPool::static_nominal(&topo, &hat, &user, SimTime::ZERO);
+        let hosts: Vec<HostId> = (0..k).map(HostId).collect();
+        let sched = plan_strip(&pool, &hosts).expect("plan");
+        for p in &sched.parts {
+            let mem = topo.host(p.host).expect("host").spec.mem_mb;
+            let resident = p.rows as f64 * row_mb;
+            prop_assert!(
+                resident <= mem + 1e-9,
+                "strip of {} rows ({resident:.3} MB) exceeds {mem:.3} MB",
+                p.rows
+            );
+        }
+    }
+
+    /// With exactly two hosts (both strips are end strips, so border
+    /// costs are symmetric) the faster host never gets a smaller strip.
+    /// Note this is NOT an invariant for three or more strips: middle
+    /// strips exchange two borders and end strips one, so a fast host
+    /// in the middle can legitimately receive fewer rows than a slower
+    /// host at an end.
+    #[test]
+    fn planner_is_monotone_in_speed_for_host_pairs(
+        fast in 10.0f64..100.0,
+        slow_frac in 0.05f64..0.95,
+        n in 100usize..400,
+    ) {
+        let speeds = [fast, fast * slow_frac];
+        let mems = vec![4096.0; 2];
+        let topo = topo_from(&speeds, &mems);
+        let hat = jacobi2d_hat(n, 5);
+        let user = UserSpec::default();
+        let pool = InfoPool::static_nominal(&topo, &hat, &user, SimTime::ZERO);
+        let sched = plan_strip(&pool, &[HostId(0), HostId(1)]).expect("plan");
+        let rows_of = |h: usize| {
+            sched.parts.iter().find(|p| p.host == HostId(h)).map(|p| p.rows).unwrap_or(0)
+        };
+        prop_assert!(
+            rows_of(0) + 1 >= rows_of(1),
+            "fast host got {} rows, slow host {}",
+            rows_of(0),
+            rows_of(1)
+        );
+    }
+
+    /// The strip solver equalizes predicted per-strip times: with
+    /// uniform memory and a fast uniform network, every strip's
+    /// `rows_i * sec_per_row_i` lands within a couple of rows'
+    /// rounding of every other's.
+    #[test]
+    fn planner_balances_predicted_times(
+        speeds in prop::collection::vec(5.0f64..100.0, 2..5),
+        n in 400usize..900,
+    ) {
+        let mems = vec![1_000_000.0; speeds.len()];
+        let topo = topo_from(&speeds, &mems);
+        let hat = jacobi2d_hat(n, 5);
+        let user = UserSpec::default();
+        let pool = InfoPool::static_nominal(&topo, &hat, &user, SimTime::ZERO);
+        let hosts: Vec<HostId> = (0..speeds.len()).map(HostId).collect();
+        let sched = plan_strip(&pool, &hosts).expect("plan");
+        prop_assume!(sched.parts.len() >= 2);
+        // Predicted T_i = compute + border exchange, using the same
+        // per-transfer model the planner's C_i uses: one link latency
+        // (1 ms) plus the border payload at 5 MB/s, twice per
+        // neighbour (send + receive).
+        let border_mb = n as f64 * 8.0 / 1e6;
+        let transfer = 0.001 + border_mb / 5.0;
+        let k = sched.parts.len();
+        let times: Vec<f64> = sched
+            .parts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let speed = speeds[p.host.0];
+                let compute = p.rows as f64 * (n as f64 * 5.0 / 1e6) / speed;
+                let neighbours = usize::from(i > 0) + usize::from(i + 1 < k);
+                compute + 2.0 * neighbours as f64 * transfer
+            })
+            .collect();
+        let max = times.iter().cloned().fold(f64::MIN, f64::max);
+        let min = times.iter().cloned().fold(f64::MAX, f64::min);
+        // Integer rounding moves each strip by at most ~2 rows; allow
+        // that plus 5% slack.
+        let row_cost = (n as f64 * 5.0 / 1e6)
+            / speeds.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!(
+            max - min <= 3.0 * row_cost + 0.05 * max,
+            "unbalanced strips: times {times:?}"
+        );
+    }
+
+    /// StepSeries integral is additive over adjacent intervals.
+    #[test]
+    fn step_series_integral_is_additive(
+        points in prop::collection::vec((0u64..10_000, 0.0f64..1.0), 1..20),
+        a in 0u64..5_000,
+        b in 0u64..5_000,
+        c in 0u64..5_000,
+    ) {
+        let series = StepSeries::from_points(
+            points.into_iter().map(|(t, v)| (SimTime::from_secs(t), v)).collect(),
+        );
+        let mut ts = [a, b, c];
+        ts.sort_unstable();
+        let (t0, t1, t2) = (
+            SimTime::from_secs(ts[0]),
+            SimTime::from_secs(ts[1]),
+            SimTime::from_secs(ts[2]),
+        );
+        let whole = series.integral(t0, t2);
+        let split = series.integral(t0, t1) + series.integral(t1, t2);
+        prop_assert!((whole - split).abs() < 1e-6, "{whole} != {split}");
+    }
+
+    /// `time_to_complete` is consistent with `integral`: the work
+    /// delivered between start and completion equals the work asked
+    /// for (up to the microsecond rounding of completion times).
+    #[test]
+    fn time_to_complete_matches_integral(
+        points in prop::collection::vec((0u64..10_000, 0.05f64..1.0), 1..20),
+        work in 0.1f64..5_000.0,
+        speed in 0.1f64..100.0,
+    ) {
+        let series = StepSeries::from_points(
+            points.into_iter().map(|(t, v)| (SimTime::from_secs(t), v)).collect(),
+        );
+        let done = series
+            .time_to_complete(SimTime::ZERO, work, speed)
+            .expect("completes");
+        let delivered = speed * series.integral(SimTime::ZERO, done);
+        // Completion rounds *up* to the next microsecond, so delivered
+        // work can only overshoot, by at most one microsecond of the
+        // maximum rate.
+        prop_assert!(delivered + 1e-9 >= work, "undershoot: {delivered} < {work}");
+        prop_assert!(delivered - work <= speed * 2e-6 + 1e-9, "overshoot too large");
+    }
+
+    /// Markov load realizations stay within their two configured
+    /// levels and are reproducible.
+    #[test]
+    fn markov_realizations_are_two_level_and_deterministic(
+        idle in 0.0f64..1.0,
+        busy in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let m = LoadModel::MarkovOnOff {
+            idle_avail: idle,
+            busy_avail: busy,
+            mean_idle: SimTime::from_secs(30),
+            mean_busy: SimTime::from_secs(10),
+        };
+        let a = m.realize(s(10_000.0), seed);
+        prop_assert_eq!(&a, &m.realize(s(10_000.0), seed));
+        for &(_, v) in a.points() {
+            prop_assert!((v - idle).abs() < 1e-12 || (v - busy).abs() < 1e-12);
+        }
+    }
+
+    /// Any block mesh over the Jacobi grid computes exactly the
+    /// sequential answer.
+    #[test]
+    fn blocked_jacobi_always_matches_sequential(
+        row_parts in prop::collection::vec(1usize..8, 1..4),
+        col_parts in prop::collection::vec(1usize..8, 1..4),
+        sweeps in 1usize..15,
+    ) {
+        use apples_apps::jacobi2d::BlockedRun;
+        let rsum: usize = row_parts.iter().sum();
+        let csum: usize = col_parts.iter().sum();
+        let n = rsum.max(csum).max(3);
+        let mut rows = row_parts.clone();
+        let mut cols = col_parts.clone();
+        *rows.last_mut().expect("rows") += n - rsum;
+        *cols.last_mut().expect("cols") += n - csum;
+        let mut seq = Grid::new(n, |r, c| ((r * 5 + c) % 9) as f64);
+        let mut blocked = BlockedRun::new(&seq, &rows, &cols);
+        seq.run(sweeps);
+        blocked.run(sweeps);
+        let assembled = blocked.assemble();
+        prop_assert_eq!(seq.data(), assembled.as_slice());
+    }
+
+    /// Any strip partition of the Jacobi grid computes exactly the
+    /// sequential answer.
+    #[test]
+    fn partitioned_jacobi_always_matches_sequential(
+        splits in prop::collection::vec(1usize..12, 1..6),
+        sweeps in 1usize..25,
+    ) {
+        let n: usize = splits.iter().sum::<usize>().max(3);
+        // Pad the last strip so the strips cover an n >= 3 grid.
+        let mut strips = splits.clone();
+        let covered: usize = strips.iter().sum();
+        if covered < n {
+            *strips.last_mut().expect("strips") += n - covered;
+        }
+        let mut seq = Grid::new(n, |r, c| (r * 3 + c) as f64 % 7.0);
+        let mut par = PartitionedRun::new(&seq, &strips);
+        seq.run(sweeps);
+        par.run(sweeps);
+        let assembled = par.assemble();
+        prop_assert_eq!(seq.data(), assembled.as_slice());
+    }
+}
