@@ -102,8 +102,8 @@ impl BlockedRun {
                         if gr == 0 || gc == 0 || gr == n - 1 || gc == n - 1 {
                             next[idx] = cur[idx]; // fixed boundary
                         } else {
-                            next[idx] = 0.25
-                                * (cur[idx - w] + cur[idx + w] + cur[idx - 1] + cur[idx + 1]);
+                            next[idx] =
+                                0.25 * (cur[idx - w] + cur[idx + w] + cur[idx - 1] + cur[idx + 1]);
                         }
                     }
                 }
@@ -124,11 +124,9 @@ impl BlockedRun {
                 if bi + 1 < pr {
                     let my_last: Vec<f64> =
                         self.cur[bi][bj][rows * w + 1..rows * w + 1 + cols].to_vec();
-                    let their_first: Vec<f64> =
-                        self.cur[bi + 1][bj][w + 1..w + 1 + cols].to_vec();
+                    let their_first: Vec<f64> = self.cur[bi + 1][bj][w + 1..w + 1 + cols].to_vec();
                     self.cur[bi + 1][bj][1..1 + cols].copy_from_slice(&my_last);
-                    self.cur[bi][bj]
-                        [(rows + 1) * w + 1..(rows + 1) * w + 1 + cols]
+                    self.cur[bi][bj][(rows + 1) * w + 1..(rows + 1) * w + 1 + cols]
                         .copy_from_slice(&their_first);
                 }
                 // Right neighbour (bi, bj+1): my last column -> their left

@@ -106,7 +106,9 @@ impl Grid {
         for r in 1..n - 1 {
             for c in 1..n - 1 {
                 let v = 0.25
-                    * (self.get(r - 1, c) + self.get(r + 1, c) + self.get(r, c - 1)
+                    * (self.get(r - 1, c)
+                        + self.get(r + 1, c)
+                        + self.get(r, c - 1)
                         + self.get(r, c + 1));
                 worst = worst.max((v - self.get(r, c)).abs());
             }
@@ -165,8 +167,7 @@ impl PartitionedRun {
             for lr in 0..rows + 2 {
                 let gr = (first + lr).wrapping_sub(1);
                 if gr < n {
-                    local[lr * n..(lr + 1) * n]
-                        .copy_from_slice(&grid.data()[gr * n..(gr + 1) * n]);
+                    local[lr * n..(lr + 1) * n].copy_from_slice(&grid.data()[gr * n..(gr + 1) * n]);
                 }
             }
             cur.push(local);

@@ -136,16 +136,11 @@ pub fn jacobi_context(n: usize, iterations: usize) -> (apples::hat::Hat, UserSpe
 /// how much the restriction costs (usually: strips genuinely win on a
 /// heterogeneous pool, because uniform blocks cannot shape themselves
 /// to per-host speed).
-pub fn apples_blocked_decision(
-    pool: &InfoPool<'_>,
-) -> Result<(BlockedSchedule, f64), ApplesError> {
-    let t = pool
-        .hat
-        .as_stencil()
-        .ok_or(ApplesError::TemplateMismatch {
-            expected: "iterative-stencil",
-            found: pool.hat.class_name(),
-        })?;
+pub fn apples_blocked_decision(pool: &InfoPool<'_>) -> Result<(BlockedSchedule, f64), ApplesError> {
+    let t = pool.hat.as_stencil().ok_or(ApplesError::TemplateMismatch {
+        expected: "iterative-stencil",
+        found: pool.hat.class_name(),
+    })?;
     // Rank hosts by forecast speed; consider every prefix size.
     let mut feasible = apples::selector::ResourceSelector::feasible_hosts(pool);
     if feasible.is_empty() {

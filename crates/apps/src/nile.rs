@@ -67,10 +67,7 @@ pub fn plan_farm(
             "no host in the set has positive predicted availability".into(),
         ));
     }
-    let shares: Vec<f64> = speeds
-        .iter()
-        .map(|s| t.events as f64 * s / total)
-        .collect();
+    let shares: Vec<f64> = speeds.iter().map(|s| t.events as f64 * s / total).collect();
     let mut counts: Vec<u64> = shares.iter().map(|s| s.floor() as u64).collect();
     let mut remainder = t.events - counts.iter().sum::<u64>();
     let mut order: Vec<usize> = (0..hosts.len()).collect();
@@ -148,7 +145,9 @@ impl SiteManager {
                 found: pool.hat.class_name(),
             })?;
         if self.runs == 0 {
-            return Err(ApplesError::Invalid("campaign needs at least one run".into()));
+            return Err(ApplesError::Invalid(
+                "campaign needs at least one run".into(),
+            ));
         }
         if self.skim_mb_factor.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(ApplesError::Invalid(format!(
@@ -396,8 +395,16 @@ mod tests {
 
     fn setup() -> Setup {
         let mut b = TopologyBuilder::new();
-        let local = b.add_segment(LinkSpec::dedicated("local", 12.5, SimTime::from_micros(500)));
-        let remote = b.add_segment(LinkSpec::dedicated("remote", 12.5, SimTime::from_micros(500)));
+        let local = b.add_segment(LinkSpec::dedicated(
+            "local",
+            12.5,
+            SimTime::from_micros(500),
+        ));
+        let remote = b.add_segment(LinkSpec::dedicated(
+            "remote",
+            12.5,
+            SimTime::from_micros(500),
+        ));
         let wan = b.add_link(LinkSpec::dedicated("wan", 0.5, SimTime::from_millis(30)));
         b.add_route(local, remote, vec![wan]);
         let server = b.add_host(HostSpec::dedicated("cornell-server", 20.0, 1024.0, remote));
@@ -492,7 +499,14 @@ mod tests {
             .plan_campaign(&pool, &su.alphas, su.server, su.alphas[0])
             .unwrap();
         let measured = sm
-            .run_campaign(&su.topo, &hat, &plan, su.server, su.alphas[0], SimTime::ZERO)
+            .run_campaign(
+                &su.topo,
+                &hat,
+                &plan,
+                su.server,
+                su.alphas[0],
+                SimTime::ZERO,
+            )
             .unwrap();
         assert!(measured > 0.0);
         // The estimate and the simulation should agree on the order of
@@ -528,7 +542,14 @@ mod tests {
             per_run: remote_sched,
         };
         let skim_time = sm
-            .run_campaign(&su.topo, &hat, &plan, su.server, su.alphas[0], SimTime::ZERO)
+            .run_campaign(
+                &su.topo,
+                &hat,
+                &plan,
+                su.server,
+                su.alphas[0],
+                SimTime::ZERO,
+            )
             .unwrap();
         let remote_time = sm
             .run_campaign(
@@ -562,12 +583,7 @@ mod tests {
         let site_b = b.add_host(HostSpec::dedicated("store-b", 20.0, 2048.0, seg));
         let mut compute = Vec::new();
         for (i, speed) in [40.0, 40.0, 20.0, 10.0].iter().enumerate() {
-            compute.push(b.add_host(HostSpec::dedicated(
-                &format!("c{i}"),
-                *speed,
-                256.0,
-                seg,
-            )));
+            compute.push(b.add_host(HostSpec::dedicated(&format!("c{i}"), *speed, 256.0, seg)));
         }
         MultiSetup {
             topo: b.instantiate(s(1e7), 0).unwrap(),

@@ -118,7 +118,8 @@ pub fn casa_testbed(seed: u64) -> Result<CasaTestbed, SimError> {
     let mut c90_spec = HostSpec::dedicated("sdsc-c90", C90_MFLOPS, C90_MEM_MB, sdsc);
     c90_spec.paging_slowdown = 20.0;
     let c90 = b.add_host(c90_spec);
-    let mut par_spec = HostSpec::dedicated("caltech-paragon", PARAGON_MFLOPS, PARAGON_MEM_MB, caltech);
+    let mut par_spec =
+        HostSpec::dedicated("caltech-paragon", PARAGON_MFLOPS, PARAGON_MEM_MB, caltech);
     par_spec.paging_slowdown = 20.0;
     let paragon = b.add_host(par_spec);
 
@@ -228,7 +229,11 @@ mod tests {
         let c90 = single_site_run(&tb, tb.c90).unwrap().as_secs_f64();
         let par = single_site_run(&tb, tb.paragon).unwrap().as_secs_f64();
         assert!(c90 > 16.0 * HOUR, "C90 single-site: {:.1} h", c90 / HOUR);
-        assert!(par > 16.0 * HOUR, "Paragon single-site: {:.1} h", par / HOUR);
+        assert!(
+            par > 16.0 * HOUR,
+            "Paragon single-site: {:.1} h",
+            par / HOUR
+        );
     }
 
     #[test]
@@ -242,8 +247,7 @@ mod tests {
     #[test]
     fn best_pipeline_size_is_in_the_papers_range() {
         let tb = casa_testbed(0).unwrap();
-        let sweep =
-            sweep_pipeline_sizes(&tb, &[1, 2, 5, 10, 20, 65, 130, 260], 4).unwrap();
+        let sweep = sweep_pipeline_sizes(&tb, &[1, 2, 5, 10, 20, 65, 130, 260], 4).unwrap();
         let best = sweep
             .iter()
             .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())

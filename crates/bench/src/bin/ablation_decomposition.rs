@@ -4,8 +4,8 @@
 //! strip restriction costs (or saves) on the paper's testbed.
 
 use apples::info::InfoPool;
-use apples_apps::jacobi2d::partition::{apples_blocked_decision, jacobi_context};
 use apples_apps::jacobi2d::apples_stencil_schedule;
+use apples_apps::jacobi2d::partition::{apples_blocked_decision, jacobi_context};
 use apples_bench::table;
 use metasim::exec::simulate_spmd;
 use metasim::testbed::{pcl_sdsc, TestbedConfig};
@@ -28,8 +28,7 @@ fn main() {
             .expect("testbed");
             let (hat, user) = jacobi_context(n, 60);
             let t = hat.as_stencil().expect("stencil");
-            let mut ws =
-                WeatherService::for_topology(&tb.topo, WeatherServiceConfig::default());
+            let mut ws = WeatherService::for_topology(&tb.topo, WeatherServiceConfig::default());
             ws.advance(&tb.topo, warmup);
             let pool = InfoPool::with_nws(&tb.topo, &ws, &hat, &user, warmup);
 
@@ -55,7 +54,12 @@ fn main() {
     println!(
         "{}",
         table::render(
-            &["problem", "AppLeS strips s", "AppLeS blocks s", "blocks/strips"],
+            &[
+                "problem",
+                "AppLeS strips s",
+                "AppLeS blocks s",
+                "blocks/strips"
+            ],
             &rows
         )
     );

@@ -9,9 +9,7 @@ use apples_bench::table;
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let (n, iters, trials) = if quick { (1000, 30, 3) } else { (1600, 80, 5) };
-    println!(
-        "Forecast-source ablation: Jacobi2D {n}x{n}, {iters} iterations, {trials} trials\n"
-    );
+    println!("Forecast-source ablation: Jacobi2D {n}x{n}, {iters} iterations, {trials} trials\n");
     let rows = forecast_ablation(n, iters, trials, 1996);
     let base = rows
         .iter()

@@ -13,7 +13,10 @@ fn main() {
         samples.len()
     );
     println!("prediction/reality ratio distribution:");
-    println!("  median {:.3}   mean {:.3} ± {:.3}", stats.median, stats.mean, stats.std_dev);
+    println!(
+        "  median {:.3}   mean {:.3} ± {:.3}",
+        stats.median, stats.mean, stats.std_dev
+    );
     println!("  min    {:.3}   max  {:.3}\n", stats.min, stats.max);
 
     // A coarse histogram of the ratio.

@@ -2,8 +2,8 @@
 //! computed at compile time from nominal CPU speeds alone, identical
 //! for every load realization.
 
-use apples_bench::table;
 use apples_apps::jacobi2d::static_strip;
+use apples_bench::table;
 use metasim::testbed::{pcl_sdsc, TestbedConfig};
 
 fn main() {

@@ -22,10 +22,7 @@ fn main() {
     }
     println!(
         "{}",
-        table::render(
-            &["budget", "AppLeS", "static Strip", "HPF Blocked"],
-            &rows
-        )
+        table::render(&["budget", "AppLeS", "static Strip", "HPF Blocked"], &rows)
     );
     println!(
         "Fixed-size speedup (Figure 5) and fixed-time scaling are two views\n\

@@ -17,10 +17,13 @@ fn main() {
     );
     for (regime, label) in [(Regime::Blind, "blind"), (Regime::Aware, "aware")] {
         let outcomes = run_staged(n, mix, 1996, gap, regime);
-        println!("{label}: each agent decides {}", match regime {
-            Regime::Blind => "from pristine pre-submission measurements",
-            Regime::Aware => "from measurements that include earlier agents' load",
-        });
+        println!(
+            "{label}: each agent decides {}",
+            match regime {
+                Regime::Blind => "from pristine pre-submission measurements",
+                Regime::Aware => "from measurements that include earlier agents' load",
+            }
+        );
         let rows: Vec<Vec<String>> = outcomes
             .iter()
             .map(|o| {

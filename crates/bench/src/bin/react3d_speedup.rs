@@ -21,7 +21,10 @@ fn main() {
         &[1, 2, 4, 8],
     )
     .expect("depth sweep");
-    println!("pipeline-depth sweep at the best unit size ({} SF):", r.best_unit);
+    println!(
+        "pipeline-depth sweep at the best unit size ({} SF):",
+        r.best_unit
+    );
     let depth_rows: Vec<Vec<String>> = depths
         .iter()
         .map(|d| {
@@ -50,7 +53,11 @@ fn main() {
             vec![
                 format!("{u}"),
                 format!("{h:.2}"),
-                if u == r.best_unit { "<- best".into() } else { String::new() },
+                if u == r.best_unit {
+                    "<- best".into()
+                } else {
+                    String::new()
+                },
             ]
         })
         .collect();

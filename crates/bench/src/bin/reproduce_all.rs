@@ -119,10 +119,7 @@ fn main() {
         let mix: &[usize] = &[4000, 4000, 300];
         let aware = multi_agent::run_staged(1200, mix, 77, gap, multi_agent::Regime::Aware);
         let blind = multi_agent::run_staged(1200, mix, 77, gap, multi_agent::Regime::Blind);
-        let (ap, bp) = (
-            aware.last().unwrap().elapsed,
-            blind.last().unwrap().elapsed,
-        );
+        let (ap, bp) = (aware.last().unwrap().elapsed, blind.last().unwrap().elapsed);
         checks.push(Check {
             name: "T-MULTI",
             claim: "observing other agents' load pays off",

@@ -70,7 +70,10 @@ fn main() {
         "Mid-execution rescheduling: Jacobi2D {n}x{n}, {iterations} iterations,\n\
          load regime flips at t = 660 s (run starts at t = 600 s)\n"
     );
-    println!("one-shot AppLeS:      {:>8.1} s", one_shot_report.elapsed_seconds);
+    println!(
+        "one-shot AppLeS:      {:>8.1} s",
+        one_shot_report.elapsed_seconds
+    );
     println!(
         "rescheduling AppLeS:  {:>8.1} s  ({} migration(s))\n",
         report.elapsed_seconds, report.migrations
@@ -98,7 +101,14 @@ fn main() {
     println!(
         "{}",
         table::render(
-            &["phase", "t start", "iters", "elapsed s", "migrated", "hosts"],
+            &[
+                "phase",
+                "t start",
+                "iters",
+                "elapsed s",
+                "migrated",
+                "hosts"
+            ],
             &rows
         )
     );

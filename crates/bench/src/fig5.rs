@@ -11,8 +11,8 @@
 //! load traces, and rows average over independent trials (seeds).
 
 use apples::info::InfoPool;
-use apples_apps::jacobi2d::{apples_stencil_schedule, blocked_uniform, static_strip};
 use apples_apps::jacobi2d::partition::jacobi_context;
+use apples_apps::jacobi2d::{apples_stencil_schedule, blocked_uniform, static_strip};
 use metasim::exec::simulate_spmd;
 use metasim::testbed::{pcl_sdsc, LoadProfile, TestbedConfig};
 use metasim::trace::Stats;
@@ -63,12 +63,7 @@ pub struct TrialResult {
 }
 
 /// Run one back-to-back trial at grid size `n`.
-pub fn run_trial(
-    n: usize,
-    iterations: usize,
-    seed: u64,
-    profile: LoadProfile,
-) -> TrialResult {
+pub fn run_trial(n: usize, iterations: usize, seed: u64, profile: LoadProfile) -> TrialResult {
     let tb = pcl_sdsc(&TestbedConfig {
         profile,
         horizon: SimTime::from_secs(400_000),

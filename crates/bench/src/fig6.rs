@@ -11,8 +11,8 @@
 //! spills from memory causing a dramatic reduction in performance."
 
 use apples::info::InfoPool;
-use apples_apps::jacobi2d::{apples_stencil_schedule, blocked_uniform};
 use apples_apps::jacobi2d::partition::jacobi_context;
+use apples_apps::jacobi2d::{apples_stencil_schedule, blocked_uniform};
 use metasim::exec::simulate_spmd;
 use metasim::testbed::{pcl_sdsc, LoadProfile, TestbedConfig};
 use metasim::trace::Stats;

@@ -61,7 +61,9 @@ pub fn measure(strategy: Strategy, n: usize, iterations: usize, seed: u64) -> f6
                 .expect("plan")
                 .to_spmd_job(t, warmup)
         }
-        Strategy::StaticStrip => static_strip(&tb.topo, n, iterations, &hosts).to_spmd_job(t, warmup),
+        Strategy::StaticStrip => {
+            static_strip(&tb.topo, n, iterations, &hosts).to_spmd_job(t, warmup)
+        }
         Strategy::Blocked => blocked_uniform(n, iterations, &hosts).to_spmd_job(t, warmup),
     };
     simulate_spmd(&tb.topo, &job)
@@ -138,9 +140,6 @@ mod tests {
 
     #[test]
     fn impossible_budget_returns_zero() {
-        assert_eq!(
-            largest_grid_within(Strategy::Blocked, 1e-6, 40, 7),
-            0
-        );
+        assert_eq!(largest_grid_within(Strategy::Blocked, 1e-6, 40, 7), 0);
     }
 }

@@ -12,6 +12,7 @@ pub mod estimator_exp;
 pub mod fig5;
 pub mod fig6;
 pub mod fixed_time;
+pub mod grid_exp;
 pub mod multi_agent;
 pub mod nile_exp;
 pub mod nws_exp;

@@ -28,15 +28,16 @@
 //! No coordination happens in either regime — the paper's point is
 //! that accurate *observation* alone yields decent system behaviour
 //! from purely application-centric decisions.
+//!
+//! The staging itself (admit → decide → actuate → impose) is the
+//! general job-stream service of `apples-grid`; this module is a thin
+//! wrapper fixing the workload shape to staged same-size Jacobi jobs.
 
-use apples::info::InfoPool;
-use apples_apps::jacobi2d::apples_stencil_schedule;
-use apples_apps::jacobi2d::partition::jacobi_context;
-use apples::schedule::StencilSchedule;
-use metasim::exec::simulate_spmd;
-use metasim::testbed::{pcl_sdsc, LoadProfile, Testbed, TestbedConfig};
-use metasim::{SimTime, Topology};
-use nws::{WeatherService, WeatherServiceConfig};
+use apples_grid::service::{run_jobs, GridConfig};
+use apples_grid::workload::{JobKind, JobSpec};
+use metasim::SimTime;
+
+pub use apples_grid::service::Regime;
 
 /// How one staged agent fared.
 #[derive(Debug, Clone)]
@@ -51,39 +52,6 @@ pub struct AgentOutcome {
     pub elapsed: f64,
 }
 
-/// Information regime for the staged agents.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Regime {
-    /// Each agent observes the system as it is when it submits
-    /// (including earlier agents' imposed load).
-    Aware,
-    /// Every agent decides from pristine pre-submission measurements.
-    Blind,
-}
-
-/// Impose a finished run's CPU usage onto the topology: each used
-/// host's availability is scaled by `(1 - utilization)` for the run's
-/// duration, so later observers experience the contention.
-fn impose_load(
-    topo: &mut Topology,
-    sched: &StencilSchedule,
-    outcome: &metasim::exec::SpmdOutcome,
-    start: SimTime,
-) {
-    let elapsed = outcome.finish.saturating_sub(start).as_secs_f64();
-    if elapsed <= 0.0 {
-        return;
-    }
-    for (w, part) in sched.parts.iter().enumerate() {
-        let utilization = (outcome.compute_seconds[w] / elapsed).clamp(0.0, 1.0);
-        let host = topo.host_mut(part.host).expect("host");
-        let scaled = host
-            .availability()
-            .scaled_in_window(start, outcome.finish, 1.0 - utilization);
-        host.set_availability(scaled);
-    }
-}
-
 /// Stage one Jacobi2D job per entry of `iterations_per_agent`, `gap`
 /// seconds apart, under the given information regime. Returns one
 /// outcome per agent, in submission order.
@@ -94,62 +62,32 @@ pub fn run_staged(
     gap: SimTime,
     regime: Regime,
 ) -> Vec<AgentOutcome> {
-    let warmup = SimTime::from_secs(600);
-    let tb: Testbed = pcl_sdsc(&TestbedConfig {
-        profile: LoadProfile::Light,
-        horizon: SimTime::from_secs(400_000),
+    let jobs: Vec<JobSpec> = iterations_per_agent
+        .iter()
+        .enumerate()
+        .map(|(agent, &iterations)| JobSpec {
+            id: agent,
+            submit: SimTime::from_micros(gap.as_micros() * agent as u64),
+            kind: JobKind::Jacobi { n, iterations },
+        })
+        .collect();
+    let cfg = GridConfig {
         seed,
-        with_sp2: false,
-    })
-    .expect("testbed");
-    let mut topo = tb.topo.clone();
-
-    // The blind regime's information snapshot is taken once, pristine.
-    let mut pristine_ws = None;
-    if regime == Regime::Blind {
-        let mut ws = WeatherService::for_topology(&topo, WeatherServiceConfig::default());
-        ws.advance(&topo, warmup);
-        pristine_ws = Some(ws);
-    }
-
-    let mut outcomes = Vec::with_capacity(iterations_per_agent.len());
-    for (agent, &iterations) in iterations_per_agent.iter().enumerate() {
-        let start = warmup + SimTime::from_micros(gap.as_micros() * agent as u64);
-        let (hat, user) = jacobi_context(n, iterations);
-        let t = hat.as_stencil().expect("stencil");
-        let sched = match (&pristine_ws, regime) {
-            (Some(ws), Regime::Blind) => {
-                // Blind: decide from the pristine pre-submission view.
-                let pool = InfoPool::with_nws(&tb.topo, ws, &hat, &user, warmup);
-                apples_stencil_schedule(&pool).expect("blind plan")
-            }
-            _ => {
-                // Aware: observe the *current* topology (with earlier
-                // agents' load) up to this agent's submission time.
-                let mut ws =
-                    WeatherService::for_topology(&topo, WeatherServiceConfig::default());
-                ws.advance(&topo, start);
-                let pool = InfoPool::with_nws(&topo, &ws, &hat, &user, start);
-                apples_stencil_schedule(&pool).expect("aware plan")
-            }
-        };
-        let outcome =
-            simulate_spmd(&topo, &sched.to_spmd_job(t, start)).expect("agent run");
-        let hosts = sched
-            .parts
-            .iter()
-            .map(|p| topo.host(p.host).expect("host").spec.name.clone())
-            .collect();
-        let elapsed = outcome.makespan(start).as_secs_f64();
-        impose_load(&mut topo, &sched, &outcome, start);
-        outcomes.push(AgentOutcome {
-            agent,
-            start,
-            hosts,
-            elapsed,
-        });
-    }
-    outcomes
+        regime,
+        ..GridConfig::default()
+    };
+    let duration = SimTime::from_micros(gap.as_micros() * iterations_per_agent.len() as u64);
+    let outcome = run_jobs(&cfg, &jobs, duration).expect("staged stream");
+    outcome
+        .records
+        .into_iter()
+        .map(|r| AgentOutcome {
+            agent: r.id,
+            start: r.start,
+            hosts: r.hosts,
+            elapsed: r.exec_seconds,
+        })
+        .collect()
 }
 
 /// Mean elapsed seconds across the staged agents.

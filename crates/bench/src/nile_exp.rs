@@ -80,7 +80,9 @@ pub fn nile_testbed(seed: u64) -> NileTestbed {
     }
     let local_site = compute[0];
     NileTestbed {
-        topo: b.instantiate(SimTime::from_secs(1_000_000), seed).expect("testbed"),
+        topo: b
+            .instantiate(SimTime::from_secs(1_000_000), seed)
+            .expect("testbed"),
         server,
         compute,
         local_site,

@@ -39,10 +39,7 @@ pub fn run(seed: u64) -> ReactResult {
         / HOUR;
 
     let sweep_secs = sweep_pipeline_sizes(&tb, UNIT_SIZES, 4).expect("sweep");
-    let sweep: Vec<(usize, f64)> = sweep_secs
-        .into_iter()
-        .map(|(u, s)| (u, s / HOUR))
-        .collect();
+    let sweep: Vec<(usize, f64)> = sweep_secs.into_iter().map(|(u, s)| (u, s / HOUR)).collect();
     let &(best_unit, distributed_hours) = sweep
         .iter()
         .min_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"))

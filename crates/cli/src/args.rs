@@ -79,11 +79,7 @@ impl Parsed {
     }
 
     /// A typed flag, or the default; error on unparsable values.
-    pub fn get_parsed<T: std::str::FromStr>(
-        &self,
-        key: &str,
-        default: T,
-    ) -> Result<T, ArgError> {
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
         match self.flags.get(key) {
             None => Ok(default),
             Some(raw) => raw

@@ -164,7 +164,10 @@ pub fn forecast(p: &Parsed) -> CmdResult {
     let key = ResourceKey::Cpu(host);
     let step = (until / 12).max(60);
     let mut t = step;
-    println!("{:>8}  {:>8}  {:>8}  {:>7}  predictor", "time s", "measured", "forecast", "err");
+    println!(
+        "{:>8}  {:>8}  {:>8}  {:>7}  predictor",
+        "time s", "measured", "forecast", "err"
+    );
     while t <= until {
         let now = SimTime::from_secs(t);
         ws.advance(&tb.topo, now);
@@ -370,10 +373,7 @@ pub fn advise_cmd(p: &Parsed) -> CmdResult {
     pool.source = ForecastSource::Oracle;
     let advice = advise(
         &pool,
-        &[
-            vec![HostId(0), HostId(1)],
-            vec![HostId(2), HostId(3)],
-        ],
+        &[vec![HostId(0), HostId(1)], vec![HostId(2), HostId(3)]],
     )?;
     println!(
         "Jacobi2D {n}x{n} x{iterations}: queue wait {wait:.0} s vs shared pool at {:.0}%",
@@ -424,6 +424,81 @@ pub fn whatif(p: &Parsed) -> CmdResult {
     Ok(())
 }
 
+pub fn grid(p: &Parsed) -> CmdResult {
+    use apples_grid::workload::{ArrivalProcess, JobMix, WorkloadConfig};
+    use apples_grid::{run, GridConfig, Regime};
+    let rate: f64 = p.get_parsed("rate", 0.02)?;
+    let duration: f64 = p.get_parsed("duration", 3600.0)?;
+    let seed: u64 = p.get_parsed("seed", 1996)?;
+    let max_in_flight: usize = p.get_parsed("max-in-flight", usize::MAX)?;
+    if rate <= 0.0 || duration <= 0.0 {
+        return Err(ArgError("rate and duration must be positive".into()).into());
+    }
+    let cfg = GridConfig {
+        profile: profile_of(p)?,
+        with_sp2: p.switch("sp2"),
+        seed,
+        regime: if p.switch("blind") {
+            Regime::Blind
+        } else {
+            Regime::Aware
+        },
+        max_in_flight,
+        ..GridConfig::default()
+    };
+    let workload = WorkloadConfig {
+        arrivals: ArrivalProcess::Poisson { rate_hz: rate },
+        mix: JobMix::default_mix(),
+        duration: SimTime::from_secs_f64(duration),
+        seed,
+    };
+    let out = run(&cfg, &workload)?;
+
+    if p.switch("json") {
+        println!("{}", out.fleet.to_json());
+        return Ok(());
+    }
+    if p.switch("csv") {
+        println!("{}", apples_grid::FleetMetrics::csv_header());
+        println!("{}", out.fleet.csv_row(&format!("seed-{seed}")));
+        println!();
+        println!("{}", apples_grid::JobRecord::csv_header());
+        for r in &out.records {
+            println!("{}", r.csv_row());
+        }
+        return Ok(());
+    }
+
+    println!(
+        "job stream: Poisson {rate}/s for {duration} s, seed {seed} \
+         ({} regime, {} in-flight limit)\n",
+        if cfg.regime == Regime::Blind {
+            "blind"
+        } else {
+            "aware"
+        },
+        if max_in_flight == usize::MAX {
+            "no".to_string()
+        } else {
+            max_in_flight.to_string()
+        },
+    );
+    let f = &out.fleet;
+    println!("jobs completed    {:>10}", f.jobs);
+    println!("throughput /h     {:>10.2}", f.throughput_per_hour);
+    println!("mean wait s       {:>10.2}", f.mean_wait_seconds);
+    println!("mean exec s       {:>10.2}", f.mean_exec_seconds);
+    println!("mean slowdown     {:>10.3}", f.mean_slowdown);
+    println!("latency p50 s     {:>10.2}", f.latency_p50);
+    println!("latency p95 s     {:>10.2}", f.latency_p95);
+    println!("latency p99 s     {:>10.2}", f.latency_p99);
+    println!("\nper-host demand utilization:");
+    for (name, u) in &f.host_utilization {
+        println!("  {name:>14}  {u:>6.3}");
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -451,8 +526,11 @@ mod tests {
                 "phase",
                 "wait",
                 "avail",
+                "rate",
+                "duration",
+                "max-in-flight",
             ],
-            &["sp2"],
+            &["sp2", "csv", "json", "blind"],
         )
         .expect("parse")
     }
@@ -464,10 +542,7 @@ mod tests {
 
     #[test]
     fn schedule_command_runs_small() {
-        assert!(schedule(&parsed(&[
-            "schedule", "--n", "600", "--iterations", "10"
-        ]))
-        .is_ok());
+        assert!(schedule(&parsed(&["schedule", "--n", "600", "--iterations", "10"])).is_ok());
     }
 
     #[test]
@@ -479,17 +554,20 @@ mod tests {
     #[test]
     fn schedule_accepts_cost_metric() {
         assert!(schedule(&parsed(&[
-            "schedule", "--n", "600", "--iterations", "5", "--metric", "cost:2.5"
+            "schedule",
+            "--n",
+            "600",
+            "--iterations",
+            "5",
+            "--metric",
+            "cost:2.5"
         ]))
         .is_ok());
     }
 
     #[test]
     fn compare_command_runs_small() {
-        assert!(compare(&parsed(&[
-            "compare", "--n", "600", "--iterations", "10"
-        ]))
-        .is_ok());
+        assert!(compare(&parsed(&["compare", "--n", "600", "--iterations", "10"])).is_ok());
     }
 
     #[test]
@@ -510,7 +588,13 @@ mod tests {
     #[test]
     fn advise_command_runs() {
         assert!(advise_cmd(&parsed(&[
-            "advise", "--wait", "60", "--n", "600", "--iterations", "100"
+            "advise",
+            "--wait",
+            "60",
+            "--n",
+            "600",
+            "--iterations",
+            "100"
         ]))
         .is_ok());
     }
@@ -518,5 +602,50 @@ mod tests {
     #[test]
     fn bad_profile_is_an_error() {
         assert!(testbed(&parsed(&["testbed", "--profile", "imaginary"])).is_err());
+    }
+
+    #[test]
+    fn grid_command_runs_small() {
+        assert!(grid(&parsed(&[
+            "grid",
+            "--rate",
+            "0.005",
+            "--duration",
+            "900",
+            "--profile",
+            "light"
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn grid_csv_and_json_run() {
+        assert!(grid(&parsed(&[
+            "grid",
+            "--rate",
+            "0.005",
+            "--duration",
+            "900",
+            "--profile",
+            "light",
+            "--csv"
+        ]))
+        .is_ok());
+        assert!(grid(&parsed(&[
+            "grid",
+            "--rate",
+            "0.005",
+            "--duration",
+            "900",
+            "--profile",
+            "light",
+            "--json"
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn grid_rejects_nonpositive_rate() {
+        assert!(grid(&parsed(&["grid", "--rate", "0"])).is_err());
     }
 }

@@ -42,6 +42,9 @@ USAGE:
       The wait-for-dedicated vs run-now-on-shared decision (3.2).
   apples-cli whatif    [--n N] [--iterations K] [--profile P] [--seed N]
       Rank hypothetical hardware upgrades by this application's speedup.
+  apples-cli grid      [--rate R] [--duration SECS] [--seed N] [--profile P]
+                       [--max-in-flight K] [--blind] [--csv] [--json]
+      Stream a multi-tenant job mix through the testbed; fleet metrics.
 
 Profiles: dedicated | light | moderate (default) | heavy
 ";
@@ -72,8 +75,11 @@ fn main() {
             "phase",
             "wait",
             "avail",
+            "rate",
+            "duration",
+            "max-in-flight",
         ],
-        &["sp2"],
+        &["sp2", "csv", "json", "blind"],
     ) {
         Ok(p) => p,
         Err(e) => {
@@ -92,6 +98,7 @@ fn main() {
         "resched" => commands::resched(&parsed),
         "advise" => commands::advise_cmd(&parsed),
         "whatif" => commands::whatif(&parsed),
+        "grid" => commands::grid(&parsed),
         other => {
             eprintln!("error: unknown command {other:?}\n");
             eprint!("{USAGE}");

@@ -10,9 +10,7 @@
 use crate::error::ApplesError;
 use crate::hat::Hat;
 use crate::schedule::{FarmSchedule, Schedule};
-use metasim::exec::{
-    simulate_pipeline, simulate_spmd, PipelineOutcome, SpmdOutcome,
-};
+use metasim::exec::{simulate_pipeline, simulate_spmd, PipelineOutcome, SpmdOutcome};
 use metasim::net::{simulate_transfers, TransferReq};
 use metasim::{HostId, SimTime, Topology};
 

@@ -70,8 +70,7 @@ pub fn advise(pool: &InfoPool<'_>, sets: &[Vec<HostId>]) -> Result<WaitAdvice, A
         };
         let mut wait_seconds = 0.0f64;
         for &h in hosts {
-            wait_seconds =
-                wait_seconds.max(pool.topo.host(h)?.startup_wait().as_secs_f64());
+            wait_seconds = wait_seconds.max(pool.topo.host(h)?.startup_wait().as_secs_f64());
         }
         options.push(WaitOption {
             hosts: hosts.clone(),

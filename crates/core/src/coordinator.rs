@@ -317,11 +317,8 @@ mod tests {
         // The busy host contributes almost nothing and drags the
         // barrier; with oracle info the agent leaves it out or gives it
         // a sliver. Check the chosen objective beats single-host.
-        let single: Vec<&CandidateEval> = d
-            .considered
-            .iter()
-            .filter(|c| c.hosts.len() == 1)
-            .collect();
+        let single: Vec<&CandidateEval> =
+            d.considered.iter().filter(|c| c.hosts.len() == 1).collect();
         assert!(single
             .iter()
             .all(|c| c.objective >= d.chosen().objective - 1e-12));

@@ -98,7 +98,11 @@ mod tests {
     /// gateway.
     fn topo() -> Topology {
         let mut b = TopologyBuilder::new();
-        let fast = b.add_segment(LinkSpec::dedicated("fast", 100.0, SimTime::from_micros(100)));
+        let fast = b.add_segment(LinkSpec::dedicated(
+            "fast",
+            100.0,
+            SimTime::from_micros(100),
+        ));
         let far = b.add_segment(LinkSpec::dedicated("far", 100.0, SimTime::from_micros(100)));
         let gw = b.add_link(LinkSpec::dedicated("gw", 0.5, SimTime::from_millis(20)));
         b.add_route(fast, far, vec![gw]);

@@ -38,7 +38,10 @@ impl fmt::Display for ApplesError {
                 write!(f, "no candidate schedule survived estimation")
             }
             ApplesError::TemplateMismatch { expected, found } => {
-                write!(f, "template mismatch: planner expects {expected}, HAT is {found}")
+                write!(
+                    f,
+                    "template mismatch: planner expects {expected}, HAT is {found}"
+                )
             }
             ApplesError::Sim(e) => write!(f, "simulator error: {e}"),
             ApplesError::Invalid(msg) => write!(f, "invalid configuration: {msg}"),
@@ -60,8 +63,12 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        assert!(ApplesError::NoFeasibleResources.to_string().contains("feasible"));
-        assert!(ApplesError::PlanningFailed("x".into()).to_string().contains("x"));
+        assert!(ApplesError::NoFeasibleResources
+            .to_string()
+            .contains("feasible"));
+        assert!(ApplesError::PlanningFailed("x".into())
+            .to_string()
+            .contains("x"));
         let tm = ApplesError::TemplateMismatch {
             expected: "stencil",
             found: "pipeline",

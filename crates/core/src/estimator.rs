@@ -44,18 +44,12 @@ fn memory_factor(pool: &InfoPool<'_>, host: HostId, resident_mb: f64) -> Result<
 /// border exchanges of one iteration overlap, so each link's predicted
 /// usable bandwidth is divided by the number of the application's own
 /// flows crossing it before the per-flow time is computed.
-pub fn estimate_stencil(
-    pool: &InfoPool<'_>,
-    sched: &StencilSchedule,
-) -> Result<f64, ApplesError> {
+pub fn estimate_stencil(pool: &InfoPool<'_>, sched: &StencilSchedule) -> Result<f64, ApplesError> {
     sched.validate()?;
-    let t: &StencilTemplate = pool
-        .hat
-        .as_stencil()
-        .ok_or(ApplesError::TemplateMismatch {
-            expected: "iterative-stencil",
-            found: pool.hat.class_name(),
-        })?;
+    let t: &StencilTemplate = pool.hat.as_stencil().ok_or(ApplesError::TemplateMismatch {
+        expected: "iterative-stencil",
+        found: pool.hat.class_name(),
+    })?;
     let k = sched.parts.len();
     let border = t.border_mb();
 
@@ -73,25 +67,26 @@ pub fn estimate_stencil(
     }
 
     // Per-flow transfer seconds with the shared-bandwidth discount.
-    let contended_transfer = |from: metasim::HostId, to: metasim::HostId| -> Result<f64, ApplesError> {
-        if from == to {
-            return Ok(0.0);
-        }
-        let mut latency = 0.0;
-        let mut bw = f64::INFINITY;
-        for l in pool.topo.route(from, to)? {
-            let link = pool.topo.link(l)?;
-            latency += link.spec.latency.as_secs_f64();
-            let share = *link_flows.get(&l).unwrap_or(&1) as f64;
-            bw = bw.min(link.spec.bandwidth_mbps * pool.link_availability(l) / share);
-        }
-        if bw <= 0.0 {
-            return Err(ApplesError::Sim(metasim::SimError::NeverCompletes {
-                work: border,
-            }));
-        }
-        Ok(latency + border / bw)
-    };
+    let contended_transfer =
+        |from: metasim::HostId, to: metasim::HostId| -> Result<f64, ApplesError> {
+            if from == to {
+                return Ok(0.0);
+            }
+            let mut latency = 0.0;
+            let mut bw = f64::INFINITY;
+            for l in pool.topo.route(from, to)? {
+                let link = pool.topo.link(l)?;
+                latency += link.spec.latency.as_secs_f64();
+                let share = *link_flows.get(&l).unwrap_or(&1) as f64;
+                bw = bw.min(link.spec.bandwidth_mbps * pool.link_availability(l) / share);
+            }
+            if bw <= 0.0 {
+                return Err(ApplesError::Sim(metasim::SimError::NeverCompletes {
+                    work: border,
+                }));
+            }
+            Ok(latency + border / bw)
+        };
 
     let mut iter_time: f64 = 0.0;
     let mut startup: f64 = 0.0;

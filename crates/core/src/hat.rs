@@ -263,9 +263,7 @@ mod tests {
     fn strip_work_scales_with_rows() {
         let t = jacobi2d_hat(2000, 1);
         let t = t.as_stencil().unwrap();
-        assert!(
-            (t.strip_mflop_per_iter(500) * 4.0 - t.total_mflop_per_iter()).abs() < 1e-9
-        );
+        assert!((t.strip_mflop_per_iter(500) * 4.0 - t.total_mflop_per_iter()).abs() < 1e-9);
     }
 
     #[test]

@@ -123,11 +123,7 @@ impl<'a> InfoPool<'a> {
         })
     }
 
-    fn availability(
-        &self,
-        key: ResourceKey,
-        oracle: impl Fn(SimTime) -> f64,
-    ) -> f64 {
+    fn availability(&self, key: ResourceKey, oracle: impl Fn(SimTime) -> f64) -> f64 {
         match self.source {
             ForecastSource::StaticNominal => 1.0,
             ForecastSource::Oracle => oracle(self.oracle_window),
@@ -325,7 +321,10 @@ mod tests {
         let t = pool.transfer_seconds(HostId(0), HostId(1), 20.0).unwrap();
         assert!((t - 2.002).abs() < 1e-6);
         // Local transfer is free.
-        assert_eq!(pool.transfer_seconds(HostId(0), HostId(0), 20.0).unwrap(), 0.0);
+        assert_eq!(
+            pool.transfer_seconds(HostId(0), HostId(0), 20.0).unwrap(),
+            0.0
+        );
     }
 
     #[test]

@@ -97,17 +97,11 @@ impl StripHost {
 /// let fast = sched.parts.iter().find(|p| p.host == HostId(1)).unwrap();
 /// assert!(fast.rows > 280);
 /// ```
-pub fn plan_strip(
-    pool: &InfoPool<'_>,
-    hosts: &[HostId],
-) -> Result<StencilSchedule, ApplesError> {
-    let t = pool
-        .hat
-        .as_stencil()
-        .ok_or(ApplesError::TemplateMismatch {
-            expected: "iterative-stencil",
-            found: pool.hat.class_name(),
-        })?;
+pub fn plan_strip(pool: &InfoPool<'_>, hosts: &[HostId]) -> Result<StencilSchedule, ApplesError> {
+    let t = pool.hat.as_stencil().ok_or(ApplesError::TemplateMismatch {
+        expected: "iterative-stencil",
+        found: pool.hat.class_name(),
+    })?;
     if hosts.is_empty() {
         return Err(ApplesError::PlanningFailed("empty resource set".into()));
     }
@@ -533,8 +527,7 @@ mod tests {
         let hat = jacobi2d_hat(700, 10);
         let user = UserSpec::default();
         let pool = InfoPool::static_nominal(&topo, &hat, &user, SimTime::ZERO);
-        let sched =
-            plan_strip(&pool, &[HostId(0), HostId(1), HostId(2)]).unwrap();
+        let sched = plan_strip(&pool, &[HostId(0), HostId(1), HostId(2)]).unwrap();
         assert_eq!(sched.parts.iter().map(|p| p.rows).sum::<usize>(), 700);
         // Speeds 10:20:40 ⇒ rows ≈ 100:200:400.
         let rows_of = |h: usize| {
@@ -545,7 +538,11 @@ mod tests {
                 .map(|p| p.rows)
                 .unwrap_or(0)
         };
-        assert!((rows_of(0) as i64 - 100).abs() <= 3, "slow got {}", rows_of(0));
+        assert!(
+            (rows_of(0) as i64 - 100).abs() <= 3,
+            "slow got {}",
+            rows_of(0)
+        );
         assert!((rows_of(1) as i64 - 200).abs() <= 3);
         assert!((rows_of(2) as i64 - 400).abs() <= 3);
     }
@@ -620,7 +617,11 @@ mod tests {
         let sched = plan_strip(&pool, &[HostId(0), HostId(1)]).unwrap();
         let fast = sched.parts.iter().find(|p| p.host == HostId(0)).unwrap();
         let slow = sched.parts.iter().find(|p| p.host == HostId(1)).unwrap();
-        assert!(fast.rows <= 100, "fast host over memory: {} rows", fast.rows);
+        assert!(
+            fast.rows <= 100,
+            "fast host over memory: {} rows",
+            fast.rows
+        );
         assert_eq!(fast.rows + slow.rows, 300);
     }
 
@@ -640,7 +641,11 @@ mod tests {
         let sched = plan_strip(&pool, &[HostId(0), HostId(1)]).unwrap();
         let fast = sched.parts.iter().find(|p| p.host == HostId(0)).unwrap();
         // Unconstrained balance gives the 10× faster host ~273 rows.
-        assert!(fast.rows > 200, "expected speed-balanced rows, got {}", fast.rows);
+        assert!(
+            fast.rows > 200,
+            "expected speed-balanced rows, got {}",
+            fast.rows
+        );
     }
 
     #[test]
@@ -711,8 +716,16 @@ mod tests {
         // Hosts on two segments must come out grouped so only one
         // border crosses the gateway.
         let mut b = TopologyBuilder::new();
-        let sa = b.add_segment(LinkSpec::dedicated("segA", 100.0, SimTime::from_micros(100)));
-        let sb = b.add_segment(LinkSpec::dedicated("segB", 100.0, SimTime::from_micros(100)));
+        let sa = b.add_segment(LinkSpec::dedicated(
+            "segA",
+            100.0,
+            SimTime::from_micros(100),
+        ));
+        let sb = b.add_segment(LinkSpec::dedicated(
+            "segB",
+            100.0,
+            SimTime::from_micros(100),
+        ));
         let gw = b.add_link(LinkSpec::dedicated("gw", 1.0, SimTime::from_millis(5)));
         b.add_route(sa, sb, vec![gw]);
         b.add_host(HostSpec::dedicated("a0", 20.0, 4096.0, sa));
@@ -723,11 +736,7 @@ mod tests {
         let hat = jacobi2d_hat(800, 10);
         let user = UserSpec::default();
         let pool = InfoPool::static_nominal(&topo, &hat, &user, SimTime::ZERO);
-        let sched = plan_strip(
-            &pool,
-            &[HostId(0), HostId(1), HostId(2), HostId(3)],
-        )
-        .unwrap();
+        let sched = plan_strip(&pool, &[HostId(0), HostId(1), HostId(2), HostId(3)]).unwrap();
         let segs: Vec<usize> = sched
             .hosts()
             .iter()

@@ -155,11 +155,8 @@ impl ReschedulingAgent {
                     let keep_pred = predict_remaining(&pool, cur, remaining)?;
                     let move_pred = predict_remaining(&pool, &cand, remaining)?;
                     let move_cost = migration_cost(topo, &template, cur, &cand, now)?;
-                    if move_pred + move_cost
-                        < keep_pred * self.policy.improvement_threshold
-                    {
-                        migration_seconds =
-                            perform_migration(topo, &template, cur, &cand, now)?;
+                    if move_pred + move_cost < keep_pred * self.policy.improvement_threshold {
+                        migration_seconds = perform_migration(topo, &template, cur, &cand, now)?;
                         now += SimTime::from_secs_f64(migration_seconds);
                         *cur = cand;
                         migrated = true;
@@ -168,9 +165,7 @@ impl ReschedulingAgent {
                 }
                 _ => {}
             }
-            let sched = current
-                .as_ref()
-                .ok_or(ApplesError::NoViableSchedule)?;
+            let sched = current.as_ref().ok_or(ApplesError::NoViableSchedule)?;
 
             // Execute one phase on the current schedule. Phase
             // boundaries act as checkpoints: if a host dies mid-phase
@@ -269,10 +264,7 @@ fn predict_remaining(
 
 /// Rows that must move between hosts to turn `from` into `to`:
 /// per-host surplus/deficit matched greedily in strip order.
-fn migration_moves(
-    from: &StencilSchedule,
-    to: &StencilSchedule,
-) -> Vec<(HostId, HostId, usize)> {
+fn migration_moves(from: &StencilSchedule, to: &StencilSchedule) -> Vec<(HostId, HostId, usize)> {
     use std::collections::BTreeMap;
     let mut delta: BTreeMap<usize, i64> = BTreeMap::new();
     for p in &from.parts {
@@ -295,11 +287,7 @@ fn migration_moves(
     let (mut si, mut di) = (0usize, 0usize);
     while si < surplus.len() && di < deficit.len() {
         let take = surplus[si].1.min(deficit[di].1);
-        moves.push((
-            HostId(surplus[si].0),
-            HostId(deficit[di].0),
-            take as usize,
-        ));
+        moves.push((HostId(surplus[si].0), HostId(deficit[di].0), take as usize));
         surplus[si].1 -= take;
         deficit[di].1 -= take;
         if surplus[si].1 == 0 {
@@ -476,23 +464,38 @@ mod tests {
             n: 100,
             iterations: 1,
             parts: vec![
-                StencilPart { host: HostId(0), rows: 70 },
-                StencilPart { host: HostId(1), rows: 30 },
+                StencilPart {
+                    host: HostId(0),
+                    rows: 70,
+                },
+                StencilPart {
+                    host: HostId(1),
+                    rows: 30,
+                },
             ],
         };
         let to = StencilSchedule {
             n: 100,
             iterations: 1,
             parts: vec![
-                StencilPart { host: HostId(0), rows: 20 },
-                StencilPart { host: HostId(1), rows: 50 },
-                StencilPart { host: HostId(2), rows: 30 },
+                StencilPart {
+                    host: HostId(0),
+                    rows: 20,
+                },
+                StencilPart {
+                    host: HostId(1),
+                    rows: 50,
+                },
+                StencilPart {
+                    host: HostId(2),
+                    rows: 30,
+                },
             ],
         };
         let moves = migration_moves(&from, &to);
         let moved: usize = moves.iter().map(|&(_, _, r)| r).sum();
         assert_eq!(moved, 50); // host 0 sheds 50 rows
-        // Every move goes from a shrinking host to a growing one.
+                               // Every move goes from a shrinking host to a growing one.
         for (src, dst, _) in moves {
             assert_eq!(src, HostId(0));
             assert!(dst == HostId(1) || dst == HostId(2));
@@ -504,7 +507,10 @@ mod tests {
         let sched = StencilSchedule {
             n: 10,
             iterations: 1,
-            parts: vec![StencilPart { host: HostId(0), rows: 10 }],
+            parts: vec![StencilPart {
+                host: HostId(0),
+                rows: 10,
+            }],
         };
         assert!(migration_moves(&sched, &sched).is_empty());
     }

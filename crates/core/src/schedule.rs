@@ -124,7 +124,9 @@ impl PipelineSchedule {
         start: SimTime,
     ) -> Result<PipelineJob, ApplesError> {
         if self.unit_size == 0 {
-            return Err(ApplesError::Invalid("pipeline unit size must be ≥ 1".into()));
+            return Err(ApplesError::Invalid(
+                "pipeline unit size must be ≥ 1".into(),
+            ));
         }
         if self.depth == 0 {
             return Err(ApplesError::Invalid("pipeline depth must be ≥ 1".into()));
@@ -281,9 +283,7 @@ mod tests {
         assert_eq!(job.placements[0].sends, vec![(1, t.border_mb())]);
         assert_eq!(job.placements[1].sends, vec![(0, t.border_mb())]);
         // Work proportional to rows.
-        assert!(
-            (job.placements[0].work_mflop / job.placements[1].work_mflop - 1.5).abs() < 1e-9
-        );
+        assert!((job.placements[0].work_mflop / job.placements[1].work_mflop - 1.5).abs() < 1e-9);
     }
 
     #[test]
@@ -337,7 +337,7 @@ mod tests {
             .to_pipeline_job(&t, "sdsc-cray", "paragon", SimTime::ZERO)
             .unwrap();
         assert_eq!(job.n_units, 10); // 100 / 10
-        // Producer on the cray: efficiency 1.0 ⇒ 10 units * 10 Mflop.
+                                     // Producer on the cray: efficiency 1.0 ⇒ 10 units * 10 Mflop.
         assert!((job.producer_mflop_per_unit - 100.0).abs() < 1e-9);
         // Consumer batch: 10 * 20 + 2 conversion = 202 Mflop.
         assert!((job.consumer_mflop_per_unit - 202.0).abs() < 1e-9);

@@ -119,10 +119,7 @@ impl ResourceSelector {
     /// application's characteristic messages with the hosts already
     /// chosen. Both terms are in seconds, so "fast but far" and "slow
     /// but near" are compared on the application's own scale (§3.3).
-    fn greedy_rank(
-        pool: &InfoPool<'_>,
-        feasible: &[HostId],
-    ) -> Result<Vec<HostId>, ApplesError> {
+    fn greedy_rank(pool: &InfoPool<'_>, feasible: &[HostId]) -> Result<Vec<HostId>, ApplesError> {
         let msg = characteristic_message_mb(pool);
         let work = characteristic_work_mflop(pool);
         let mut remaining: Vec<HostId> = feasible.to_vec();
@@ -177,7 +174,11 @@ mod tests {
 
     fn topo4() -> Topology {
         let mut b = TopologyBuilder::new();
-        let near = b.add_segment(LinkSpec::dedicated("near", 100.0, SimTime::from_micros(100)));
+        let near = b.add_segment(LinkSpec::dedicated(
+            "near",
+            100.0,
+            SimTime::from_micros(100),
+        ));
         let far = b.add_segment(LinkSpec::dedicated("far", 100.0, SimTime::from_micros(100)));
         let gw = b.add_link(LinkSpec::dedicated("gw", 0.1, SimTime::from_millis(50)));
         b.add_route(near, far, vec![gw]);

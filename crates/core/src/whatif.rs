@@ -53,15 +53,21 @@ impl Upgrade {
         match self {
             Upgrade::HostSpeed { host, factor } => format!(
                 "{} CPU x{factor}",
-                topo.host(*host).map(|h| h.spec.name.clone()).unwrap_or_default()
+                topo.host(*host)
+                    .map(|h| h.spec.name.clone())
+                    .unwrap_or_default()
             ),
             Upgrade::HostMemory { host, factor } => format!(
                 "{} memory x{factor}",
-                topo.host(*host).map(|h| h.spec.name.clone()).unwrap_or_default()
+                topo.host(*host)
+                    .map(|h| h.spec.name.clone())
+                    .unwrap_or_default()
             ),
             Upgrade::LinkBandwidth { link, factor } => format!(
                 "{} bandwidth x{factor}",
-                topo.link(*link).map(|l| l.spec.name.clone()).unwrap_or_default()
+                topo.link(*link)
+                    .map(|l| l.spec.name.clone())
+                    .unwrap_or_default()
             ),
         }
     }
@@ -251,9 +257,21 @@ mod tests {
     fn link_upgrade_wins_when_comm_bound() {
         // Fat borders over a thin gateway between two fast hosts.
         let mut b = TopologyBuilder::new();
-        let sa = b.add_segment(LinkSpec::dedicated("segA", 100.0, SimTime::from_micros(100)));
-        let sb = b.add_segment(LinkSpec::dedicated("segB", 100.0, SimTime::from_micros(100)));
-        let gw = b.connect(sa, sb, LinkSpec::dedicated("thin", 0.05, SimTime::from_millis(1)));
+        let sa = b.add_segment(LinkSpec::dedicated(
+            "segA",
+            100.0,
+            SimTime::from_micros(100),
+        ));
+        let sb = b.add_segment(LinkSpec::dedicated(
+            "segB",
+            100.0,
+            SimTime::from_micros(100),
+        ));
+        let gw = b.connect(
+            sa,
+            sb,
+            LinkSpec::dedicated("thin", 0.05, SimTime::from_millis(1)),
+        );
         b.add_host(HostSpec::dedicated("a", 50.0, 4096.0, sa));
         b.add_host(HostSpec::dedicated("b", 50.0, 4096.0, sb));
         let topo = b.instantiate(s(1e6), 0).unwrap();

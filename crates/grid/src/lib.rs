@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # apples-grid — a multi-tenant job-stream service over `metasim`
+//!
+//! The paper's §3 setting, run as a service: *many* users submit jobs
+//! to one shared metacomputer, each job gets its own selfish AppLeS
+//! agent, and nobody coordinates. "Each user and/or
+//! application-developer schedules their application so as to optimize
+//! their own performance criteria without regard to the performance
+//! goals of other applications which share the system."
+//!
+//! Where [`apples::Coordinator`] schedules one application once, this
+//! crate streams a whole *workload* through the system:
+//!
+//! 1. [`workload`] describes who arrives when — Poisson, fixed-gap, or
+//!    trace-replay arrivals over a mix of Jacobi2D stencils, 3D-REACT
+//!    style pipelines and NILE event farms;
+//! 2. [`service`] admits jobs FCFS (optionally bounded in-flight),
+//!    spawns a Coordinator per job against the *live* system state,
+//!    actuates the winning schedule, and feeds the job's realized
+//!    resource usage back into the topology as foreground load — so
+//!    later agents' NWS sensors observe earlier jobs and route around
+//!    them;
+//! 3. [`metrics`] reduces the per-job records (wait, execution,
+//!    slowdown) to fleet metrics: throughput, latency percentiles,
+//!    per-host utilization;
+//! 4. [`sweep`] repeats the whole thing across seeds in parallel.
+//!
+//! Everything is deterministic per seed: same seed + same workload
+//! config → bit-identical records and fleet metrics.
+
+pub mod metrics;
+pub mod service;
+pub mod sweep;
+pub mod workload;
+
+pub use metrics::{FleetMetrics, JobRecord};
+pub use service::{run, run_jobs, GridConfig, GridError, GridOutcome, Regime};
+pub use workload::{ArrivalProcess, JobKind, JobMix, JobSpec, WorkloadConfig};

@@ -1,0 +1,275 @@
+//! Per-job records and fleet-level reductions.
+//!
+//! The paper evaluates one application at a time (execution time,
+//! Figures 5–6). A service sees a population, so the interesting
+//! quantities are distributional: how long jobs waited for admission,
+//! how much contention stretched them, and how evenly the pool was
+//! used. Slowdown — (wait + execution) / execution — is the classic
+//! metric for "how much worse than having the system to yourself".
+
+use metasim::SimTime;
+
+/// What happened to one job, in absolute simulation time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// Submission-order index within the stream.
+    pub id: usize,
+    /// Job class name (`jacobi2d`, `react-pipe`, `nile-farm`).
+    pub kind: String,
+    /// Absolute submission time (warmup included).
+    pub submit: SimTime,
+    /// Absolute time the job was admitted and its agent decided.
+    pub start: SimTime,
+    /// Absolute completion time.
+    pub finish: SimTime,
+    /// Names of the hosts the chosen schedule used.
+    pub hosts: Vec<String>,
+    /// Seconds between submission and admission.
+    pub wait_seconds: f64,
+    /// Seconds between admission and completion.
+    pub exec_seconds: f64,
+    /// `(wait + exec) / exec` — 1.0 means no queueing penalty.
+    pub slowdown: f64,
+}
+
+impl JobRecord {
+    /// Response time: submission to completion, seconds.
+    pub fn latency_seconds(&self) -> f64 {
+        self.wait_seconds + self.exec_seconds
+    }
+
+    /// CSV header for per-job rows.
+    pub fn csv_header() -> &'static str {
+        "job,kind,submit_s,start_s,finish_s,wait_s,exec_s,slowdown,hosts"
+    }
+
+    /// One CSV row (hosts are `+`-joined so the row stays one field).
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.4},{}",
+            self.id,
+            self.kind,
+            self.submit.as_secs_f64(),
+            self.start.as_secs_f64(),
+            self.finish.as_secs_f64(),
+            self.wait_seconds,
+            self.exec_seconds,
+            self.slowdown,
+            self.hosts.join("+"),
+        )
+    }
+}
+
+/// Nearest-rank percentile of an unsorted sample (p in `[0, 100]`).
+/// Returns 0.0 for an empty sample.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Aggregate view of a whole job stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetMetrics {
+    /// Jobs completed.
+    pub jobs: usize,
+    /// Length of the submission window, seconds.
+    pub duration_seconds: f64,
+    /// Completed jobs per hour of submission window.
+    pub throughput_per_hour: f64,
+    /// Mean admission wait, seconds.
+    pub mean_wait_seconds: f64,
+    /// Mean execution time, seconds.
+    pub mean_exec_seconds: f64,
+    /// Mean slowdown.
+    pub mean_slowdown: f64,
+    /// Median response time (wait + exec), seconds.
+    pub latency_p50: f64,
+    /// 95th-percentile response time, seconds.
+    pub latency_p95: f64,
+    /// 99th-percentile response time, seconds.
+    pub latency_p99: f64,
+    /// Per-host `(name, busy_seconds / duration)` — *demand*
+    /// utilization: overlapping jobs on one host each count their full
+    /// wall-clock, so a time-shared host can exceed 1.0.
+    pub host_utilization: Vec<(String, f64)>,
+}
+
+impl FleetMetrics {
+    /// Reduce `records` over a submission window of `duration_seconds`.
+    /// `all_hosts` fixes the utilization table's rows (idle hosts show
+    /// 0.0) and their order.
+    pub fn from_records(
+        records: &[JobRecord],
+        duration_seconds: f64,
+        all_hosts: &[String],
+    ) -> FleetMetrics {
+        let n = records.len();
+        let latencies: Vec<f64> = records.iter().map(|r| r.latency_seconds()).collect();
+        let mean = |f: fn(&JobRecord) -> f64| {
+            if n == 0 {
+                0.0
+            } else {
+                records.iter().map(f).sum::<f64>() / n as f64
+            }
+        };
+        let host_utilization = all_hosts
+            .iter()
+            .map(|name| {
+                let busy: f64 = records
+                    .iter()
+                    .filter(|r| r.hosts.iter().any(|h| h == name))
+                    .map(|r| r.exec_seconds)
+                    .sum();
+                let util = if duration_seconds > 0.0 {
+                    busy / duration_seconds
+                } else {
+                    0.0
+                };
+                (name.clone(), util)
+            })
+            .collect();
+        FleetMetrics {
+            jobs: n,
+            duration_seconds,
+            throughput_per_hour: if duration_seconds > 0.0 {
+                n as f64 / (duration_seconds / 3600.0)
+            } else {
+                0.0
+            },
+            mean_wait_seconds: mean(|r| r.wait_seconds),
+            mean_exec_seconds: mean(|r| r.exec_seconds),
+            mean_slowdown: mean(|r| r.slowdown),
+            latency_p50: percentile(&latencies, 50.0),
+            latency_p95: percentile(&latencies, 95.0),
+            latency_p99: percentile(&latencies, 99.0),
+            host_utilization,
+        }
+    }
+
+    /// CSV header matching [`FleetMetrics::csv_row`]. The `label`
+    /// column lets sweeps stack rows from many trials in one file.
+    pub fn csv_header() -> &'static str {
+        "label,jobs,duration_s,throughput_per_hour,mean_wait_s,mean_exec_s,\
+         mean_slowdown,latency_p50_s,latency_p95_s,latency_p99_s"
+    }
+
+    /// One CSV row of the scalar fleet metrics.
+    pub fn csv_row(&self, label: &str) -> String {
+        format!(
+            "{},{},{:.1},{:.4},{:.3},{:.3},{:.4},{:.3},{:.3},{:.3}",
+            label,
+            self.jobs,
+            self.duration_seconds,
+            self.throughput_per_hour,
+            self.mean_wait_seconds,
+            self.mean_exec_seconds,
+            self.mean_slowdown,
+            self.latency_p50,
+            self.latency_p95,
+            self.latency_p99,
+        )
+    }
+
+    /// The fleet metrics as a JSON object (hand-rolled; no external
+    /// dependencies in this workspace).
+    pub fn to_json(&self) -> String {
+        let hosts: Vec<String> = self
+            .host_utilization
+            .iter()
+            .map(|(name, u)| format!("{{\"host\":\"{name}\",\"utilization\":{u:.4}}}"))
+            .collect();
+        format!(
+            "{{\"jobs\":{},\"duration_seconds\":{:.1},\"throughput_per_hour\":{:.4},\
+             \"mean_wait_seconds\":{:.3},\"mean_exec_seconds\":{:.3},\"mean_slowdown\":{:.4},\
+             \"latency_p50\":{:.3},\"latency_p95\":{:.3},\"latency_p99\":{:.3},\
+             \"host_utilization\":[{}]}}",
+            self.jobs,
+            self.duration_seconds,
+            self.throughput_per_hour,
+            self.mean_wait_seconds,
+            self.mean_exec_seconds,
+            self.mean_slowdown,
+            self.latency_p50,
+            self.latency_p95,
+            self.latency_p99,
+            hosts.join(","),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: usize, wait: f64, exec: f64, host: &str) -> JobRecord {
+        JobRecord {
+            id,
+            kind: "jacobi2d".into(),
+            submit: SimTime::from_secs_f64(600.0 + id as f64),
+            start: SimTime::from_secs_f64(600.0 + id as f64 + wait),
+            finish: SimTime::from_secs_f64(600.0 + id as f64 + wait + exec),
+            hosts: vec![host.to_string()],
+            wait_seconds: wait,
+            exec_seconds: exec,
+            slowdown: (wait + exec) / exec,
+        }
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&xs, 50.0), 50.0);
+        assert_eq!(percentile(&xs, 95.0), 95.0);
+        assert_eq!(percentile(&xs, 99.0), 99.0);
+        assert_eq!(percentile(&xs, 100.0), 100.0);
+        assert_eq!(percentile(&[7.0], 50.0), 7.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn fleet_reduction_basic() {
+        let hosts = vec!["a".to_string(), "b".to_string()];
+        let records = vec![rec(0, 0.0, 100.0, "a"), rec(1, 50.0, 150.0, "a")];
+        let m = FleetMetrics::from_records(&records, 3600.0, &hosts);
+        assert_eq!(m.jobs, 2);
+        assert!((m.throughput_per_hour - 2.0).abs() < 1e-9);
+        assert!((m.mean_wait_seconds - 25.0).abs() < 1e-9);
+        assert!((m.mean_exec_seconds - 125.0).abs() < 1e-9);
+        assert!((m.latency_p50 - 100.0).abs() < 1e-9);
+        assert!((m.latency_p99 - 200.0).abs() < 1e-9);
+        // Host a was busy 250 s of 3600; host b idle.
+        assert!((m.host_utilization[0].1 - 250.0 / 3600.0).abs() < 1e-9);
+        assert_eq!(m.host_utilization[1].1, 0.0);
+    }
+
+    #[test]
+    fn csv_and_json_are_stable() {
+        let hosts = vec!["a".to_string()];
+        let records = vec![rec(0, 1.0, 9.0, "a")];
+        let m = FleetMetrics::from_records(&records, 100.0, &hosts);
+        assert_eq!(m.csv_row("t"), m.csv_row("t"));
+        assert!(m.to_json().contains("\"jobs\":1"));
+        assert!(m.to_json().contains("\"host\":\"a\""));
+        assert_eq!(
+            JobRecord::csv_header().split(',').count(),
+            records[0].csv_row().split(',').count()
+        );
+        assert_eq!(
+            FleetMetrics::csv_header().split(',').count(),
+            m.csv_row("t").split(',').count()
+        );
+    }
+
+    #[test]
+    fn empty_stream_is_all_zeros() {
+        let m = FleetMetrics::from_records(&[], 3600.0, &[]);
+        assert_eq!(m.jobs, 0);
+        assert_eq!(m.throughput_per_hour, 0.0);
+        assert_eq!(m.mean_slowdown, 0.0);
+    }
+}

@@ -1,0 +1,355 @@
+//! Workload description: who arrives when, asking for what.
+//!
+//! A workload is an [`ArrivalProcess`] (when jobs show up) crossed with
+//! a [`JobMix`] (what each arriving job is). Realizing a
+//! [`WorkloadConfig`] is deterministic per seed, so the same job stream
+//! can be replayed against different service policies — the paper's §5
+//! "back-to-back under similar conditions" methodology, lifted from a
+//! single application to a whole population.
+
+use apples::hat::{ArchEfficiency, Hat, PipelineTemplate};
+use apples::user::UserSpec;
+use apples_apps::jacobi2d::partition::jacobi_context;
+use apples_apps::nile::cleo_analysis_hat;
+use metasim::SimTime;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// When jobs arrive, as offsets from the start of the stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at `rate_hz` jobs per second (exponential
+    /// inter-arrival times) — the classic open-system model.
+    Poisson {
+        /// Mean arrival rate in jobs per second.
+        rate_hz: f64,
+    },
+    /// One job every `gap`, starting at `gap` — a staged submission
+    /// like the bench multi-agent experiment.
+    Uniform {
+        /// Fixed inter-arrival gap.
+        gap: SimTime,
+    },
+    /// Replay explicit arrival offsets (need not be sorted).
+    Trace(Vec<SimTime>),
+}
+
+impl ArrivalProcess {
+    /// Arrival offsets within `[0, duration]`, sorted ascending,
+    /// deterministic per `seed`.
+    pub fn realize(&self, duration: SimTime, seed: u64) -> Vec<SimTime> {
+        let mut out = match self {
+            ArrivalProcess::Poisson { rate_hz } => {
+                assert!(
+                    *rate_hz > 0.0 && rate_hz.is_finite(),
+                    "Poisson arrivals need a positive rate"
+                );
+                let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xA11E5_u64);
+                let mut t = 0.0;
+                let mut arrivals = Vec::new();
+                loop {
+                    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    t += -u.ln() / rate_hz;
+                    if t > duration.as_secs_f64() {
+                        break;
+                    }
+                    arrivals.push(SimTime::from_secs_f64(t));
+                }
+                arrivals
+            }
+            ArrivalProcess::Uniform { gap } => {
+                assert!(*gap > SimTime::ZERO, "uniform arrivals need a positive gap");
+                let mut arrivals = Vec::new();
+                let mut t = *gap;
+                while t <= duration {
+                    arrivals.push(t);
+                    t += *gap;
+                }
+                arrivals
+            }
+            ArrivalProcess::Trace(ts) => ts.iter().copied().filter(|&t| t <= duration).collect(),
+        };
+        out.sort_unstable();
+        out
+    }
+}
+
+/// What an arriving job is: one of the paper's three application
+/// classes, parameterized by size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// A Jacobi2D stencil solve (§5): `n × n` grid, `iterations` sweeps.
+    Jacobi {
+        /// Grid edge length.
+        n: usize,
+        /// Number of sweeps.
+        iterations: usize,
+    },
+    /// A producer→consumer pipeline in the 3D-REACT shape (§2.2),
+    /// downsized from CASA supercomputers to the Figure 2 workstation
+    /// pool: `units` surface-function batches streamed between two
+    /// hosts.
+    ReactPipeline {
+        /// Total work units to stream.
+        units: usize,
+    },
+    /// A NILE/CLEO event-analysis farm (§2.1): `events` independent
+    /// records fanned out from a data home and collected back.
+    NileFarm {
+        /// Number of events to analyze.
+        events: u64,
+    },
+}
+
+impl JobKind {
+    /// Short class name for records and tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobKind::Jacobi { .. } => "jacobi2d",
+            JobKind::ReactPipeline { .. } => "react-pipe",
+            JobKind::NileFarm { .. } => "nile-farm",
+        }
+    }
+
+    /// The HAT and user spec an AppLeS agent for this job would carry.
+    pub fn hat_and_user(&self) -> (Hat, UserSpec) {
+        match *self {
+            JobKind::Jacobi { n, iterations } => jacobi_context(n, iterations),
+            JobKind::ReactPipeline { units } => {
+                (workstation_pipeline_hat(units), UserSpec::default())
+            }
+            JobKind::NileFarm { events } => (cleo_analysis_hat(events), UserSpec::default()),
+        }
+    }
+}
+
+/// A 3D-REACT-shaped pipeline sized for the Figure 2 workstation pool
+/// (the real CASA template assumes a C90 and a Paragon; 4–110 Mflop/s
+/// workstations would take days on it). Producer-heavy, a modest
+/// per-unit transfer, and no architecture-specific efficiencies.
+pub fn workstation_pipeline_hat(units: usize) -> Hat {
+    Hat::pipeline(
+        "react-pipe-ws",
+        PipelineTemplate {
+            total_units: units,
+            producer_mflop_per_unit: 120.0,
+            consumer_mflop_per_unit: 60.0,
+            mb_per_unit: 0.4,
+            producer_resident_mb: 24.0,
+            consumer_base_mb: 16.0,
+            consumer_mb_per_buffered_unit: 0.4,
+            convert_mflop_per_message: 5.0,
+            producer_efficiency: ArchEfficiency {
+                rules: vec![],
+                default_efficiency: 1.0,
+            },
+            consumer_efficiency: ArchEfficiency {
+                rules: vec![],
+                default_efficiency: 1.0,
+            },
+        },
+    )
+}
+
+/// A weighted mix of job kinds; each arrival samples one kind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobMix {
+    /// `(kind, weight)` entries; weights need not sum to one.
+    pub entries: Vec<(JobKind, f64)>,
+}
+
+impl JobMix {
+    /// A mix of a single kind.
+    pub fn only(kind: JobKind) -> Self {
+        JobMix {
+            entries: vec![(kind, 1.0)],
+        }
+    }
+
+    /// The default service mix: mostly small and medium Jacobi solves,
+    /// with occasional long solves, pipelines and event farms — short
+    /// jobs arriving among long ones is exactly the regime where
+    /// application-level information pays (§3).
+    pub fn default_mix() -> Self {
+        JobMix {
+            entries: vec![
+                (
+                    JobKind::Jacobi {
+                        n: 800,
+                        iterations: 60,
+                    },
+                    4.0,
+                ),
+                (
+                    JobKind::Jacobi {
+                        n: 1200,
+                        iterations: 300,
+                    },
+                    2.0,
+                ),
+                (
+                    JobKind::Jacobi {
+                        n: 1200,
+                        iterations: 1500,
+                    },
+                    1.0,
+                ),
+                (JobKind::ReactPipeline { units: 30 }, 1.0),
+                (JobKind::NileFarm { events: 20_000 }, 1.0),
+            ],
+        }
+    }
+
+    /// Sample one kind, deterministically from `rng`.
+    pub fn sample(&self, rng: &mut ChaCha8Rng) -> JobKind {
+        assert!(!self.entries.is_empty(), "empty job mix");
+        let total: f64 = self.entries.iter().map(|&(_, w)| w.max(0.0)).sum();
+        assert!(total > 0.0, "job mix weights must sum to a positive value");
+        let mut x = rng.gen_range(0.0..total);
+        for &(kind, w) in &self.entries {
+            let w = w.max(0.0);
+            if x < w {
+                return kind;
+            }
+            x -= w;
+        }
+        self.entries.last().unwrap().0
+    }
+}
+
+/// One job in a realized stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Submission order index.
+    pub id: usize,
+    /// Submission time as an offset from the stream start.
+    pub submit: SimTime,
+    /// What the job is.
+    pub kind: JobKind,
+}
+
+/// A complete workload description: arrivals × mix over a duration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadConfig {
+    /// When jobs arrive.
+    pub arrivals: ArrivalProcess,
+    /// What each arrival asks for.
+    pub mix: JobMix,
+    /// Length of the submission window; arrivals beyond it are dropped
+    /// (admitted jobs still run to completion).
+    pub duration: SimTime,
+    /// Seed for arrival times and mix sampling.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            arrivals: ArrivalProcess::Poisson { rate_hz: 0.02 },
+            mix: JobMix::default_mix(),
+            duration: SimTime::from_secs(3600),
+            seed: 1996,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// Realize the workload into a concrete job stream, sorted by
+    /// submission time. Deterministic: same config → same jobs.
+    pub fn realize(&self) -> Vec<JobSpec> {
+        let times = self.arrivals.realize(self.duration, self.seed);
+        let mut mix_rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0x9B5E_u64);
+        times
+            .into_iter()
+            .enumerate()
+            .map(|(id, submit)| JobSpec {
+                id,
+                submit,
+                kind: self.mix.sample(&mut mix_rng),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(x: f64) -> SimTime {
+        SimTime::from_secs_f64(x)
+    }
+
+    #[test]
+    fn poisson_is_deterministic_and_sorted() {
+        let p = ArrivalProcess::Poisson { rate_hz: 0.05 };
+        let a = p.realize(s(10_000.0), 7);
+        let b = p.realize(s(10_000.0), 7);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        assert!(a.iter().all(|&t| t <= s(10_000.0)));
+        let c = p.realize(s(10_000.0), 8);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn poisson_rate_is_roughly_right() {
+        let p = ArrivalProcess::Poisson { rate_hz: 0.1 };
+        let n = p.realize(s(100_000.0), 3).len() as f64;
+        // Expect ~10 000 arrivals; 5% tolerance is generous.
+        assert!((n - 10_000.0).abs() < 500.0, "got {n} arrivals");
+    }
+
+    #[test]
+    fn uniform_arrivals_are_evenly_spaced() {
+        let u = ArrivalProcess::Uniform { gap: s(60.0) };
+        let a = u.realize(s(300.0), 0);
+        assert_eq!(a, vec![s(60.0), s(120.0), s(180.0), s(240.0), s(300.0)]);
+    }
+
+    #[test]
+    fn trace_arrivals_filter_and_sort() {
+        let t = ArrivalProcess::Trace(vec![s(50.0), s(10.0), s(999.0)]);
+        assert_eq!(t.realize(s(100.0), 0), vec![s(10.0), s(50.0)]);
+    }
+
+    #[test]
+    fn mix_sampling_is_deterministic_and_covers_kinds() {
+        let mix = JobMix::default_mix();
+        let mut a = ChaCha8Rng::seed_from_u64(5);
+        let mut b = ChaCha8Rng::seed_from_u64(5);
+        let xs: Vec<JobKind> = (0..200).map(|_| mix.sample(&mut a)).collect();
+        let ys: Vec<JobKind> = (0..200).map(|_| mix.sample(&mut b)).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.iter().any(|k| matches!(k, JobKind::Jacobi { .. })));
+        assert!(xs
+            .iter()
+            .any(|k| matches!(k, JobKind::ReactPipeline { .. })));
+        assert!(xs.iter().any(|k| matches!(k, JobKind::NileFarm { .. })));
+    }
+
+    #[test]
+    fn workload_realization_is_deterministic() {
+        let cfg = WorkloadConfig::default();
+        assert_eq!(cfg.realize(), cfg.realize());
+        let other = WorkloadConfig {
+            seed: cfg.seed + 1,
+            ..cfg.clone()
+        };
+        assert_ne!(cfg.realize(), other.realize());
+    }
+
+    #[test]
+    fn job_kinds_produce_matching_hats() {
+        let (hat, _) = JobKind::Jacobi {
+            n: 100,
+            iterations: 5,
+        }
+        .hat_and_user();
+        assert!(hat.as_stencil().is_some());
+        let (hat, _) = JobKind::ReactPipeline { units: 10 }.hat_and_user();
+        assert!(hat.as_pipeline().is_some());
+        let (hat, _) = JobKind::NileFarm { events: 100 }.hat_and_user();
+        assert!(hat.as_task_farm().is_some());
+    }
+}

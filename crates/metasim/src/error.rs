@@ -54,7 +54,10 @@ impl fmt::Display for SimError {
                 write!(f, "{what} must be positive, got {value}")
             }
             SimError::NeverCompletes { work } => {
-                write!(f, "work of {work} units never completes (availability stuck at 0)")
+                write!(
+                    f,
+                    "work of {work} units never completes (availability stuck at 0)"
+                )
             }
             SimError::EmptySchedule => write!(f, "schedule assigns work to no hosts"),
             SimError::Invalid(msg) => write!(f, "invalid configuration: {msg}"),

@@ -18,5 +18,7 @@ pub mod spmd;
 pub mod workqueue;
 
 pub use pipeline::{simulate_pipeline, simulate_single_site, PipelineJob, PipelineOutcome};
-pub use spmd::{simulate_spmd, simulate_spmd_traced, SpmdJob, SpmdOutcome, SpmdPlacement, SpmdTrace};
+pub use spmd::{
+    simulate_spmd, simulate_spmd_traced, SpmdJob, SpmdOutcome, SpmdPlacement, SpmdTrace,
+};
 pub use workqueue::{simulate_workqueue, WorkQueueJob, WorkQueueOutcome};

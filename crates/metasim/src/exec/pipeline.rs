@@ -169,8 +169,7 @@ pub fn simulate_single_site(
 ) -> Result<SimTime, SimError> {
     let h = topo.host(host)?;
     let t0 = job.start + h.startup_wait();
-    let total = job.n_units as f64
-        * (job.producer_mflop_per_unit + job.consumer_mflop_per_unit);
+    let total = job.n_units as f64 * (job.producer_mflop_per_unit + job.consumer_mflop_per_unit);
     let resident = job.producer_resident_mb + job.consumer_resident_mb;
     h.compute_finish(t0, total, resident)
 }

@@ -177,10 +177,7 @@ pub fn simulate_spmd_traced(
                 });
             }
         }
-        let mut next_barrier = compute_done
-            .iter()
-            .copied()
-            .fold(barrier, SimTime::max);
+        let mut next_barrier = compute_done.iter().copied().fold(barrier, SimTime::max);
         if !reqs.is_empty() {
             for r in simulate_transfers(topo, &reqs)? {
                 next_barrier = next_barrier.max(r.delivered);

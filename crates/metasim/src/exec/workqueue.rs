@@ -100,14 +100,13 @@ pub fn simulate_workqueue(
         remaining -= 1;
         let worker = job.workers[wi];
         // Request/receive the chunk input.
-        let got = now
-            + topo.transfer_estimate(job.master, worker, job.mb_per_chunk, now)?;
+        let got = now + topo.transfer_estimate(job.master, worker, job.mb_per_chunk, now)?;
         // Compute.
         let host = topo.host(worker)?;
         let done = host.compute_finish(got, job.mflop_per_chunk, job.resident_mb)?;
         // Return the result.
-        let returned = done
-            + topo.transfer_estimate(worker, job.master, job.result_mb_per_chunk, done)?;
+        let returned =
+            done + topo.transfer_estimate(worker, job.master, job.result_mb_per_chunk, done)?;
         chunks_done[wi] += 1;
         finish = finish.max(returned);
         ready.schedule(returned, wi);

@@ -47,8 +47,8 @@ pub mod net;
 pub mod queue;
 pub mod testbed;
 pub mod time;
-pub mod tracefile;
 pub mod trace;
+pub mod tracefile;
 
 pub use error::SimError;
 pub use host::{Host, HostId, HostSpec, SharingPolicy};

@@ -175,20 +175,45 @@ impl StepSeries {
     /// another application sees: running at a 60% share on a host for
     /// some window scales the host's availability by 0.4 there.
     pub fn scaled_in_window(&self, from: SimTime, to: SimTime, factor: f64) -> StepSeries {
-        if to <= from {
+        self.with_impositions(&[Imposition::new(from, to, factor)])
+    }
+
+    /// A copy of the series with a whole set of [`Imposition`]s applied
+    /// at once. Overlapping windows compose multiplicatively: two jobs
+    /// each taking a 50% share of a host leave 25% of it for a third
+    /// observer. One sweep over the union of change points, so layering
+    /// `n` impositions costs `O((points + n) log (points + n))` rather
+    /// than `n` full copies via repeated [`scaled_in_window`] calls.
+    ///
+    /// Empty windows (`to <= from`) are ignored; factors are floored at
+    /// zero and the resulting values clamped back into `[0, 1]`.
+    ///
+    /// [`scaled_in_window`]: StepSeries::scaled_in_window
+    pub fn with_impositions(&self, impositions: &[Imposition]) -> StepSeries {
+        let live: Vec<&Imposition> = impositions.iter().filter(|i| i.to > i.from).collect();
+        if live.is_empty() {
             return self.clone();
         }
-        let factor = factor.max(0.0);
-        let mut pts: Vec<(SimTime, f64)> = Vec::with_capacity(self.points.len() + 2);
-        for &(t, v) in &self.points {
-            let scaled = if t >= from && t < to { v * factor } else { v };
-            pts.push((t, scaled));
+        // Change points of the result: the base series' own points plus
+        // every window edge. Values can only change at these times.
+        let mut times: Vec<SimTime> = self.points.iter().map(|&(t, _)| t).collect();
+        for imp in &live {
+            times.push(imp.from);
+            times.push(imp.to);
         }
-        // Boundary points so the window edges are exact.
-        let at_from = self.value_at(from) * factor;
-        let at_to = self.value_at(to);
-        pts.push((from, at_from));
-        pts.push((to, at_to));
+        times.sort_unstable();
+        times.dedup();
+        let pts = times
+            .into_iter()
+            .map(|t| {
+                let combined: f64 = live
+                    .iter()
+                    .filter(|i| i.active_at(t))
+                    .map(|i| i.factor.max(0.0))
+                    .product();
+                (t, self.value_at(t) * combined)
+            })
+            .collect();
         StepSeries::from_points(pts)
     }
 
@@ -203,6 +228,36 @@ impl StepSeries {
             t += period;
         }
         out
+    }
+}
+
+/// One application's resource usage expressed as a multiplicative drag
+/// on the availability everyone else observes: inside `[from, to)` the
+/// underlying series is scaled by `factor`. A job taking a 60% share of
+/// a host for its run imposes `factor = 0.4` over that window.
+///
+/// Apply a batch with [`StepSeries::with_impositions`]; overlapping
+/// windows compose multiplicatively.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Imposition {
+    /// Start of the window (inclusive).
+    pub from: SimTime,
+    /// End of the window (exclusive).
+    pub to: SimTime,
+    /// Multiplier applied to availability inside the window; floored at
+    /// zero when applied.
+    pub factor: f64,
+}
+
+impl Imposition {
+    /// An imposition scaling availability by `factor` over `[from, to)`.
+    pub fn new(from: SimTime, to: SimTime, factor: f64) -> Self {
+        Imposition { from, to, factor }
+    }
+
+    /// Whether the window covers time `t` (left-closed, right-open).
+    pub fn active_at(&self, t: SimTime) -> bool {
+        self.from <= t && t < self.to
     }
 }
 
@@ -465,10 +520,7 @@ mod tests {
     #[test]
     fn time_to_complete_zero_work_is_instant() {
         let ss = StepSeries::constant(0.0);
-        assert_eq!(
-            ss.time_to_complete(s(3.0), 0.0, 1.0).unwrap(),
-            s(3.0)
-        );
+        assert_eq!(ss.time_to_complete(s(3.0), 0.0, 1.0).unwrap(), s(3.0));
     }
 
     #[test]
@@ -507,6 +559,59 @@ mod tests {
         // Work started before the block resumes after it.
         let done = scaled.time_to_complete(SimTime::ZERO, 30.0, 10.0).unwrap();
         assert_eq!(done, s(5.0)); // 2 s + 2 s blocked + 1 s
+    }
+
+    #[test]
+    fn impositions_compose_multiplicatively() {
+        let ss = StepSeries::constant(1.0);
+        let layered = ss.with_impositions(&[
+            Imposition::new(s(0.0), s(20.0), 0.5),
+            Imposition::new(s(10.0), s(30.0), 0.5),
+        ]);
+        assert_eq!(layered.value_at(s(5.0)), 0.5); // first only
+        assert_eq!(layered.value_at(s(15.0)), 0.25); // both overlap
+        assert_eq!(layered.value_at(s(25.0)), 0.5); // second only
+        assert_eq!(layered.value_at(s(35.0)), 1.0); // neither
+    }
+
+    #[test]
+    fn with_impositions_matches_sequential_scaling() {
+        let ss = StepSeries::from_points(vec![(s(0.0), 0.9), (s(12.0), 0.6), (s(40.0), 0.3)]);
+        let imps = [
+            Imposition::new(s(5.0), s(25.0), 0.7),
+            Imposition::new(s(18.0), s(50.0), 0.4),
+            Imposition::new(s(20.0), s(20.0), 0.0), // empty: ignored
+        ];
+        let batched = ss.with_impositions(&imps);
+        let sequential =
+            ss.scaled_in_window(s(5.0), s(25.0), 0.7)
+                .scaled_in_window(s(18.0), s(50.0), 0.4);
+        for t in [0.0, 5.0, 10.0, 18.0, 19.0, 25.0, 39.0, 45.0, 60.0] {
+            assert!(
+                (batched.value_at(s(t)) - sequential.value_at(s(t))).abs() < 1e-12,
+                "mismatch at t={t}: {} vs {}",
+                batched.value_at(s(t)),
+                sequential.value_at(s(t)),
+            );
+        }
+    }
+
+    #[test]
+    fn empty_imposition_set_is_identity() {
+        let ss = StepSeries::from_points(vec![(s(0.0), 0.6), (s(5.0), 0.9)]);
+        assert_eq!(ss.with_impositions(&[]), ss);
+        assert_eq!(
+            ss.with_impositions(&[Imposition::new(s(9.0), s(3.0), 0.1)]),
+            ss
+        );
+    }
+
+    #[test]
+    fn imposition_negative_factor_floors_at_zero() {
+        let ss = StepSeries::constant(0.8);
+        let layered = ss.with_impositions(&[Imposition::new(s(1.0), s(2.0), -3.0)]);
+        assert_eq!(layered.value_at(s(1.5)), 0.0);
+        assert_eq!(layered.value_at(s(2.5)), 0.8);
     }
 
     #[test]

@@ -248,9 +248,11 @@ impl TopologyBuilder {
         let mut links = Vec::with_capacity(self.links.len());
         for (i, spec) in self.links.into_iter().enumerate() {
             spec.validate()?;
-            let avail = spec
-                .load
-                .realize(horizon, seed.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_mul(i as u64 + 1));
+            let avail = spec.load.realize(
+                horizon,
+                seed.wrapping_add(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_mul(i as u64 + 1),
+            );
             links.push(Link {
                 id: LinkId(i),
                 spec,
@@ -266,7 +268,8 @@ impl TopologyBuilder {
                 HostId(i),
                 spec,
                 horizon,
-                seed.wrapping_add(0xD1B5_4A32_D192_ED03).wrapping_mul(i as u64 + 1),
+                seed.wrapping_add(0xD1B5_4A32_D192_ED03)
+                    .wrapping_mul(i as u64 + 1),
             )?;
             hosts.push(h);
         }
@@ -348,13 +351,10 @@ impl Topology {
             return Ok(vec![la]);
         }
         let lb = self.segment_link(sb)?;
-        let via = self
-            .routes
-            .via(sa, sb)
-            .ok_or(SimError::NoRoute {
-                from: from.0,
-                to: to.0,
-            })?;
+        let via = self.routes.via(sa, sb).ok_or(SimError::NoRoute {
+            from: from.0,
+            to: to.0,
+        })?;
         let mut path = Vec::with_capacity(via.len() + 2);
         path.push(la);
         path.extend_from_slice(via);
@@ -801,8 +801,16 @@ mod tests {
         let sa = b.add_segment(LinkSpec::dedicated("segA", 10.0, SimTime::from_millis(1)));
         let sb = b.add_segment(LinkSpec::dedicated("segB", 10.0, SimTime::from_millis(1)));
         let sc = b.add_segment(LinkSpec::dedicated("segC", 10.0, SimTime::from_millis(1)));
-        let ab = b.connect(sa, sb, LinkSpec::dedicated("ab", 2.0, SimTime::from_millis(5)));
-        let bc = b.connect(sb, sc, LinkSpec::dedicated("bc", 2.0, SimTime::from_millis(5)));
+        let ab = b.connect(
+            sa,
+            sb,
+            LinkSpec::dedicated("ab", 2.0, SimTime::from_millis(5)),
+        );
+        let bc = b.connect(
+            sb,
+            sc,
+            LinkSpec::dedicated("bc", 2.0, SimTime::from_millis(5)),
+        );
         b.add_host(HostSpec::dedicated("a", 10.0, 64.0, sa));
         b.add_host(HostSpec::dedicated("c", 10.0, 64.0, sc));
         let topo = b.instantiate(s(100.0), 0).unwrap();

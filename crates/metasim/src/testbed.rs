@@ -360,10 +360,7 @@ mod tests {
         let hosts = tb.all_hosts();
         for &a in &hosts {
             for &b in &hosts {
-                assert!(
-                    tb.topo.route(a, b).is_ok(),
-                    "no route between {a} and {b}"
-                );
+                assert!(tb.topo.route(a, b).is_ok(), "no route between {a} and {b}");
             }
         }
     }
@@ -381,8 +378,14 @@ mod tests {
         let tb = pcl_sdsc(&TestbedConfig::default()).unwrap();
         let h = tb.topo.host(tb.sparc10).unwrap();
         let mean = h.mean_availability(SimTime::ZERO, SimTime::from_secs(100_000));
-        assert!(mean < 0.95, "moderate profile should leave mean < 0.95, got {mean}");
-        assert!(mean > 0.2, "moderate profile should not starve hosts, got {mean}");
+        assert!(
+            mean < 0.95,
+            "moderate profile should leave mean < 0.95, got {mean}"
+        );
+        assert!(
+            mean > 0.2,
+            "moderate profile should not starve hosts, got {mean}"
+        );
     }
 
     #[test]

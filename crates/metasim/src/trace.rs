@@ -93,7 +93,11 @@ pub fn render_timeline(outcome: &SpmdOutcome, labels: &[String], width: usize) -
         };
         out.push_str(&format!(
             "{label:>name_w$} |{bars}| {:5.1}% busy ({compute:.2}s compute, {sync:.2}s wait)\n",
-            if total > 0.0 { compute / total * 100.0 } else { 0.0 }
+            if total > 0.0 {
+                compute / total * 100.0
+            } else {
+                0.0
+            }
         ));
     }
     out

@@ -33,12 +33,12 @@ pub fn parse_trace(text: &str) -> Result<Vec<(SimTime, f64)>, SimError> {
             .next()
             .ok_or_else(|| SimError::Invalid(format!("line {}: missing comma", lineno + 1)))?
             .trim();
-        let t: f64 = t_str.parse().map_err(|_| {
-            SimError::Invalid(format!("line {}: bad time {t_str:?}", lineno + 1))
-        })?;
-        let v: f64 = v_str.parse().map_err(|_| {
-            SimError::Invalid(format!("line {}: bad value {v_str:?}", lineno + 1))
-        })?;
+        let t: f64 = t_str
+            .parse()
+            .map_err(|_| SimError::Invalid(format!("line {}: bad time {t_str:?}", lineno + 1)))?;
+        let v: f64 = v_str
+            .parse()
+            .map_err(|_| SimError::Invalid(format!("line {}: bad value {v_str:?}", lineno + 1)))?;
         if !(0.0..=1.0).contains(&v) {
             return Err(SimError::Invalid(format!(
                 "line {}: availability {v} outside [0, 1]",

@@ -23,11 +23,7 @@ fn segment_topo(hosts: usize, bw: f64) -> Topology {
 }
 
 fn arb_reqs(hosts: usize) -> impl Strategy<Value = Vec<TransferReq>> {
-    prop::collection::vec(
-        (0..hosts, 0..hosts, 0.1f64..50.0, 0u64..100),
-        1..20,
-    )
-    .prop_map(|raw| {
+    prop::collection::vec((0..hosts, 0..hosts, 0.1f64..50.0, 0u64..100), 1..20).prop_map(|raw| {
         raw.into_iter()
             .enumerate()
             .map(|(i, (from, to, mb, start_s))| TransferReq {

@@ -20,7 +20,10 @@ impl TrimmedMean {
     /// Panics if `k == 0` or `2 * trim >= k` (nothing left to average).
     pub fn new(k: usize, trim: usize) -> Self {
         assert!(k > 0, "window must be non-empty");
-        assert!(2 * trim < k, "trim {trim} leaves nothing of a window of {k}");
+        assert!(
+            2 * trim < k,
+            "trim {trim} leaves nothing of a window of {k}"
+        );
         TrimmedMean {
             k,
             trim,
@@ -167,7 +170,10 @@ mod tests {
         }
         let p = f.forecast().unwrap();
         let expect = 0.1 + 0.05 * 8.0;
-        assert!((p - expect).abs() < 1e-9, "predicted {p}, expected {expect}");
+        assert!(
+            (p - expect).abs() < 1e-9,
+            "predicted {p}, expected {expect}"
+        );
     }
 
     #[test]

@@ -233,7 +233,10 @@ mod tests {
         }
         assert_eq!(f.current_window(), 2);
         let p = f.forecast().unwrap();
-        assert!((p - 0.1).abs() < 0.05, "adaptive mean should track the shift, got {p}");
+        assert!(
+            (p - 0.1).abs() < 0.05,
+            "adaptive mean should track the shift, got {p}"
+        );
     }
 
     #[test]

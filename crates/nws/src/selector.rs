@@ -112,7 +112,9 @@ impl AdaptiveSelector {
                 f64::INFINITY
             } else {
                 // Normalize the decayed sum by its decayed weight.
-                let w: f64 = (0..self.scored[i]).map(|k| ERROR_DECAY.powi(k as i32)).sum();
+                let w: f64 = (0..self.scored[i])
+                    .map(|k| ERROR_DECAY.powi(k as i32))
+                    .sum();
                 self.err[i] / w
             }
         })

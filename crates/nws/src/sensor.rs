@@ -93,8 +93,7 @@ impl Sensor for CpuSensor {
         };
         while self.next <= now {
             let clean = host.availability().value_at(self.next);
-            let v = (clean + sample_noise(self.noise_seed, self.next, self.noise))
-                .clamp(0.0, 1.0);
+            let v = (clean + sample_noise(self.noise_seed, self.next, self.noise)).clamp(0.0, 1.0);
             out.push((self.next, v));
             self.next += self.period;
         }
@@ -157,8 +156,7 @@ impl Sensor for LinkSensor {
         };
         while self.next <= now {
             let clean = link.availability().value_at(self.next);
-            let v = (clean + sample_noise(self.noise_seed, self.next, self.noise))
-                .clamp(0.0, 1.0);
+            let v = (clean + sample_noise(self.noise_seed, self.next, self.noise)).clamp(0.0, 1.0);
             out.push((self.next, v));
             self.next += self.period;
         }

@@ -381,7 +381,9 @@ mod tests {
     #[test]
     fn lag1_autocorrelation_basics() {
         // Alternating series: strong negative lag-1 correlation.
-        let alt: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 0.0 } else { 1.0 }).collect();
+        let alt: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 1.0 })
+            .collect();
         assert!(lag1_autocorrelation(&alt).unwrap() < -0.9);
         // Slow ramp: strong positive correlation.
         let ramp: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();

@@ -9,10 +9,10 @@
 //! ```
 
 use apples::info::InfoPool;
+use apples_apps::jacobi2d::partition::jacobi_context;
 use apples_apps::jacobi2d::{
     apples_stencil_schedule, blocked_uniform, static_strip, Grid, PartitionedRun,
 };
-use apples_apps::jacobi2d::partition::jacobi_context;
 use metasim::exec::simulate_spmd;
 use metasim::testbed::{pcl_sdsc, TestbedConfig};
 use metasim::SimTime;

@@ -17,8 +17,16 @@ fn main() {
     // Two storage sites joined by a campus backbone; five compute
     // hosts of mixed speed.
     let mut b = TopologyBuilder::new();
-    let lan_a = b.add_segment(LinkSpec::dedicated("site-a", 12.5, SimTime::from_micros(500)));
-    let lan_b = b.add_segment(LinkSpec::dedicated("site-b", 12.5, SimTime::from_micros(500)));
+    let lan_a = b.add_segment(LinkSpec::dedicated(
+        "site-a",
+        12.5,
+        SimTime::from_micros(500),
+    ));
+    let lan_b = b.add_segment(LinkSpec::dedicated(
+        "site-b",
+        12.5,
+        SimTime::from_micros(500),
+    ));
     b.connect(
         lan_a,
         lan_b,

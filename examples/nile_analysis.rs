@@ -30,7 +30,14 @@ fn main() {
             .plan_campaign(&pool, &tb.compute, tb.server, tb.local_site)
             .expect("plan");
         let measured = sm
-            .run_campaign(&tb.topo, &hat, &plan, tb.server, tb.local_site, SimTime::ZERO)
+            .run_campaign(
+                &tb.topo,
+                &hat,
+                &plan,
+                tb.server,
+                tb.local_site,
+                SimTime::ZERO,
+            )
             .expect("run");
         println!(
             "{runs:>2} run(s): Site Manager chose {:<6} — predicted {:>9.1} s \

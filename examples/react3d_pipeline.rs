@@ -6,9 +6,7 @@
 //! cargo run --release --example react3d_pipeline
 //! ```
 
-use apples_apps::react3d::{
-    casa_testbed, distributed_run, single_site_run, sweep_pipeline_sizes,
-};
+use apples_apps::react3d::{casa_testbed, distributed_run, single_site_run, sweep_pipeline_sizes};
 use metasim::SimTime;
 
 fn main() {

@@ -54,10 +54,7 @@ fn main() {
 
         let advice = advise(
             &pool,
-            &[
-                vec![HostId(0), HostId(1)],
-                vec![HostId(2), HostId(3)],
-            ],
+            &[vec![HostId(0), HostId(1)], vec![HostId(2), HostId(3)]],
         )
         .expect("advice");
         let chosen = advice.chosen();

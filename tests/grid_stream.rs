@@ -1,0 +1,102 @@
+//! Integration tests for the apples-grid job-stream service: the same
+//! seed and workload configuration must reproduce the fleet bit for
+//! bit, and the aware information regime must actually observe the
+//! load earlier tenants impose.
+
+use apples_grid::workload::{ArrivalProcess, JobKind, JobMix, JobSpec, WorkloadConfig};
+use apples_grid::{run, run_jobs, GridConfig, Regime};
+use metasim::SimTime;
+
+fn s(x: f64) -> SimTime {
+    SimTime::from_secs_f64(x)
+}
+
+fn stream_workload() -> WorkloadConfig {
+    WorkloadConfig {
+        arrivals: ArrivalProcess::Poisson { rate_hz: 0.02 },
+        mix: JobMix::default_mix(),
+        duration: s(1800.0),
+        seed: 7,
+    }
+}
+
+/// Same seed + same workload config → bit-identical per-job records
+/// and fleet metrics across two independent runs.
+#[test]
+fn same_seed_and_workload_reproduce_fleet_metrics_exactly() {
+    let cfg = GridConfig {
+        seed: 7,
+        ..GridConfig::default()
+    };
+    let workload = stream_workload();
+    let a = run(&cfg, &workload).expect("first run");
+    let b = run(&cfg, &workload).expect("second run");
+    assert!(a.fleet.jobs > 0, "stream should admit at least one job");
+    assert_eq!(a.records, b.records);
+    assert_eq!(a.fleet, b.fleet);
+}
+
+/// The two information regimes run the same admitted job list to
+/// completion; only the forecasts the agents decide from differ.
+#[test]
+fn both_regimes_complete_every_admitted_job() {
+    let workload = stream_workload();
+    let n_submitted = workload.realize().len();
+    for regime in [Regime::Aware, Regime::Blind] {
+        let cfg = GridConfig {
+            seed: 7,
+            regime,
+            ..GridConfig::default()
+        };
+        let out = run(&cfg, &workload).expect("stream");
+        assert_eq!(out.records.len(), n_submitted, "{regime:?} lost jobs");
+        for r in &out.records {
+            assert!(r.exec_seconds > 0.0);
+            assert!(r.wait_seconds >= 0.0);
+            assert!(r.slowdown >= 1.0 - 1e-9);
+            assert!(!r.hosts.is_empty());
+        }
+    }
+}
+
+/// A later tenant's NWS forecasts reflect earlier tenants' imposed
+/// load: with three long solves parked on the fast hosts, an aware
+/// probe schedules around them and finishes no slower than a blind
+/// probe that plans from a pristine pre-stream snapshot.
+#[test]
+fn aware_probe_observes_earlier_tenants_load() {
+    let jobs: Vec<JobSpec> = [6000u32, 6000, 6000, 400]
+        .iter()
+        .enumerate()
+        .map(|(i, &iterations)| JobSpec {
+            id: i,
+            submit: s(60.0 * i as f64),
+            kind: JobKind::Jacobi {
+                n: 1200,
+                iterations: iterations as usize,
+            },
+        })
+        .collect();
+    let duration = s(400.0);
+    let mut outcomes = Vec::new();
+    for regime in [Regime::Aware, Regime::Blind] {
+        let cfg = GridConfig {
+            seed: 1996,
+            regime,
+            ..GridConfig::default()
+        };
+        outcomes.push(run_jobs(&cfg, &jobs, duration).expect("probe stream"));
+    }
+    let (aware, blind) = (&outcomes[0], &outcomes[1]);
+    let aware_probe = aware.records.last().expect("probe");
+    let blind_probe = blind.records.last().expect("probe");
+    // The occupied fast hosts look pristine to the blind probe, so it
+    // piles on top of them; the aware probe routes around.
+    assert_ne!(aware_probe.hosts, blind_probe.hosts);
+    assert!(
+        aware_probe.exec_seconds <= blind_probe.exec_seconds,
+        "aware probe ({:.1}s) should not lose to blind ({:.1}s)",
+        aware_probe.exec_seconds,
+        blind_probe.exec_seconds
+    );
+}

@@ -5,7 +5,9 @@
 
 use apples::info::InfoPool;
 use apples_apps::jacobi2d::partition::jacobi_context;
-use apples_apps::jacobi2d::{apples_stencil_schedule, static_strip, uniform_strip, Grid, PartitionedRun};
+use apples_apps::jacobi2d::{
+    apples_stencil_schedule, static_strip, uniform_strip, Grid, PartitionedRun,
+};
 use metasim::testbed::{pcl_sdsc, TestbedConfig};
 use metasim::SimTime;
 use nws::{WeatherService, WeatherServiceConfig};

@@ -8,7 +8,7 @@ use apples::planner::plan_strip;
 use apples::user::UserSpec;
 use apples_apps::jacobi2d::{Grid, PartitionedRun};
 use metasim::host::HostSpec;
-use metasim::load::{LoadModel, StepSeries};
+use metasim::load::{Imposition, LoadModel, StepSeries};
 use metasim::net::{LinkSpec, TopologyBuilder};
 use metasim::{HostId, SimTime, Topology};
 use proptest::prelude::*;
@@ -179,6 +179,52 @@ proptest! {
         let whole = series.integral(t0, t2);
         let split = series.integral(t0, t1) + series.integral(t1, t2);
         prop_assert!((whole - split).abs() < 1e-6, "{whole} != {split}");
+    }
+
+    /// Imposed foreground load never drives availability outside
+    /// `[0, 1]`, no matter how many windows overlap or how wild the
+    /// factors are (negative, zero, or greater than one); and when
+    /// every factor is a genuine share in `[0, 1]`, an imposition
+    /// never *raises* availability anywhere.
+    #[test]
+    fn impositions_keep_availability_in_unit_interval(
+        points in prop::collection::vec((0u64..10_000, 0.0f64..1.0), 1..20),
+        windows in prop::collection::vec(
+            (0u64..10_000, 0u64..10_000, -0.5f64..2.5),
+            0..12,
+        ),
+    ) {
+        let base = StepSeries::from_points(
+            points.into_iter().map(|(t, v)| (SimTime::from_secs(t), v)).collect(),
+        );
+        let imps: Vec<Imposition> = windows
+            .iter()
+            .map(|&(a, b, f)| {
+                Imposition::new(
+                    SimTime::from_secs(a.min(b)),
+                    SimTime::from_secs(a.max(b)),
+                    f,
+                )
+            })
+            .collect();
+        let loaded = base.with_impositions(&imps);
+        for &(t, v) in loaded.points() {
+            prop_assert!((0.0..=1.0).contains(&v), "value {v} at {t:?}");
+        }
+        // Probe between change points too: the composition must hold
+        // everywhere, not just at the breakpoints.
+        let damping = windows.iter().all(|&(_, _, f)| f <= 1.0);
+        for probe in (0..10_000u64).step_by(487) {
+            let t = SimTime::from_secs(probe);
+            let v = loaded.value_at(t);
+            prop_assert!((0.0..=1.0).contains(&v), "value {v} at {t:?}");
+            if damping {
+                prop_assert!(
+                    v <= base.value_at(t) + 1e-12,
+                    "imposition raised availability at {t:?}"
+                );
+            }
+        }
     }
 
     /// `time_to_complete` is consistent with `integral`: the work

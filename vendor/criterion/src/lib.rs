@@ -1,0 +1,189 @@
+//! Offline shim implementing the subset of the `criterion` API the
+//! workspace's benches use. It times each benchmark with a handful of
+//! wall-clock samples and prints mean time per iteration — no
+//! statistics, plots, or comparison against saved baselines. The
+//! build container has no crates.io access; this keeps `cargo bench`
+//! functional offline.
+//!
+//! Iteration counts are deliberately small (the real criterion runs
+//! thousands); set `CRITERION_SHIM_SAMPLES` to adjust.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export for benches that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; the shim treats all the same.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+/// Number of timed samples per benchmark.
+fn samples() -> u32 {
+    std::env::var("CRITERION_SHIM_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+}
+
+/// Passed to benchmark closures; runs and times the routine.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine` over the shim's sample count.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        for _ in 0..samples() {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.total += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Time `routine` with per-sample untimed `setup`.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..samples() {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.total += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for API compatibility; the shim's count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    fn run(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        let mean = if b.iters > 0 {
+            b.total / b.iters as u32
+        } else {
+            Duration::ZERO
+        };
+        println!(
+            "{}/{}: {:>12.3?} per iter ({} iters)",
+            self.name, id, mean, b.iters
+        );
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function(&mut self, id: impl AsRef<str>, f: impl FnOnce(&mut Bencher)) {
+        self.run(id.as_ref(), f);
+    }
+
+    /// Benchmark a closure against one input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) {
+        self.run(&id.id.clone(), |b| f(b, input));
+    }
+
+    /// End the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+
+    /// Benchmark a closure outside a group.
+    pub fn bench_function(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        self.benchmark_group("bench").bench_function(id, f);
+    }
+}
+
+/// Define a group-runner function invoking each benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Under `cargo test` harness-less bench targets are run
+            // with `--test`-style arguments; skip the heavy work then.
+            let bench_mode = std::env::args().any(|a| a == "--bench");
+            if !bench_mode && std::env::args().len() > 1 {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}

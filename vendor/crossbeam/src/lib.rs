@@ -1,0 +1,79 @@
+//! Offline shim exposing `crossbeam::thread::scope` backed by
+//! `std::thread::scope`. Only the surface the workspace uses is
+//! provided: `scope(|s| ...)` returning `Result`, `Scope::spawn`
+//! (whose closure receives a nested `&Scope`), and
+//! `ScopedJoinHandle::join`.
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// Wrapper over [`std::thread::Scope`] mirroring crossbeam's API.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread; `Err` carries the thread's panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure receives the
+        /// scope again so it can spawn nested threads, as in crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Run `f` with a scope whose spawned threads must all finish
+    /// before this returns. Unlike crossbeam, a panic in a spawned
+    /// thread that was never joined propagates out of `scope` (std
+    /// semantics) instead of being returned as `Err`; every caller in
+    /// this workspace joins its handles, where the two behave alike.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|inner| f(&Scope { inner })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_fans_out_and_joins() {
+        let data = [1u64, 2, 3, 4];
+        let doubled: Vec<u64> = crate::thread::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 2)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .unwrap();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn nested_spawn_works() {
+        let out = crate::thread::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+    }
+}

@@ -1,0 +1,133 @@
+//! Offline shim providing [`ChaCha8Rng`] for the vendored `rand` shim.
+//!
+//! This is a genuine ChaCha stream cipher core with 8 rounds, keyed
+//! from a `u64` seed expanded with SplitMix64. The keystream differs
+//! from the upstream `rand_chacha` crate (which the offline build
+//! container cannot download); the workspace only relies on
+//! per-seed determinism, never on a specific stream.
+
+use rand::{RngCore, SeedableRng};
+
+/// ChaCha with 8 rounds, seeded from a `u64`.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Cipher input state: constants, key, counter, nonce.
+    state: [u32; 16],
+    /// Current keystream block.
+    block: [u32; 16],
+    /// Next unread word of `block`.
+    word: usize,
+}
+
+#[inline]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut w = self.state;
+        for _ in 0..4 {
+            // 8 rounds = 4 double-rounds of column + diagonal mixing.
+            quarter_round(&mut w, 0, 4, 8, 12);
+            quarter_round(&mut w, 1, 5, 9, 13);
+            quarter_round(&mut w, 2, 6, 10, 14);
+            quarter_round(&mut w, 3, 7, 11, 15);
+            quarter_round(&mut w, 0, 5, 10, 15);
+            quarter_round(&mut w, 1, 6, 11, 12);
+            quarter_round(&mut w, 2, 7, 8, 13);
+            quarter_round(&mut w, 3, 4, 9, 14);
+        }
+        for (out, (&mixed, &input)) in self.block.iter_mut().zip(w.iter().zip(self.state.iter())) {
+            *out = mixed.wrapping_add(input);
+        }
+        // 64-bit block counter in words 12..14.
+        let counter = (self.state[12] as u64 | (self.state[13] as u64) << 32).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.word = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut state = [0u32; 16];
+        // "expand 32-byte k" constants.
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646E;
+        state[2] = 0x7962_2D32;
+        state[3] = 0x6B20_6574;
+        for i in 0..4 {
+            let k = splitmix64(&mut sm);
+            state[4 + 2 * i] = k as u32;
+            state[5 + 2 * i] = (k >> 32) as u32;
+        }
+        // Counter zero, nonce zero.
+        let mut rng = ChaCha8Rng {
+            state,
+            block: [0; 16],
+            word: 0,
+        };
+        rng.refill();
+        rng
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        if self.word + 2 > 16 {
+            self.refill();
+        }
+        let lo = self.block[self.word] as u64;
+        let hi = self.block[self.word + 1] as u64;
+        self.word += 2;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn floats_cover_the_unit_interval() {
+        let mut r = ChaCha8Rng::seed_from_u64(7);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..1000 {
+            let x: f64 = r.gen_range(0.0f64..1.0);
+            assert!((0.0..1.0).contains(&x));
+            lo |= x < 0.25;
+            hi |= x > 0.75;
+        }
+        assert!(lo && hi, "stream is not spreading over [0, 1)");
+    }
+}
