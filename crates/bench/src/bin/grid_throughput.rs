@@ -117,6 +117,7 @@ fn single_trial_records(cfg: &GridExpConfig) -> Vec<JobRecord> {
         mix: JobMix::default_mix(),
         duration: SimTime::from_secs_f64(cfg.duration_secs),
         seed: cfg.seed,
+        ..WorkloadConfig::default()
     };
     run(&grid, &workload).expect("grid stream").records
 }

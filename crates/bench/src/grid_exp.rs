@@ -51,6 +51,7 @@ pub fn run_trials(cfg: &GridExpConfig) -> Vec<TrialResult> {
         mix: JobMix::default_mix(),
         duration: SimTime::from_secs_f64(cfg.duration_secs),
         seed: cfg.seed,
+        ..WorkloadConfig::default()
     };
     let seeds: Vec<u64> = (0..cfg.trials as u64).map(|i| cfg.seed + i).collect();
     sweep_seeds(&grid, &workload, &seeds).expect("grid sweep")
@@ -59,7 +60,7 @@ pub fn run_trials(cfg: &GridExpConfig) -> Vec<TrialResult> {
 /// The fleet metrics of one trial as a two-column table.
 pub fn fleet_table(fleet: &FleetMetrics) -> String {
     let rows = vec![
-        vec!["jobs completed".into(), format!("{}", fleet.jobs)],
+        vec!["jobs completed".into(), format!("{}", fleet.jobs_completed)],
         vec![
             "throughput /h".into(),
             format!("{:.2}", fleet.throughput_per_hour),

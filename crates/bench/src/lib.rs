@@ -9,6 +9,7 @@
 
 pub mod ablation;
 pub mod estimator_exp;
+pub mod fault_exp;
 pub mod fig5;
 pub mod fig6;
 pub mod fixed_time;

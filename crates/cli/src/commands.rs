@@ -425,15 +425,35 @@ pub fn whatif(p: &Parsed) -> CmdResult {
 }
 
 pub fn grid(p: &Parsed) -> CmdResult {
-    use apples_grid::workload::{ArrivalProcess, JobMix, WorkloadConfig};
-    use apples_grid::{run, GridConfig, Regime};
+    use apples_grid::workload::{ArrivalProcess, JobMix, RetryPolicy, WorkloadConfig};
+    use apples_grid::{run, FaultInjection, GridConfig, Regime};
+    use metasim::FaultModel;
     let rate: f64 = p.get_parsed("rate", 0.02)?;
     let duration: f64 = p.get_parsed("duration", 3600.0)?;
     let seed: u64 = p.get_parsed("seed", 1996)?;
     let max_in_flight: usize = p.get_parsed("max-in-flight", usize::MAX)?;
+    let fault_rate: f64 = p.get_parsed("fault-rate", 0.0)?;
+    let link_fault_rate: f64 = p.get_parsed("link-fault-rate", 0.0)?;
+    let mean_outage: f64 = p.get_parsed("mean-outage", 600.0)?;
+    let permanent: f64 = p.get_parsed("permanent", 0.25)?;
+    let max_attempts: u32 = p.get_parsed("max-attempts", 1)?;
+    let backoff: f64 = p.get_parsed("backoff", 30.0)?;
     if rate <= 0.0 || duration <= 0.0 {
         return Err(ArgError("rate and duration must be positive".into()).into());
     }
+    if fault_rate < 0.0 || link_fault_rate < 0.0 || mean_outage <= 0.0 {
+        return Err(ArgError("fault rates must be >= 0 and mean outage positive".into()).into());
+    }
+    let faults = if fault_rate > 0.0 || link_fault_rate > 0.0 {
+        FaultInjection::Random(FaultModel {
+            host_crashes_per_hour: fault_rate,
+            link_outages_per_hour: link_fault_rate,
+            mean_outage: SimTime::from_secs_f64(mean_outage),
+            permanent_fraction: permanent,
+        })
+    } else {
+        FaultInjection::None
+    };
     let cfg = GridConfig {
         profile: profile_of(p)?,
         with_sp2: p.switch("sp2"),
@@ -444,6 +464,7 @@ pub fn grid(p: &Parsed) -> CmdResult {
             Regime::Aware
         },
         max_in_flight,
+        faults,
         ..GridConfig::default()
     };
     let workload = WorkloadConfig {
@@ -451,6 +472,11 @@ pub fn grid(p: &Parsed) -> CmdResult {
         mix: JobMix::default_mix(),
         duration: SimTime::from_secs_f64(duration),
         seed,
+        retry: RetryPolicy {
+            max_attempts,
+            base_backoff: SimTime::from_secs_f64(backoff),
+            factor: 2.0,
+        },
     };
     let out = run(&cfg, &workload)?;
 
@@ -484,8 +510,13 @@ pub fn grid(p: &Parsed) -> CmdResult {
         },
     );
     let f = &out.fleet;
-    println!("jobs completed    {:>10}", f.jobs);
+    println!("jobs admitted     {:>10}", f.jobs);
+    println!("jobs completed    {:>10}", f.jobs_completed);
+    println!("jobs failed       {:>10}", f.jobs_failed);
+    println!("jobs rescheduled  {:>10}", f.jobs_rescheduled);
+    println!("total attempts    {:>10}", f.total_attempts);
     println!("throughput /h     {:>10.2}", f.throughput_per_hour);
+    println!("goodput           {:>10.3}", f.goodput);
     println!("mean wait s       {:>10.2}", f.mean_wait_seconds);
     println!("mean exec s       {:>10.2}", f.mean_exec_seconds);
     println!("mean slowdown     {:>10.3}", f.mean_slowdown);
@@ -529,6 +560,12 @@ mod tests {
                 "rate",
                 "duration",
                 "max-in-flight",
+                "fault-rate",
+                "link-fault-rate",
+                "mean-outage",
+                "permanent",
+                "max-attempts",
+                "backoff",
             ],
             &["sp2", "csv", "json", "blind"],
         )
@@ -647,5 +684,31 @@ mod tests {
     #[test]
     fn grid_rejects_nonpositive_rate() {
         assert!(grid(&parsed(&["grid", "--rate", "0"])).is_err());
+    }
+
+    #[test]
+    fn grid_fault_flags_run() {
+        assert!(grid(&parsed(&[
+            "grid",
+            "--rate",
+            "0.005",
+            "--duration",
+            "600",
+            "--profile",
+            "light",
+            "--fault-rate",
+            "2.0",
+            "--max-attempts",
+            "3",
+            "--backoff",
+            "15",
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn grid_rejects_bad_fault_knobs() {
+        assert!(grid(&parsed(&["grid", "--fault-rate", "-1"])).is_err());
+        assert!(grid(&parsed(&["grid", "--mean-outage", "0"])).is_err());
     }
 }

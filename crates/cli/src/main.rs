@@ -44,7 +44,12 @@ USAGE:
       Rank hypothetical hardware upgrades by this application's speedup.
   apples-cli grid      [--rate R] [--duration SECS] [--seed N] [--profile P]
                        [--max-in-flight K] [--blind] [--csv] [--json]
+                       [--fault-rate C] [--link-fault-rate L] [--mean-outage SECS]
+                       [--permanent F] [--max-attempts K] [--backoff SECS]
       Stream a multi-tenant job mix through the testbed; fleet metrics.
+      --fault-rate crashes hosts at C per host-hour (--permanent F of
+      them for good); revoked jobs retry up to --max-attempts times
+      with exponential backoff from --backoff seconds.
 
 Profiles: dedicated | light | moderate (default) | heavy
 ";
@@ -78,6 +83,12 @@ fn main() {
             "rate",
             "duration",
             "max-in-flight",
+            "fault-rate",
+            "link-fault-rate",
+            "mean-outage",
+            "permanent",
+            "max-attempts",
+            "backoff",
         ],
         &["sp2", "csv", "json", "blind"],
     ) {

@@ -121,7 +121,8 @@ fn actuate_farm(
         let h = topo.host(host)?;
         let compute_start = delivered[i].delivered + h.startup_wait();
         let resident = events as f64 * t.mb_per_event;
-        let done = h.compute_finish(compute_start, events as f64 * t.mflop_per_event, resident)?;
+        let done =
+            h.compute_finish_checked(compute_start, events as f64 * t.mflop_per_event, resident)?;
         pushes.push(TransferReq {
             from: host,
             to: sched.result_home,

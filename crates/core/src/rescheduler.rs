@@ -60,6 +60,10 @@ pub struct PhaseRecord {
     pub migration_seconds: f64,
     /// Hosts used in this phase.
     pub hosts: Vec<HostId>,
+    /// Per-host wall-clock seconds spent in the compute phase, in
+    /// `hosts` order — what a service needs to write the phase's load
+    /// back into the topology.
+    pub compute_seconds: Vec<f64>,
 }
 
 /// Outcome of a rescheduling run.
@@ -71,6 +75,9 @@ pub struct RescheduleReport {
     pub elapsed_seconds: f64,
     /// Number of migrations performed.
     pub migrations: usize,
+    /// Number of phases abandoned because a host died under them (the
+    /// remnant work was re-planned onto the survivors).
+    pub revocations: usize,
     /// Per-phase details.
     pub phases: Vec<PhaseRecord>,
 }
@@ -121,6 +128,7 @@ impl ReschedulingAgent {
         let mut remaining = template.iterations;
         let mut phases = Vec::new();
         let mut migrations = 0usize;
+        let mut revocations = 0usize;
         let mut current: Option<StencilSchedule> = None;
         // Hosts discovered dead at runtime (a phase failed on them).
         let mut known_dead: Vec<metasim::HostId> = Vec::new();
@@ -185,12 +193,21 @@ impl ReschedulingAgent {
             ) {
                 Ok(r) => r,
                 Err(err) => {
-                    // Identify hosts whose work can never finish: the
-                    // availability process's final segment is pinned at
-                    // zero, i.e. the host is (or becomes) permanently
+                    let mut found_dead = false;
+                    // A revocation names the failed host directly — the
+                    // executor watched the placement die.
+                    if let ApplesError::Sim(metasim::SimError::PlacementLost { host, .. }) = &err {
+                        let h = metasim::HostId(*host);
+                        if !known_dead.contains(&h) {
+                            known_dead.push(h);
+                            found_dead = true;
+                        }
+                    }
+                    // Also identify hosts whose work can never finish:
+                    // the availability process's final segment is pinned
+                    // at zero, i.e. the host is (or becomes) permanently
                     // unavailable. This is what a real agent infers
                     // from a timeout: the resource is gone for good.
-                    let mut found_dead = false;
                     for h in phase_sched.hosts() {
                         let avail = topo.host(h)?.availability();
                         let dead_forever = avail
@@ -207,10 +224,15 @@ impl ReschedulingAgent {
                     if !found_dead || failures > topo.hosts().len() {
                         return Err(err);
                     }
+                    revocations += 1;
                     // Force a fresh decision next round.
                     current = None;
                     continue;
                 }
+            };
+            let compute_seconds = match &report.detail {
+                crate::actuator::ActuationDetail::Spmd(out) => out.compute_seconds.clone(),
+                _ => Vec::new(),
             };
             phases.push(PhaseRecord {
                 start: now,
@@ -219,6 +241,7 @@ impl ReschedulingAgent {
                 migrated,
                 migration_seconds,
                 hosts: phase_sched.hosts(),
+                compute_seconds,
             });
             now = report.finish;
             remaining -= phase_iters;
@@ -228,6 +251,7 @@ impl ReschedulingAgent {
             finish: now,
             elapsed_seconds: now.saturating_sub(start).as_secs_f64(),
             migrations,
+            revocations,
             phases,
         })
     }

@@ -22,18 +22,27 @@
 //!    later agents' NWS sensors observe earlier jobs and route around
 //!    them;
 //! 3. [`metrics`] reduces the per-job records (wait, execution,
-//!    slowdown) to fleet metrics: throughput, latency percentiles,
-//!    per-host utilization;
+//!    slowdown, attempts, goodput) to fleet metrics: throughput,
+//!    latency percentiles, per-host utilization;
 //! 4. [`sweep`] repeats the whole thing across seeds in parallel.
 //!
+//! The service is fault-tolerant: a [`service::FaultInjection`]
+//! schedule can crash hosts and cut links mid-stream; revoked
+//! placements are detected at actuation time and retried with bounded
+//! exponential backoff ([`workload::RetryPolicy`]), with aware stencil
+//! jobs rescheduling remnant work onto surviving hosts.
+//!
 //! Everything is deterministic per seed: same seed + same workload
-//! config → bit-identical records and fleet metrics.
+//! config + same fault schedule → bit-identical records and fleet
+//! metrics.
 
 pub mod metrics;
 pub mod service;
 pub mod sweep;
 pub mod workload;
 
-pub use metrics::{FleetMetrics, JobRecord};
-pub use service::{run, run_jobs, GridConfig, GridError, GridOutcome, Regime};
-pub use workload::{ArrivalProcess, JobKind, JobMix, JobSpec, WorkloadConfig};
+pub use metrics::{percentile, slowdown_of, FleetMetrics, JobRecord};
+pub use service::{
+    run, run_jobs, run_jobs_with_retry, FaultInjection, GridConfig, GridError, GridOutcome, Regime,
+};
+pub use workload::{ArrivalProcess, JobKind, JobMix, JobSpec, RetryPolicy, WorkloadConfig};

@@ -30,6 +30,26 @@ pub struct JobRecord {
     pub exec_seconds: f64,
     /// `(wait + exec) / exec` — 1.0 means no queueing penalty.
     pub slowdown: f64,
+    /// Placement attempts made (1 = succeeded first try).
+    pub attempts: u32,
+    /// Mid-run phase revocations survived via rescheduling onto other
+    /// hosts (stencil jobs under the aware regime only).
+    pub reschedules: u32,
+    /// Whether the job finished its work. `false` means every attempt
+    /// was revoked and the retry budget ran out.
+    pub completed: bool,
+}
+
+/// Slowdown `(wait + exec) / exec`, guarded against degenerate
+/// execution times: zero, negative or non-finite `exec` (a job that
+/// never ran, e.g. failed on every attempt) reports 1.0, and the result
+/// is clamped to at least 1.0 so rounding noise can't report a job
+/// running *faster* than unloaded.
+pub fn slowdown_of(wait_seconds: f64, exec_seconds: f64) -> f64 {
+    if !exec_seconds.is_finite() || exec_seconds <= 0.0 || !wait_seconds.is_finite() {
+        return 1.0;
+    }
+    ((wait_seconds + exec_seconds) / exec_seconds).max(1.0)
 }
 
 impl JobRecord {
@@ -40,13 +60,13 @@ impl JobRecord {
 
     /// CSV header for per-job rows.
     pub fn csv_header() -> &'static str {
-        "job,kind,submit_s,start_s,finish_s,wait_s,exec_s,slowdown,hosts"
+        "job,kind,submit_s,start_s,finish_s,wait_s,exec_s,slowdown,attempts,reschedules,completed,hosts"
     }
 
     /// One CSV row (hosts are `+`-joined so the row stays one field).
     pub fn csv_row(&self) -> String {
         format!(
-            "{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.4},{}",
+            "{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.4},{},{},{},{}",
             self.id,
             self.kind,
             self.submit.as_secs_f64(),
@@ -55,19 +75,23 @@ impl JobRecord {
             self.wait_seconds,
             self.exec_seconds,
             self.slowdown,
+            self.attempts,
+            self.reschedules,
+            self.completed,
             self.hosts.join("+"),
         )
     }
 }
 
 /// Nearest-rank percentile of an unsorted sample (p in `[0, 100]`).
-/// Returns 0.0 for an empty sample.
+/// Returns 0.0 for an empty sample. NaN samples are ignored; a sample
+/// of only NaNs reduces to the empty case.
 pub fn percentile(samples: &[f64], p: f64) -> f64 {
-    if samples.is_empty() {
+    let mut sorted: Vec<f64> = samples.iter().copied().filter(|x| !x.is_nan()).collect();
+    if sorted.is_empty() {
         return 0.0;
     }
-    let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
@@ -75,19 +99,32 @@ pub fn percentile(samples: &[f64], p: f64) -> f64 {
 /// Aggregate view of a whole job stream.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetMetrics {
-    /// Jobs completed.
+    /// Jobs admitted (completed + failed).
     pub jobs: usize,
+    /// Jobs that finished their work.
+    pub jobs_completed: usize,
+    /// Jobs that exhausted their retry budget.
+    pub jobs_failed: usize,
+    /// Jobs that needed more than one attempt or survived a mid-run
+    /// rescheduling.
+    pub jobs_rescheduled: usize,
+    /// Total placement attempts across all jobs.
+    pub total_attempts: u64,
     /// Length of the submission window, seconds.
     pub duration_seconds: f64,
     /// Completed jobs per hour of submission window.
     pub throughput_per_hour: f64,
-    /// Mean admission wait, seconds.
+    /// Completed execution seconds per second of submission window —
+    /// work that actually finished, discounting everything thrown away
+    /// on revoked placements.
+    pub goodput: f64,
+    /// Mean admission wait of completed jobs, seconds.
     pub mean_wait_seconds: f64,
-    /// Mean execution time, seconds.
+    /// Mean execution time of completed jobs, seconds.
     pub mean_exec_seconds: f64,
-    /// Mean slowdown.
+    /// Mean slowdown of completed jobs.
     pub mean_slowdown: f64,
-    /// Median response time (wait + exec), seconds.
+    /// Median response time (wait + exec) of completed jobs, seconds.
     pub latency_p50: f64,
     /// 95th-percentile response time, seconds.
     pub latency_p95: f64,
@@ -102,19 +139,22 @@ pub struct FleetMetrics {
 impl FleetMetrics {
     /// Reduce `records` over a submission window of `duration_seconds`.
     /// `all_hosts` fixes the utilization table's rows (idle hosts show
-    /// 0.0) and their order.
+    /// 0.0) and their order. Latency and slowdown statistics cover
+    /// completed jobs only — a failed job has no meaningful response
+    /// time, only its failure count.
     pub fn from_records(
         records: &[JobRecord],
         duration_seconds: f64,
         all_hosts: &[String],
     ) -> FleetMetrics {
-        let n = records.len();
-        let latencies: Vec<f64> = records.iter().map(|r| r.latency_seconds()).collect();
+        let done: Vec<&JobRecord> = records.iter().filter(|r| r.completed).collect();
+        let n_done = done.len();
+        let latencies: Vec<f64> = done.iter().map(|r| r.latency_seconds()).collect();
         let mean = |f: fn(&JobRecord) -> f64| {
-            if n == 0 {
+            if n_done == 0 {
                 0.0
             } else {
-                records.iter().map(f).sum::<f64>() / n as f64
+                done.iter().map(|r| f(r)).sum::<f64>() / n_done as f64
             }
         };
         let host_utilization = all_hosts
@@ -125,19 +165,34 @@ impl FleetMetrics {
                     .filter(|r| r.hosts.iter().any(|h| h == name))
                     .map(|r| r.exec_seconds)
                     .sum();
+                // `.max(0.0)` also normalizes the -0.0 an empty
+                // f64 sum can produce.
                 let util = if duration_seconds > 0.0 {
-                    busy / duration_seconds
+                    busy.max(0.0) / duration_seconds
                 } else {
                     0.0
                 };
                 (name.clone(), util)
             })
             .collect();
+        let completed_exec: f64 = done.iter().map(|r| r.exec_seconds).sum::<f64>().max(0.0);
         FleetMetrics {
-            jobs: n,
+            jobs: records.len(),
+            jobs_completed: n_done,
+            jobs_failed: records.len() - n_done,
+            jobs_rescheduled: records
+                .iter()
+                .filter(|r| r.attempts > 1 || r.reschedules > 0)
+                .count(),
+            total_attempts: records.iter().map(|r| r.attempts as u64).sum(),
             duration_seconds,
             throughput_per_hour: if duration_seconds > 0.0 {
-                n as f64 / (duration_seconds / 3600.0)
+                n_done as f64 / (duration_seconds / 3600.0)
+            } else {
+                0.0
+            },
+            goodput: if duration_seconds > 0.0 {
+                completed_exec / duration_seconds
             } else {
                 0.0
             },
@@ -154,18 +209,23 @@ impl FleetMetrics {
     /// CSV header matching [`FleetMetrics::csv_row`]. The `label`
     /// column lets sweeps stack rows from many trials in one file.
     pub fn csv_header() -> &'static str {
-        "label,jobs,duration_s,throughput_per_hour,mean_wait_s,mean_exec_s,\
-         mean_slowdown,latency_p50_s,latency_p95_s,latency_p99_s"
+        "label,jobs,completed,failed,rescheduled,attempts,duration_s,throughput_per_hour,\
+         goodput,mean_wait_s,mean_exec_s,mean_slowdown,latency_p50_s,latency_p95_s,latency_p99_s"
     }
 
     /// One CSV row of the scalar fleet metrics.
     pub fn csv_row(&self, label: &str) -> String {
         format!(
-            "{},{},{:.1},{:.4},{:.3},{:.3},{:.4},{:.3},{:.3},{:.3}",
+            "{},{},{},{},{},{},{:.1},{:.4},{:.4},{:.3},{:.3},{:.4},{:.3},{:.3},{:.3}",
             label,
             self.jobs,
+            self.jobs_completed,
+            self.jobs_failed,
+            self.jobs_rescheduled,
+            self.total_attempts,
             self.duration_seconds,
             self.throughput_per_hour,
+            self.goodput,
             self.mean_wait_seconds,
             self.mean_exec_seconds,
             self.mean_slowdown,
@@ -184,13 +244,20 @@ impl FleetMetrics {
             .map(|(name, u)| format!("{{\"host\":\"{name}\",\"utilization\":{u:.4}}}"))
             .collect();
         format!(
-            "{{\"jobs\":{},\"duration_seconds\":{:.1},\"throughput_per_hour\":{:.4},\
+            "{{\"jobs\":{},\"jobs_completed\":{},\"jobs_failed\":{},\"jobs_rescheduled\":{},\
+             \"total_attempts\":{},\"duration_seconds\":{:.1},\"throughput_per_hour\":{:.4},\
+             \"goodput\":{:.4},\
              \"mean_wait_seconds\":{:.3},\"mean_exec_seconds\":{:.3},\"mean_slowdown\":{:.4},\
              \"latency_p50\":{:.3},\"latency_p95\":{:.3},\"latency_p99\":{:.3},\
              \"host_utilization\":[{}]}}",
             self.jobs,
+            self.jobs_completed,
+            self.jobs_failed,
+            self.jobs_rescheduled,
+            self.total_attempts,
             self.duration_seconds,
             self.throughput_per_hour,
+            self.goodput,
             self.mean_wait_seconds,
             self.mean_exec_seconds,
             self.mean_slowdown,
@@ -216,7 +283,10 @@ mod tests {
             hosts: vec![host.to_string()],
             wait_seconds: wait,
             exec_seconds: exec,
-            slowdown: (wait + exec) / exec,
+            slowdown: slowdown_of(wait, exec),
+            attempts: 1,
+            reschedules: 0,
+            completed: true,
         }
     }
 
@@ -229,6 +299,55 @@ mod tests {
         assert_eq!(percentile(&xs, 100.0), 100.0);
         assert_eq!(percentile(&[7.0], 50.0), 7.0);
         assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_ignores_nans() {
+        // NaN used to poison the sort (partial_cmp fell back to Equal,
+        // leaving the vector un-ordered around NaN islands); now NaNs
+        // are dropped before ranking.
+        let xs = [f64::NAN, 3.0, 1.0, f64::NAN, 2.0];
+        assert_eq!(percentile(&xs, 50.0), 2.0);
+        assert_eq!(percentile(&xs, 100.0), 3.0);
+        assert_eq!(percentile(&[f64::NAN, f64::NAN], 50.0), 0.0);
+    }
+
+    #[test]
+    fn slowdown_guards_degenerate_exec_times() {
+        // Regression: a zero-duration job used to divide by zero and
+        // record slowdown = inf (or NaN for wait = 0 too).
+        assert_eq!(slowdown_of(5.0, 0.0), 1.0);
+        assert_eq!(slowdown_of(0.0, 0.0), 1.0);
+        assert_eq!(slowdown_of(5.0, -1.0), 1.0);
+        assert_eq!(slowdown_of(f64::NAN, 10.0), 1.0);
+        assert_eq!(slowdown_of(5.0, f64::NAN), 1.0);
+        // Clamped from below at 1.0.
+        assert_eq!(slowdown_of(-0.5, 10.0), 1.0);
+        // Ordinary case unchanged.
+        assert!((slowdown_of(10.0, 10.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failed_jobs_count_against_goodput_not_latency() {
+        let hosts = vec!["a".to_string()];
+        let mut failed = rec(1, 30.0, 0.0, "a");
+        failed.completed = false;
+        failed.attempts = 3;
+        failed.slowdown = slowdown_of(30.0, 0.0);
+        let records = vec![rec(0, 0.0, 100.0, "a"), failed];
+        let m = FleetMetrics::from_records(&records, 1000.0, &hosts);
+        assert_eq!(m.jobs, 2);
+        assert_eq!(m.jobs_completed, 1);
+        assert_eq!(m.jobs_failed, 1);
+        assert_eq!(m.jobs_rescheduled, 1);
+        assert_eq!(m.total_attempts, 4);
+        // Latency stats cover the completed job only.
+        assert!((m.latency_p99 - 100.0).abs() < 1e-9);
+        assert!((m.mean_exec_seconds - 100.0).abs() < 1e-9);
+        // Goodput counts only the completed 100 s of work.
+        assert!((m.goodput - 0.1).abs() < 1e-9);
+        // Throughput counts completed jobs only.
+        assert!((m.throughput_per_hour - 3.6).abs() < 1e-9);
     }
 
     #[test]

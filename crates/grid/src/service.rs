@@ -30,17 +30,36 @@
 //! compute seconds); pipeline and farm impositions are busy-fraction
 //! estimates. Link impositions smear a job's total transferred MB over
 //! its run window.
+//!
+//! ## Faults and retries
+//!
+//! A [`FaultInjection`] schedule (explicit [`FaultSpec`] or a realized
+//! [`FaultModel`]) is applied to the *live* topology before the stream
+//! starts. The blind snapshot stays pre-fault: a blind agent has no
+//! channel through which to learn about crashes, which is exactly the
+//! baseline the paper's Figure 6 argues against. When an actuation is
+//! revoked mid-run ([`metasim::SimError::PlacementLost`]) the service
+//! discards the attempt without writing its load back (tear-down: a
+//! placement that died never finished occupying its hosts for the
+//! recorded window), excludes the dead host, and retries the job under
+//! the workload's [`RetryPolicy`] with exponential backoff. Aware
+//! stencil jobs additionally run under [`ReschedulingAgent`], which
+//! checkpoints at phase boundaries and re-plans remnant iterations on
+//! the survivors instead of restarting from scratch. Jobs that exhaust
+//! their attempts are recorded with `completed = false`, never dropped.
 
-use crate::metrics::{FleetMetrics, JobRecord};
-use crate::workload::{JobKind, JobSpec, WorkloadConfig};
+use crate::metrics::{slowdown_of, FleetMetrics, JobRecord};
+use crate::workload::{JobKind, JobSpec, RetryPolicy, WorkloadConfig};
 use apples::actuator::{actuate, ActuationDetail, ActuationReport};
 use apples::hat::Hat;
 use apples::info::InfoPool;
+use apples::rescheduler::{RescheduleReport, ReschedulingAgent};
 use apples::schedule::Schedule;
-use apples::Coordinator;
+use apples::{ApplesError, Coordinator};
 use apples_apps::nile::plan_farm;
 use metasim::load::Imposition;
 use metasim::testbed::{pcl_sdsc, LoadProfile, TestbedConfig};
+use metasim::{apply_faults, FaultModel, FaultSpec, SimError};
 use metasim::{HostId, SimTime, Topology};
 use nws::{WeatherService, WeatherServiceConfig};
 use std::cmp::Reverse;
@@ -54,6 +73,27 @@ pub enum Regime {
     Aware,
     /// Every agent decides from pristine pre-stream measurements.
     Blind,
+}
+
+/// How (and whether) host and link faults are injected into the live
+/// testbed for the duration of the stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum FaultInjection {
+    /// No injected faults; the seed behavior.
+    #[default]
+    None,
+    /// Apply this exact fault schedule.
+    Spec(FaultSpec),
+    /// Realize a random schedule from this model over the submission
+    /// window, seeded by the grid seed (deterministic per seed).
+    Random(FaultModel),
+}
+
+impl FaultInjection {
+    /// True when no faults will be injected.
+    pub fn is_none(&self) -> bool {
+        matches!(self, FaultInjection::None)
+    }
 }
 
 /// Service-side configuration: the shared system and its policies.
@@ -76,6 +116,8 @@ pub struct GridConfig {
     /// FCFS admission bound: at most this many jobs in flight; further
     /// submissions queue. `usize::MAX` disables admission control.
     pub max_in_flight: usize,
+    /// Faults injected into the live testbed.
+    pub faults: FaultInjection,
 }
 
 impl Default for GridConfig {
@@ -88,31 +130,55 @@ impl Default for GridConfig {
             seed: 1996,
             regime: Regime::Aware,
             max_in_flight: usize::MAX,
+            faults: FaultInjection::None,
         }
     }
 }
 
-/// A service failure, carrying the failing job id where known.
+/// A service failure.
 #[derive(Debug, Clone, PartialEq)]
-pub struct GridError(pub String);
+pub enum GridError {
+    /// A configuration knob was rejected before the stream started.
+    InvalidConfig(String),
+    /// A job failed in a way the retry policy cannot absorb.
+    Job {
+        /// Submission-order id of the failing job.
+        id: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// An agent-level failure outside any per-job retry path.
+    Agent(ApplesError),
+    /// A simulator-level failure (testbed construction, imposition,
+    /// fault application).
+    Sim(SimError),
+    /// A service invariant was violated — a bug, not bad input.
+    Internal(String),
+}
 
 impl std::fmt::Display for GridError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}", self.0)
+        match self {
+            GridError::InvalidConfig(m) => write!(f, "invalid grid configuration: {m}"),
+            GridError::Job { id, message } => write!(f, "job {id}: {message}"),
+            GridError::Agent(e) => write!(f, "agent failure: {e}"),
+            GridError::Sim(e) => write!(f, "simulation failure: {e}"),
+            GridError::Internal(m) => write!(f, "internal service error: {m}"),
+        }
     }
 }
 
 impl std::error::Error for GridError {}
 
-impl From<apples::ApplesError> for GridError {
-    fn from(e: apples::ApplesError) -> Self {
-        GridError(e.to_string())
+impl From<ApplesError> for GridError {
+    fn from(e: ApplesError) -> Self {
+        GridError::Agent(e)
     }
 }
 
-impl From<metasim::SimError> for GridError {
-    fn from(e: metasim::SimError) -> Self {
-        GridError(e.to_string())
+impl From<SimError> for GridError {
+    fn from(e: SimError) -> Self {
+        GridError::Sim(e)
     }
 }
 
@@ -125,19 +191,63 @@ pub struct GridOutcome {
     pub fleet: FleetMetrics,
 }
 
-/// Realize `workload` and stream it through the service.
+/// Realize `workload` and stream it through the service under the
+/// workload's retry policy.
 pub fn run(cfg: &GridConfig, workload: &WorkloadConfig) -> Result<GridOutcome, GridError> {
-    run_jobs(cfg, &workload.realize(), workload.duration)
+    workload.validate()?;
+    run_jobs_with_retry(cfg, &workload.realize(), workload.duration, workload.retry)
 }
 
 /// Stream an explicit job list (offsets from stream start) through the
-/// service. `duration` is the submission-window length used for
-/// throughput and utilization denominators.
+/// service with the default (single-attempt) retry policy. `duration`
+/// is the submission-window length used for throughput and utilization
+/// denominators.
 pub fn run_jobs(
     cfg: &GridConfig,
     jobs: &[JobSpec],
     duration: SimTime,
 ) -> Result<GridOutcome, GridError> {
+    run_jobs_with_retry(cfg, jobs, duration, RetryPolicy::default())
+}
+
+/// What one placement attempt produced.
+enum AttemptOutcome {
+    /// The job ran to completion in one actuation.
+    OneShot(Schedule, ActuationReport),
+    /// The job ran in phases under the rescheduling agent, surviving
+    /// zero or more mid-run revocations.
+    Phased(RescheduleReport),
+}
+
+/// A failure the retry policy may absorb: the revoked/unreachable host
+/// (when the failure names one) and the simulated time the placement
+/// was lost (when known).
+fn retryable(err: &ApplesError) -> Option<(Option<HostId>, Option<SimTime>)> {
+    match err {
+        ApplesError::Sim(SimError::PlacementLost { host, at }) => {
+            Some((Some(HostId(*host)), Some(*at)))
+        }
+        ApplesError::Sim(SimError::NeverCompletes { .. }) => Some((None, None)),
+        ApplesError::NoFeasibleResources
+        | ApplesError::PlanningFailed(_)
+        | ApplesError::NoViableSchedule => Some((None, None)),
+        _ => None,
+    }
+}
+
+/// Stream an explicit job list through the service under `retry`.
+pub fn run_jobs_with_retry(
+    cfg: &GridConfig,
+    jobs: &[JobSpec],
+    duration: SimTime,
+    retry: RetryPolicy,
+) -> Result<GridOutcome, GridError> {
+    retry.validate()?;
+    if cfg.max_in_flight == 0 {
+        return Err(GridError::InvalidConfig(
+            "max_in_flight must be at least 1".into(),
+        ));
+    }
     let tb = pcl_sdsc(&TestbedConfig {
         profile: cfg.profile,
         horizon: cfg.horizon,
@@ -146,6 +256,20 @@ pub fn run_jobs(
     })?;
     let pristine = tb.topo.clone();
     let mut topo = tb.topo.clone();
+
+    // Realize and apply the fault schedule to the live topology. The
+    // `pristine` snapshot used by blind agents stays fault-free.
+    let fault_spec = match &cfg.faults {
+        FaultInjection::None => FaultSpec::none(),
+        FaultInjection::Spec(s) => s.clone(),
+        FaultInjection::Random(m) => {
+            m.realize(&topo, cfg.warmup, cfg.warmup + duration, cfg.seed)?
+        }
+    };
+    if !fault_spec.is_empty() {
+        apply_faults(&mut topo, &fault_spec)?;
+    }
+    let faults_on = !fault_spec.is_empty();
 
     let mut ordered: Vec<&JobSpec> = jobs.iter().collect();
     ordered.sort_by_key(|j| (j.submit, j.id));
@@ -168,50 +292,157 @@ pub fn run_jobs(
         let submit = cfg.warmup + job.submit;
         let mut start = submit;
         while in_flight.len() >= cfg.max_in_flight {
-            let Reverse(freed) = in_flight.pop().expect("non-empty heap");
+            let Some(Reverse(freed)) = in_flight.pop() else {
+                break;
+            };
             start = start.max(freed);
         }
 
-        let (hat, user) = job.kind.hat_and_user();
-        let schedule = match (&blind_ws, cfg.regime) {
-            (Some(ws), Regime::Blind) => {
-                let pool = InfoPool::with_nws(&pristine, ws, &hat, &user, cfg.warmup);
-                decide(&job.kind, &pool)?
-            }
-            _ => {
-                shared_ws.advance(&topo, start);
-                let pool = InfoPool::with_nws(&topo, &shared_ws, &hat, &user, start);
-                decide(&job.kind, &pool)?
+        let (hat, base_user) = job.kind.hat_and_user();
+        // Aware stencil jobs run phase-wise under faults so a mid-run
+        // revocation costs only the failed phase, not the whole job.
+        let phased =
+            faults_on && cfg.regime == Regime::Aware && matches!(job.kind, JobKind::Jacobi { .. });
+
+        let mut attempts: u32 = 0;
+        let mut reschedules: u32 = 0;
+        // Hosts the service has watched die under this job's
+        // placements; excluded from subsequent attempts.
+        let mut dead_hosts: Vec<HostId> = Vec::new();
+
+        let record = loop {
+            attempts += 1;
+            let mut user = base_user.clone();
+            user.excluded_hosts.extend(dead_hosts.iter().copied());
+
+            let outcome: Result<AttemptOutcome, ApplesError> = if phased {
+                let mut agent = ReschedulingAgent::new(Coordinator::new(hat.clone(), user));
+                if let JobKind::Jacobi { iterations, .. } = job.kind {
+                    // Four checkpoints per job bounds lost work to a
+                    // quarter of the solve without paying a replanning
+                    // pass per handful of iterations.
+                    agent.policy.phase_iterations = (iterations / 4).max(10);
+                }
+                // The rescheduler drives its own sampling clock past
+                // this job's phases; give it a private service over the
+                // live topology so the shared admission-order stream is
+                // not advanced beyond the next job's start. (Sampling
+                // is deterministic, so this is observationally the same
+                // stream.)
+                let mut ws = WeatherService::for_topology(&topo, WeatherServiceConfig::default());
+                agent
+                    .run_stencil(&topo, &mut ws, start)
+                    .map(AttemptOutcome::Phased)
+            } else {
+                let schedule = match (&blind_ws, cfg.regime) {
+                    (Some(ws), Regime::Blind) => {
+                        let pool = InfoPool::with_nws(&pristine, ws, &hat, &user, cfg.warmup);
+                        decide(&job.kind, &pool)
+                    }
+                    _ => {
+                        shared_ws.advance(&topo, start);
+                        let pool = InfoPool::with_nws(&topo, &shared_ws, &hat, &user, start);
+                        decide(&job.kind, &pool)
+                    }
+                };
+                schedule.and_then(|schedule| {
+                    actuate(&topo, &hat, &schedule, start)
+                        .map(|report| AttemptOutcome::OneShot(schedule, report))
+                })
+            };
+
+            match outcome {
+                Ok(AttemptOutcome::OneShot(schedule, report)) => {
+                    impose_job_load(&mut topo, &hat, &schedule, &report, start)?;
+                    let hosts = host_names_of(&topo, &schedule.hosts())?;
+                    let wait_seconds = start.saturating_sub(submit).as_secs_f64();
+                    break JobRecord {
+                        id: job.id,
+                        kind: job.kind.name().to_string(),
+                        submit,
+                        start,
+                        finish: report.finish,
+                        hosts,
+                        wait_seconds,
+                        exec_seconds: report.elapsed_seconds,
+                        slowdown: slowdown_of(wait_seconds, report.elapsed_seconds),
+                        attempts,
+                        reschedules,
+                        completed: true,
+                    };
+                }
+                Ok(AttemptOutcome::Phased(report)) => {
+                    reschedules += report.revocations as u32;
+                    let mut used: Vec<HostId> = Vec::new();
+                    for ph in &report.phases {
+                        let phase_end = ph.start + SimTime::from_secs_f64(ph.elapsed_seconds);
+                        for (w, &h) in ph.hosts.iter().enumerate() {
+                            let busy = ph.compute_seconds.get(w).copied().unwrap_or(0.0);
+                            if ph.elapsed_seconds > 0.0 {
+                                let utilization = (busy / ph.elapsed_seconds).clamp(0.0, 1.0);
+                                impose_host(&mut topo, h, ph.start, phase_end, 1.0 - utilization)?;
+                            }
+                            if !used.contains(&h) {
+                                used.push(h);
+                            }
+                        }
+                    }
+                    let hosts = host_names_of(&topo, &used)?;
+                    let wait_seconds = start.saturating_sub(submit).as_secs_f64();
+                    break JobRecord {
+                        id: job.id,
+                        kind: job.kind.name().to_string(),
+                        submit,
+                        start,
+                        finish: report.finish,
+                        hosts,
+                        wait_seconds,
+                        exec_seconds: report.elapsed_seconds,
+                        slowdown: slowdown_of(wait_seconds, report.elapsed_seconds),
+                        attempts,
+                        reschedules,
+                        completed: true,
+                    };
+                }
+                Err(err) => {
+                    let Some((lost_host, lost_at)) = retryable(&err) else {
+                        return Err(GridError::Job {
+                            id: job.id,
+                            message: err.to_string(),
+                        });
+                    };
+                    if let Some(h) = lost_host {
+                        if !dead_hosts.contains(&h) {
+                            dead_hosts.push(h);
+                        }
+                    }
+                    if attempts >= retry.max_attempts {
+                        // Out of budget: record the failure. Nothing
+                        // was imposed for any failed attempt, so the
+                        // topology carries no trace of the lost work.
+                        let give_up = lost_at.unwrap_or(start).max(start);
+                        let wait_seconds = give_up.saturating_sub(submit).as_secs_f64();
+                        break JobRecord {
+                            id: job.id,
+                            kind: job.kind.name().to_string(),
+                            submit,
+                            start,
+                            finish: give_up,
+                            hosts: Vec::new(),
+                            wait_seconds,
+                            exec_seconds: 0.0,
+                            slowdown: slowdown_of(wait_seconds, 0.0),
+                            attempts,
+                            reschedules,
+                            completed: false,
+                        };
+                    }
+                    start = lost_at.unwrap_or(start).max(start) + retry.backoff(attempts);
+                }
             }
         };
-
-        let report = actuate(&topo, &hat, &schedule, start)
-            .map_err(|e| GridError(format!("job {} actuation: {e}", job.id)))?;
-        impose_job_load(&mut topo, &hat, &schedule, &report, start)?;
-
-        let hosts: Vec<String> = schedule
-            .hosts()
-            .iter()
-            .map(|&h| topo.host(h).map(|x| x.spec.name.clone()))
-            .collect::<Result<_, _>>()?;
-        let wait_seconds = start.saturating_sub(submit).as_secs_f64();
-        let exec_seconds = report.elapsed_seconds;
-        records.push(JobRecord {
-            id: job.id,
-            kind: job.kind.name().to_string(),
-            submit,
-            start,
-            finish: report.finish,
-            hosts,
-            wait_seconds,
-            exec_seconds,
-            slowdown: if exec_seconds > 0.0 {
-                (wait_seconds + exec_seconds) / exec_seconds
-            } else {
-                1.0
-            },
-        });
-        in_flight.push(Reverse(report.finish));
+        in_flight.push(Reverse(record.finish));
+        records.push(record);
     }
 
     let host_names: Vec<String> = topo.hosts().iter().map(|h| h.spec.name.clone()).collect();
@@ -219,28 +450,38 @@ pub fn run_jobs(
     Ok(GridOutcome { records, fleet })
 }
 
+/// Resolve host ids to their testbed names.
+fn host_names_of(topo: &Topology, hosts: &[HostId]) -> Result<Vec<String>, GridError> {
+    hosts
+        .iter()
+        .map(|&h| {
+            topo.host(h)
+                .map(|x| x.spec.name.clone())
+                .map_err(GridError::from)
+        })
+        .collect()
+}
+
 /// Plan one job: stencil and pipeline hats go through the Coordinator's
 /// select → plan → estimate → choose loop; task farms are planned by
 /// their Site Manager ([`plan_farm`]), as in the paper's NILE case
 /// study, over every feasible host with the data and result home on
 /// the fastest-forecast host.
-fn decide(kind: &JobKind, pool: &InfoPool<'_>) -> Result<Schedule, GridError> {
+fn decide(kind: &JobKind, pool: &InfoPool<'_>) -> Result<Schedule, ApplesError> {
     match kind {
         JobKind::NileFarm { .. } => {
             let feasible: Vec<HostId> = apples::selector::ResourceSelector::feasible_hosts(pool);
-            if feasible.is_empty() {
-                return Err(GridError("no feasible host for farm".into()));
-            }
-            let home = *feasible
+            let home = feasible
                 .iter()
-                .max_by(|&&a, &&b| {
+                .copied()
+                .max_by(|&a, &b| {
                     let fa = pool.effective_mflops(a).unwrap_or(0.0);
                     let fb = pool.effective_mflops(b).unwrap_or(0.0);
                     fa.partial_cmp(&fb)
                         .unwrap_or(std::cmp::Ordering::Equal)
                         .then(b.cmp(&a))
                 })
-                .expect("non-empty feasible set");
+                .ok_or(ApplesError::NoFeasibleResources)?;
             Ok(Schedule::Farm(plan_farm(pool, &feasible, home, home)?))
         }
         _ => {
@@ -285,7 +526,9 @@ fn impose_job_load(
             }
         }
         (Schedule::Farm(f), ActuationDetail::Farm(out)) => {
-            let t = hat.as_task_farm().expect("farm schedule from farm hat");
+            let t = hat.as_task_farm().ok_or_else(|| {
+                GridError::Internal("farm schedule paired with a non-farm hat".into())
+            })?;
             for (&(host, events), &(_, done)) in f.assignments.iter().zip(&out.host_done) {
                 let window = done.saturating_sub(start).as_secs_f64();
                 if window <= 0.0 || events == 0 {
@@ -317,7 +560,11 @@ fn impose_job_load(
         }
         // Schedule/report shape mismatch cannot happen: `actuate`
         // produced the report from this same schedule.
-        _ => unreachable!("actuation detail does not match schedule shape"),
+        _ => {
+            return Err(GridError::Internal(
+                "actuation detail does not match schedule shape".into(),
+            ))
+        }
     }
     Ok(())
 }
@@ -523,6 +770,103 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_config_is_rejected_with_typed_errors() {
+        let cfg = GridConfig {
+            max_in_flight: 0,
+            ..GridConfig::default()
+        };
+        assert!(matches!(
+            run_jobs(&cfg, &[], s(10.0)),
+            Err(GridError::InvalidConfig(_))
+        ));
+        let bad_retry = crate::workload::RetryPolicy {
+            max_attempts: 0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            run_jobs_with_retry(&GridConfig::default(), &[], s(10.0), bad_retry),
+            Err(GridError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn transient_host_crash_is_survived_by_retry() {
+        use metasim::{FaultSpec, HostFault};
+        // One short job placed while its likely host crashes shortly
+        // after the stream starts. With a single attempt the blind
+        // regime records a failure; with retries the job completes
+        // after the host recovers or elsewhere.
+        let jobs = vec![JobSpec {
+            id: 0,
+            submit: s(10.0),
+            kind: JobKind::Jacobi {
+                n: 800,
+                iterations: 120,
+            },
+        }];
+        let faults = FaultSpec {
+            host_faults: (0..8)
+                .map(|h| HostFault {
+                    host: metasim::HostId(h),
+                    at: s(605.0),
+                    recover: Some(s(2000.0)),
+                })
+                .collect(),
+            link_faults: vec![],
+        };
+        let cfg = GridConfig {
+            regime: Regime::Blind,
+            faults: FaultInjection::Spec(faults),
+            ..GridConfig::default()
+        };
+        let blind = run_jobs(&cfg, &jobs, s(60.0)).expect("blind stream");
+        assert_eq!(blind.fleet.jobs_failed, 1, "{:?}", blind.records);
+        assert!(!blind.records[0].completed);
+        assert_eq!(blind.records[0].exec_seconds, 0.0);
+
+        let retrying = run_jobs_with_retry(
+            &GridConfig {
+                regime: Regime::Aware,
+                ..cfg.clone()
+            },
+            &jobs,
+            s(60.0),
+            crate::workload::RetryPolicy::with_attempts(8),
+        )
+        .expect("aware stream");
+        assert_eq!(retrying.fleet.jobs_completed, 1, "{:?}", retrying.records);
+        let r = &retrying.records[0];
+        assert!(r.completed);
+        assert!(
+            r.attempts > 1 || r.reschedules > 0,
+            "job should have needed the fault machinery: {r:?}"
+        );
+        assert!(retrying.fleet.goodput > 0.0);
+    }
+
+    #[test]
+    fn faulted_streams_are_bit_identical_across_runs() {
+        use metasim::FaultModel;
+        let cfg = GridConfig {
+            faults: FaultInjection::Random(FaultModel {
+                host_crashes_per_hour: 2.0,
+                ..FaultModel::default()
+            }),
+            ..GridConfig::default()
+        };
+        let workload = WorkloadConfig {
+            arrivals: ArrivalProcess::Uniform { gap: s(90.0) },
+            duration: s(600.0),
+            retry: crate::workload::RetryPolicy::with_attempts(3),
+            ..WorkloadConfig::default()
+        };
+        let a = run(&cfg, &workload).expect("stream a");
+        let b = run(&cfg, &workload).expect("stream b");
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.fleet, b.fleet);
+    }
+
+    #[test]
     fn imposed_load_keeps_availability_in_unit_interval() {
         let cfg = GridConfig::default();
         let workload = WorkloadConfig {
@@ -530,6 +874,7 @@ mod tests {
             mix: JobMix::default_mix(),
             duration: s(1200.0),
             seed: 5,
+            ..WorkloadConfig::default()
         };
         // Re-run the stream, then inspect the mutated topology by
         // reproducing it here (run() does not expose the topology).

@@ -7,6 +7,7 @@
 //! "back-to-back under similar conditions" methodology, lifted from a
 //! single application to a whole population.
 
+use crate::service::GridError;
 use apples::hat::{ArchEfficiency, Hat, PipelineTemplate};
 use apples::user::UserSpec;
 use apples_apps::jacobi2d::partition::jacobi_context;
@@ -36,6 +37,30 @@ pub enum ArrivalProcess {
 }
 
 impl ArrivalProcess {
+    /// Reject parameters that would make [`ArrivalProcess::realize`]
+    /// panic — the typed counterpart of its internal assertions, for
+    /// input that arrives from a CLI or another service.
+    pub fn validate(&self) -> Result<(), GridError> {
+        match self {
+            ArrivalProcess::Poisson { rate_hz } => {
+                if !(rate_hz.is_finite() && *rate_hz > 0.0) {
+                    return Err(GridError::InvalidConfig(format!(
+                        "Poisson arrival rate must be a positive finite number, got {rate_hz}"
+                    )));
+                }
+            }
+            ArrivalProcess::Uniform { gap } => {
+                if *gap == SimTime::ZERO {
+                    return Err(GridError::InvalidConfig(
+                        "uniform arrivals need a positive gap".into(),
+                    ));
+                }
+            }
+            ArrivalProcess::Trace(_) => {}
+        }
+        Ok(())
+    }
+
     /// Arrival offsets within `[0, duration]`, sorted ascending,
     /// deterministic per `seed`.
     pub fn realize(&self, duration: SimTime, seed: u64) -> Vec<SimTime> {
@@ -201,6 +226,20 @@ impl JobMix {
         }
     }
 
+    /// Reject a mix [`JobMix::sample`] would panic on.
+    pub fn validate(&self) -> Result<(), GridError> {
+        if self.entries.is_empty() {
+            return Err(GridError::InvalidConfig("empty job mix".into()));
+        }
+        let total: f64 = self.entries.iter().map(|&(_, w)| w.max(0.0)).sum();
+        if !(total.is_finite() && total > 0.0) {
+            return Err(GridError::InvalidConfig(
+                "job mix weights must sum to a positive finite value".into(),
+            ));
+        }
+        Ok(())
+    }
+
     /// Sample one kind, deterministically from `rng`.
     pub fn sample(&self, rng: &mut ChaCha8Rng) -> JobKind {
         assert!(!self.entries.is_empty(), "empty job mix");
@@ -229,6 +268,80 @@ pub struct JobSpec {
     pub kind: JobKind,
 }
 
+/// Bounded retry with exponential backoff, applied when a placement is
+/// revoked mid-run (host crash) or no feasible resources exist at
+/// decision time. The delay before attempt `k + 1` is
+/// `base_backoff × factor^(k-1)`, capped at [`RetryPolicy::MAX_BACKOFF`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts a job may make, first try included (≥ 1). With
+    /// `max_attempts = 1` a revoked job fails immediately — the blind
+    /// baseline.
+    pub max_attempts: u32,
+    /// Delay before the first retry.
+    pub base_backoff: SimTime,
+    /// Multiplier applied to the delay on each subsequent retry.
+    /// Values below 1.0 are treated as 1.0 so backoff never shrinks.
+    pub factor: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: SimTime::from_secs(30),
+            factor: 2.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Ceiling on any single backoff delay: one hour.
+    pub const MAX_BACKOFF: SimTime = SimTime::from_secs(3600);
+
+    /// A policy allowing `max_attempts` total attempts with the default
+    /// 30 s base delay doubling per retry.
+    pub fn with_attempts(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Delay before the next attempt after `attempts` tries have
+    /// already failed (`attempts ≥ 1`). Monotone non-decreasing in
+    /// `attempts` and bounded by [`RetryPolicy::MAX_BACKOFF`].
+    pub fn backoff(&self, attempts: u32) -> SimTime {
+        let factor = if self.factor.is_finite() {
+            self.factor.max(1.0)
+        } else {
+            1.0
+        };
+        let exp = attempts.saturating_sub(1).min(256) as i32;
+        let secs = self.base_backoff.as_secs_f64() * factor.powi(exp);
+        if !secs.is_finite() {
+            return Self::MAX_BACKOFF;
+        }
+        SimTime::from_secs_f64(secs).min(Self::MAX_BACKOFF)
+    }
+
+    /// Reject degenerate policies.
+    pub fn validate(&self) -> Result<(), GridError> {
+        if self.max_attempts == 0 {
+            return Err(GridError::InvalidConfig(
+                "retry max_attempts must be at least 1".into(),
+            ));
+        }
+        if !self.factor.is_finite() || self.factor < 0.0 {
+            return Err(GridError::InvalidConfig(format!(
+                "retry backoff factor must be finite and non-negative, got {}",
+                self.factor
+            )));
+        }
+        Ok(())
+    }
+}
+
 /// A complete workload description: arrivals × mix over a duration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadConfig {
@@ -241,6 +354,8 @@ pub struct WorkloadConfig {
     pub duration: SimTime,
     /// Seed for arrival times and mix sampling.
     pub seed: u64,
+    /// How the service retries jobs whose placements are revoked.
+    pub retry: RetryPolicy,
 }
 
 impl Default for WorkloadConfig {
@@ -250,11 +365,19 @@ impl Default for WorkloadConfig {
             mix: JobMix::default_mix(),
             duration: SimTime::from_secs(3600),
             seed: 1996,
+            retry: RetryPolicy::default(),
         }
     }
 }
 
 impl WorkloadConfig {
+    /// Typed validation of every knob the CLI or a caller can set.
+    pub fn validate(&self) -> Result<(), GridError> {
+        self.arrivals.validate()?;
+        self.mix.validate()?;
+        self.retry.validate()
+    }
+
     /// Realize the workload into a concrete job stream, sorted by
     /// submission time. Deterministic: same config → same jobs.
     pub fn realize(&self) -> Vec<JobSpec> {
@@ -337,6 +460,65 @@ mod tests {
             ..cfg.clone()
         };
         assert_ne!(cfg.realize(), other.realize());
+    }
+
+    #[test]
+    fn backoff_is_monotone_and_capped() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_backoff: s(30.0),
+            factor: 2.0,
+        };
+        assert_eq!(p.backoff(1), s(30.0));
+        assert_eq!(p.backoff(2), s(60.0));
+        assert_eq!(p.backoff(3), s(120.0));
+        let mut prev = SimTime::ZERO;
+        for k in 1..100 {
+            let b = p.backoff(k);
+            assert!(b >= prev, "backoff must not shrink");
+            assert!(b <= RetryPolicy::MAX_BACKOFF);
+            prev = b;
+        }
+        assert_eq!(p.backoff(60), RetryPolicy::MAX_BACKOFF);
+    }
+
+    #[test]
+    fn shrinking_factor_is_clamped_to_constant_backoff() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            base_backoff: s(10.0),
+            factor: 0.5,
+        };
+        assert_eq!(p.backoff(1), s(10.0));
+        assert_eq!(p.backoff(4), s(10.0));
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_knobs() {
+        assert!(WorkloadConfig::default().validate().is_ok());
+        let bad_rate = WorkloadConfig {
+            arrivals: ArrivalProcess::Poisson { rate_hz: 0.0 },
+            ..WorkloadConfig::default()
+        };
+        assert!(bad_rate.validate().is_err());
+        let bad_gap = WorkloadConfig {
+            arrivals: ArrivalProcess::Uniform { gap: SimTime::ZERO },
+            ..WorkloadConfig::default()
+        };
+        assert!(bad_gap.validate().is_err());
+        let bad_mix = WorkloadConfig {
+            mix: JobMix { entries: vec![] },
+            ..WorkloadConfig::default()
+        };
+        assert!(bad_mix.validate().is_err());
+        let bad_retry = WorkloadConfig {
+            retry: RetryPolicy {
+                max_attempts: 0,
+                ..RetryPolicy::default()
+            },
+            ..WorkloadConfig::default()
+        };
+        assert!(bad_retry.validate().is_err());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Error type shared across the simulator.
 
+use crate::time::SimTime;
 use std::fmt;
 
 /// Errors surfaced by simulator operations.
@@ -35,6 +36,16 @@ pub enum SimError {
         /// Work still outstanding when progress stopped forever.
         work: f64,
     },
+    /// A placement was revoked mid-run: the host it was running on
+    /// failed after the work started. Unlike [`SimError::NeverCompletes`]
+    /// this carries *which* resource died and *when*, so a scheduling
+    /// layer can exclude the host and re-place the remnant work.
+    PlacementLost {
+        /// Id of the host whose failure revoked the placement.
+        host: usize,
+        /// Simulated time the placement was lost.
+        at: SimTime,
+    },
     /// A schedule referenced no hosts at all.
     EmptySchedule,
     /// A configuration constraint was violated.
@@ -58,6 +69,9 @@ impl fmt::Display for SimError {
                     f,
                     "work of {work} units never completes (availability stuck at 0)"
                 )
+            }
+            SimError::PlacementLost { host, at } => {
+                write!(f, "placement on host {host} revoked at {at} (host failed)")
             }
             SimError::EmptySchedule => write!(f, "schedule assigns work to no hosts"),
             SimError::Invalid(msg) => write!(f, "invalid configuration: {msg}"),

@@ -112,7 +112,7 @@ pub fn simulate_pipeline(topo: &Topology, job: &PipelineJob) -> Result<PipelineO
         };
         let p_start = prev_prod_done.max(gate);
         block += (p_start - prev_prod_done).as_secs_f64();
-        prod_done[i] = prod.compute_finish(
+        prod_done[i] = prod.compute_finish_checked(
             p_start,
             job.producer_mflop_per_unit,
             job.producer_resident_mb,
@@ -142,7 +142,7 @@ pub fn simulate_pipeline(topo: &Topology, job: &PipelineJob) -> Result<PipelineO
         // Consume in order.
         let c_start = arrive[i].max(prev_cons_done);
         stall += (c_start - prev_cons_done).as_secs_f64();
-        cons_done[i] = cons.compute_finish(
+        cons_done[i] = cons.compute_finish_checked(
             c_start,
             job.consumer_mflop_per_unit,
             job.consumer_resident_mb,
@@ -171,7 +171,7 @@ pub fn simulate_single_site(
     let t0 = job.start + h.startup_wait();
     let total = job.n_units as f64 * (job.producer_mflop_per_unit + job.consumer_mflop_per_unit);
     let resident = job.producer_resident_mb + job.consumer_resident_mb;
-    h.compute_finish(t0, total, resident)
+    h.compute_finish_checked(t0, total, resident)
 }
 
 #[cfg(test)]

@@ -159,7 +159,7 @@ pub fn simulate_spmd_traced(
         let mut compute_done = Vec::with_capacity(n);
         for (w, p) in job.placements.iter().enumerate() {
             let host = topo.host(p.host)?;
-            let done = host.compute_finish(barrier, p.work_mflop, p.resident_mb)?;
+            let done = host.compute_finish_checked(barrier, p.work_mflop, p.resident_mb)?;
             compute_seconds[w] += (done - barrier).as_secs_f64();
             compute_done.push(done);
         }

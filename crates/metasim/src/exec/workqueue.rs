@@ -103,7 +103,7 @@ pub fn simulate_workqueue(
         let got = now + topo.transfer_estimate(job.master, worker, job.mb_per_chunk, now)?;
         // Compute.
         let host = topo.host(worker)?;
-        let done = host.compute_finish(got, job.mflop_per_chunk, job.resident_mb)?;
+        let done = host.compute_finish_checked(got, job.mflop_per_chunk, job.resident_mb)?;
         // Return the result.
         let returned =
             done + topo.transfer_estimate(worker, job.master, job.result_mb_per_chunk, done)?;

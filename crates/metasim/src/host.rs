@@ -130,6 +130,10 @@ pub struct Host {
     /// Static description.
     pub spec: HostSpec,
     avail: StepSeries,
+    /// Crash windows `(at, recover)` applied by fault injection;
+    /// `None` recovery means the host never comes back. Used to
+    /// attribute mid-run placement loss to this host.
+    faults: Vec<(SimTime, Option<SimTime>)>,
 }
 
 impl Host {
@@ -147,7 +151,24 @@ impl Host {
             SharingPolicy::TimeShared => spec.load.realize(horizon, seed),
             SharingPolicy::SpaceShared { .. } => StepSeries::constant(1.0),
         };
-        Ok(Host { id, spec, avail })
+        Ok(Host {
+            id,
+            spec,
+            avail,
+            faults: Vec::new(),
+        })
+    }
+
+    /// Record a crash window (see [`crate::fault::apply_faults`], which
+    /// also pins the availability to zero over the same window).
+    pub fn add_fault_window(&mut self, at: SimTime, recover: Option<SimTime>) {
+        self.faults.push((at, recover));
+        self.faults.sort_unstable_by_key(|&(at, _)| at);
+    }
+
+    /// Crash windows registered on this host, sorted by crash time.
+    pub fn fault_windows(&self) -> &[(SimTime, Option<SimTime>)] {
+        &self.faults
     }
 
     /// The realized CPU availability process.
@@ -199,6 +220,76 @@ impl Host {
     ) -> Result<SimTime, SimError> {
         let speed = self.spec.mflops * self.memory_factor(resident_mb);
         self.avail.time_to_complete(start, mflop, speed)
+    }
+
+    /// Like [`Host::compute_finish`], but surfaces mid-run host death
+    /// as a [`SimError::PlacementLost`] revocation instead of a bare
+    /// never-completes error. A placement is lost when
+    ///
+    /// * a registered crash window opens while the work is in flight
+    ///   (even if the host later recovers — a reboot does not restore
+    ///   application state), or
+    /// * the availability process pins to zero forever before the work
+    ///   finishes (a death observed from the load trace rather than an
+    ///   injected fault).
+    pub fn compute_finish_checked(
+        &self,
+        start: SimTime,
+        mflop: f64,
+        resident_mb: f64,
+    ) -> Result<SimTime, SimError> {
+        match self.compute_finish(start, mflop, resident_mb) {
+            Ok(done) => match self.first_fault_within(start, done) {
+                Some(at) => Err(SimError::PlacementLost {
+                    host: self.id.0,
+                    at,
+                }),
+                None => Ok(done),
+            },
+            Err(SimError::NeverCompletes { .. }) => Err(SimError::PlacementLost {
+                host: self.id.0,
+                at: self.dead_from(start).unwrap_or(start).max(start),
+            }),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Earliest moment in `(start, done]` at which a registered crash
+    /// window revokes a placement held over that span; `start` itself
+    /// when the host is down at placement time.
+    pub fn first_fault_within(&self, start: SimTime, done: SimTime) -> Option<SimTime> {
+        self.faults
+            .iter()
+            .filter_map(|&(at, recover)| {
+                if at > start && at < done {
+                    Some(at)
+                } else if at <= start && recover.map(|r| r > start).unwrap_or(true) {
+                    Some(start)
+                } else {
+                    None
+                }
+            })
+            .min()
+    }
+
+    /// The time from which this host delivers zero cycles forever, if
+    /// its availability process ends pinned at zero at or after `from`.
+    pub fn dead_from(&self, from: SimTime) -> Option<SimTime> {
+        let pts = self.avail.points();
+        let &(last_t, last_v) = pts.last()?;
+        if last_v != 0.0 {
+            return None;
+        }
+        // Walk back over the trailing zero segments to the moment the
+        // terminal outage began.
+        let mut t = last_t;
+        for &(pt, pv) in pts.iter().rev().skip(1) {
+            if pv != 0.0 {
+                break;
+            }
+            t = pt;
+        }
+        Some(t.max(from))
     }
 
     /// Mean availability over a window — what a long-horizon observer
@@ -308,6 +399,72 @@ mod tests {
         let v = h.effective_speed_at(SimTime::ZERO, 200.0);
         // 100 * 0.5 * (1/51)
         assert!((v - 100.0 * 0.5 / 51.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn checked_compute_revokes_on_mid_run_crash() {
+        use crate::load::{Imposition, StepSeries};
+        let spec = HostSpec::dedicated("node", 10.0, 64.0, seg());
+        let mut h = Host::instantiate(HostId(3), spec, s(1000.0), 0).unwrap();
+        // Crash at t = 5 with recovery at t = 50; 100 Mflop at
+        // 10 Mflop/s started at t = 0 would be in flight at the crash.
+        let crashed =
+            StepSeries::constant(1.0).with_impositions(&[Imposition::new(s(5.0), s(50.0), 0.0)]);
+        h.set_availability(crashed);
+        h.add_fault_window(s(5.0), Some(s(50.0)));
+        match h.compute_finish_checked(SimTime::ZERO, 100.0, 1.0) {
+            Err(SimError::PlacementLost { host, at }) => {
+                assert_eq!(host, 3);
+                assert_eq!(at, s(5.0));
+            }
+            other => panic!("expected revocation, got {other:?}"),
+        }
+        // Work that finishes before the crash is untouched.
+        assert_eq!(
+            h.compute_finish_checked(SimTime::ZERO, 10.0, 1.0).unwrap(),
+            s(1.0)
+        );
+        // Work placed after recovery is untouched.
+        assert_eq!(
+            h.compute_finish_checked(s(60.0), 10.0, 1.0).unwrap(),
+            s(61.0)
+        );
+        // Work placed while the host is down is lost immediately.
+        match h.compute_finish_checked(s(10.0), 10.0, 1.0) {
+            Err(SimError::PlacementLost { at, .. }) => assert_eq!(at, s(10.0)),
+            other => panic!("expected revocation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checked_compute_maps_trace_death_to_revocation() {
+        // A host whose load trace pins it to zero forever — no fault
+        // window registered, but the checked path still attributes it.
+        let spec = HostSpec::workstation(
+            "dies",
+            10.0,
+            64.0,
+            seg(),
+            LoadModel::Trace(vec![(s(0.0), 1.0), (s(100.0), 0.0)]),
+        );
+        let h = Host::instantiate(HostId(7), spec, s(1000.0), 0).unwrap();
+        assert_eq!(h.dead_from(SimTime::ZERO), Some(s(100.0)));
+        match h.compute_finish_checked(SimTime::ZERO, 1e6, 1.0) {
+            Err(SimError::PlacementLost { host, at }) => {
+                assert_eq!(host, 7);
+                assert_eq!(at, s(100.0));
+            }
+            other => panic!("expected revocation, got {other:?}"),
+        }
+        // A healthy host is never reported dead.
+        let ok = Host::instantiate(
+            HostId(8),
+            HostSpec::dedicated("fine", 10.0, 64.0, seg()),
+            s(10.0),
+            0,
+        )
+        .unwrap();
+        assert_eq!(ok.dead_from(SimTime::ZERO), None);
     }
 
     #[test]

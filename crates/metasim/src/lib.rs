@@ -15,6 +15,9 @@
 //!   policy and a paging penalty,
 //! * [`net`] — network topology (shared segments, routed links) with a
 //!   fluid-flow transfer simulator that models bandwidth contention,
+//! * [`fault`] — seeded host-crash and link-outage schedules; the
+//!   executors turn mid-run host death into a
+//!   [`SimError::PlacementLost`] revocation signal,
 //! * [`exec`] — executors for the two application shapes the paper
 //!   studies: bulk-synchronous iterative SPMD codes (Jacobi2D) and
 //!   two-stage pipelines (3D-REACT),
@@ -41,6 +44,7 @@
 
 pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod host;
 pub mod load;
 pub mod net;
@@ -51,6 +55,7 @@ pub mod trace;
 pub mod tracefile;
 
 pub use error::SimError;
+pub use fault::{apply_faults, FaultModel, FaultSpec, HostFault, LinkFault};
 pub use host::{Host, HostId, HostSpec, SharingPolicy};
 pub use net::{LinkId, LinkSpec, RouteTable, SegmentId, Topology};
 pub use time::SimTime;

@@ -18,6 +18,7 @@ fn main() {
         mix: JobMix::default_mix(),
         duration: SimTime::from_secs(2400),
         seed: 42,
+        ..WorkloadConfig::default()
     };
 
     // Same stream, two information regimes: agents that observe the

@@ -35,7 +35,7 @@ fn topo_with_dying_host() -> Topology {
 }
 
 #[test]
-fn work_on_a_dead_host_reports_never_completes() {
+fn work_on_a_dead_host_reports_placement_lost() {
     let topo = topo_with_dying_host();
     let job = SpmdJob {
         placements: vec![SpmdPlacement {
@@ -47,10 +47,15 @@ fn work_on_a_dead_host_reports_never_completes() {
         iterations: 1,
         start: SimTime::ZERO,
     };
-    assert!(matches!(
-        simulate_spmd(&topo, &job),
-        Err(SimError::NeverCompletes { .. })
-    ));
+    // The revocation signal names the host that died and when, so a
+    // retry layer can exclude it and re-plan the remnant work.
+    match simulate_spmd(&topo, &job) {
+        Err(SimError::PlacementLost { host, at }) => {
+            assert_eq!(host, 1);
+            assert_eq!(at, s(100.0));
+        }
+        other => panic!("expected PlacementLost, got {other:?}"),
+    }
 }
 
 #[test]

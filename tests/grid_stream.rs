@@ -11,12 +11,19 @@ fn s(x: f64) -> SimTime {
     SimTime::from_secs_f64(x)
 }
 
+/// Short stream for the quick tier-1 suite: the previous 1800 s window
+/// admitted ~36 jobs and stalled the default `cargo test -q` run for
+/// about a minute; 300 s keeps the same coverage shape (multiple jobs,
+/// both regimes, contention) at a fraction of the cost. The original
+/// long stream lives on in `long_soak_stream_stays_deterministic`
+/// behind `#[ignore]`.
 fn stream_workload() -> WorkloadConfig {
     WorkloadConfig {
         arrivals: ArrivalProcess::Poisson { rate_hz: 0.02 },
         mix: JobMix::default_mix(),
-        duration: s(1800.0),
+        duration: s(300.0),
         seed: 7,
+        ..WorkloadConfig::default()
     }
 }
 
@@ -99,4 +106,27 @@ fn aware_probe_observes_earlier_tenants_load() {
         aware_probe.exec_seconds,
         blind_probe.exec_seconds
     );
+}
+
+/// The original 1800 s soak stream, kept for manual long-haul runs:
+/// `cargo test --test grid_stream -- --ignored`.
+#[test]
+#[ignore = "long soak; the quick suite covers the same path with a 300 s stream"]
+fn long_soak_stream_stays_deterministic() {
+    let workload = WorkloadConfig {
+        arrivals: ArrivalProcess::Poisson { rate_hz: 0.02 },
+        mix: JobMix::default_mix(),
+        duration: s(1800.0),
+        seed: 7,
+        ..WorkloadConfig::default()
+    };
+    let cfg = GridConfig {
+        seed: 7,
+        ..GridConfig::default()
+    };
+    let a = run(&cfg, &workload).expect("first soak");
+    let b = run(&cfg, &workload).expect("second soak");
+    assert!(a.fleet.jobs >= 20, "soak should admit a real stream");
+    assert_eq!(a.records, b.records);
+    assert_eq!(a.fleet, b.fleet);
 }
