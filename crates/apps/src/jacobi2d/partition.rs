@@ -72,7 +72,7 @@ pub fn static_strip(
     order.sort_by(|&a, &b| {
         let fa = shares[a] - shares[a].floor();
         let fb = shares[b] - shares[b].floor();
-        fb.partial_cmp(&fa).unwrap_or(std::cmp::Ordering::Equal)
+        fb.total_cmp(&fa)
     });
     for &i in order.iter().cycle() {
         if remainder == 0 {
@@ -149,7 +149,7 @@ pub fn apples_blocked_decision(pool: &InfoPool<'_>) -> Result<(BlockedSchedule, 
     feasible.sort_by(|&a, &b| {
         let sa = pool.effective_mflops(a).unwrap_or(0.0);
         let sb = pool.effective_mflops(b).unwrap_or(0.0);
-        sb.partial_cmp(&sa).unwrap_or(std::cmp::Ordering::Equal)
+        sb.total_cmp(&sa)
     });
     let mut best: Option<(BlockedSchedule, f64)> = None;
     for k in 1..=feasible.len().min(pool.user.max_hosts) {

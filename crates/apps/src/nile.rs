@@ -74,7 +74,7 @@ pub fn plan_farm(
     order.sort_by(|&a, &b| {
         let fa = shares[a] - shares[a].floor();
         let fb = shares[b] - shares[b].floor();
-        fb.partial_cmp(&fa).unwrap_or(std::cmp::Ordering::Equal)
+        fb.total_cmp(&fa)
     });
     for &i in order.iter().cycle() {
         if remainder == 0 {
@@ -282,7 +282,7 @@ pub fn plan_multi_site(
     speed_order.sort_by(|&a, &b| {
         let sa = pool.effective_mflops(a).unwrap_or(0.0);
         let sb = pool.effective_mflops(b).unwrap_or(0.0);
-        sb.partial_cmp(&sa).unwrap_or(std::cmp::Ordering::Equal)
+        sb.total_cmp(&sa)
     });
     let mut assigned: Vec<Vec<HostId>> = vec![Vec::new(); sites.len()];
     let mut speed_sum = vec![0.0f64; sites.len()];
@@ -297,8 +297,7 @@ pub fn plan_multi_site(
         let target = (0..sites.len())
             .max_by(|&a, &b| {
                 need(a)
-                    .partial_cmp(&need(b))
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .total_cmp(&need(b))
                     // Break ties toward the site holding more data so
                     // infinite needs resolve deterministically.
                     .then_with(|| sites[a].1.cmp(&sites[b].1))

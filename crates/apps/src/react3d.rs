@@ -248,10 +248,7 @@ mod tests {
     fn best_pipeline_size_is_in_the_papers_range() {
         let tb = casa_testbed(0).unwrap();
         let sweep = sweep_pipeline_sizes(&tb, &[1, 2, 5, 10, 20, 65, 130, 260], 4).unwrap();
-        let best = sweep
-            .iter()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-            .unwrap();
+        let best = sweep.iter().min_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
         assert!(
             (2..=20).contains(&best.0),
             "optimum pipeline size {} outside the expected range; sweep: {sweep:?}",

@@ -42,7 +42,7 @@ pub fn run(seed: u64) -> ReactResult {
     let sweep: Vec<(usize, f64)> = sweep_secs.into_iter().map(|(u, s)| (u, s / HOUR)).collect();
     let &(best_unit, distributed_hours) = sweep
         .iter()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
         .expect("non-empty sweep");
 
     let best_single = c90_hours.min(paragon_hours);

@@ -424,13 +424,21 @@ pub fn whatif(p: &Parsed) -> CmdResult {
     Ok(())
 }
 
-pub fn grid(p: &Parsed) -> CmdResult {
+/// Build the service- and workload-side configs for `grid` and
+/// `validate` from the shared flag set. Deliberately does *not*
+/// reject bad knob values here: both commands route them through
+/// [`apples_grid::validate_config`] so every malformed class is
+/// reported as a typed diagnostic rather than an ad-hoc parse error.
+fn grid_setup(
+    p: &Parsed,
+) -> Result<(apples_grid::GridConfig, apples_grid::WorkloadConfig), Box<dyn std::error::Error>> {
     use apples_grid::workload::{ArrivalProcess, JobMix, RetryPolicy, WorkloadConfig};
-    use apples_grid::{run, FaultInjection, GridConfig, Regime};
+    use apples_grid::{FaultInjection, GridConfig, Regime};
     use metasim::FaultModel;
     let rate: f64 = p.get_parsed("rate", 0.02)?;
     let duration: f64 = p.get_parsed("duration", 3600.0)?;
     let seed: u64 = p.get_parsed("seed", 1996)?;
+    let horizon: f64 = p.get_parsed("horizon", 400_000.0)?;
     let max_in_flight: usize = p.get_parsed("max-in-flight", usize::MAX)?;
     let fault_rate: f64 = p.get_parsed("fault-rate", 0.0)?;
     let link_fault_rate: f64 = p.get_parsed("link-fault-rate", 0.0)?;
@@ -438,13 +446,13 @@ pub fn grid(p: &Parsed) -> CmdResult {
     let permanent: f64 = p.get_parsed("permanent", 0.25)?;
     let max_attempts: u32 = p.get_parsed("max-attempts", 1)?;
     let backoff: f64 = p.get_parsed("backoff", 30.0)?;
-    if rate <= 0.0 || duration <= 0.0 {
-        return Err(ArgError("rate and duration must be positive".into()).into());
-    }
-    if fault_rate < 0.0 || link_fault_rate < 0.0 || mean_outage <= 0.0 {
-        return Err(ArgError("fault rates must be >= 0 and mean outage positive".into()).into());
-    }
-    let faults = if fault_rate > 0.0 || link_fault_rate > 0.0 {
+    // Build a fault model as soon as any fault knob is touched, even
+    // with zero rates, so the validator sees (and can reject) every
+    // given value instead of silently discarding an inert model.
+    let fault_knob_given = ["fault-rate", "link-fault-rate", "mean-outage", "permanent"]
+        .iter()
+        .any(|k| !p.get(k, "").is_empty());
+    let faults = if fault_knob_given {
         FaultInjection::Random(FaultModel {
             host_crashes_per_hour: fault_rate,
             link_outages_per_hour: link_fault_rate,
@@ -458,6 +466,7 @@ pub fn grid(p: &Parsed) -> CmdResult {
         profile: profile_of(p)?,
         with_sp2: p.switch("sp2"),
         seed,
+        horizon: SimTime::from_secs_f64(horizon),
         regime: if p.switch("blind") {
             Regime::Blind
         } else {
@@ -478,7 +487,44 @@ pub fn grid(p: &Parsed) -> CmdResult {
             factor: 2.0,
         },
     };
-    let out = run(&cfg, &workload)?;
+    Ok((cfg, workload))
+}
+
+/// `apples-cli validate` — static pre-run check of a grid
+/// configuration: print every typed diagnostic, exit nonzero if any.
+pub fn validate(p: &Parsed) -> CmdResult {
+    let (cfg, workload) = grid_setup(p)?;
+    let diags = apples_grid::validate_config(&cfg, Some(&workload));
+    if diags.is_empty() {
+        println!(
+            "configuration OK: {} profile{}, horizon {}, seed {}",
+            p.get("profile", "moderate"),
+            if cfg.with_sp2 { " with SP-2 nodes" } else { "" },
+            cfg.horizon,
+            cfg.seed,
+        );
+        return Ok(());
+    }
+    for d in &diags {
+        println!("{d}");
+    }
+    Err(format!("{} configuration issue(s) found", diags.len()).into())
+}
+
+/// `apples-cli grid`
+pub fn grid(p: &Parsed) -> CmdResult {
+    use apples_grid::workload::ArrivalProcess;
+    use apples_grid::{GridService, Regime};
+    let (cfg, workload) = grid_setup(p)?;
+    let ArrivalProcess::Poisson { rate_hz: rate } = workload.arrivals else {
+        return Err(ArgError("grid streams use Poisson arrivals".into()).into());
+    };
+    let duration = workload.duration.as_secs_f64();
+    let seed = cfg.seed;
+    let max_in_flight = cfg.max_in_flight;
+    let service = GridService::new(cfg)?;
+    let cfg = service.config();
+    let out = service.run(&workload)?;
 
     if p.switch("json") {
         println!("{}", out.fleet.to_json());
@@ -566,6 +612,7 @@ mod tests {
                 "permanent",
                 "max-attempts",
                 "backoff",
+                "horizon",
             ],
             &["sp2", "csv", "json", "blind"],
         )
@@ -710,5 +757,27 @@ mod tests {
     fn grid_rejects_bad_fault_knobs() {
         assert!(grid(&parsed(&["grid", "--fault-rate", "-1"])).is_err());
         assert!(grid(&parsed(&["grid", "--mean-outage", "0"])).is_err());
+    }
+
+    #[test]
+    fn validate_accepts_shipped_configs() {
+        assert!(validate(&parsed(&["validate"])).is_ok());
+        assert!(validate(&parsed(&["validate", "--sp2"])).is_ok());
+        assert!(validate(&parsed(&["validate", "--fault-rate", "0.5"])).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_each_malformed_class() {
+        for bad in [
+            ["validate", "--rate", "0"],
+            ["validate", "--max-attempts", "0"],
+            ["validate", "--max-in-flight", "0"],
+            ["validate", "--permanent", "1.5"],
+            ["validate", "--fault-rate", "-1"],
+            ["validate", "--horizon", "0"],
+            ["validate", "--mean-outage", "0"],
+        ] {
+            assert!(validate(&parsed(&bad)).is_err(), "{bad:?} should fail");
+        }
     }
 }

@@ -50,6 +50,10 @@ USAGE:
       --fault-rate crashes hosts at C per host-hour (--permanent F of
       them for good); revoked jobs retry up to --max-attempts times
       with exponential backoff from --backoff seconds.
+  apples-cli validate  [same flags as grid] [--horizon SECS]
+      Statically check a grid configuration without running it: every
+      problem is printed as a typed [code] diagnostic and the exit
+      status is nonzero if any are found.
 
 Profiles: dedicated | light | moderate (default) | heavy
 ";
@@ -89,6 +93,7 @@ fn main() {
             "permanent",
             "max-attempts",
             "backoff",
+            "horizon",
         ],
         &["sp2", "csv", "json", "blind"],
     ) {
@@ -110,6 +115,7 @@ fn main() {
         "advise" => commands::advise_cmd(&parsed),
         "whatif" => commands::whatif(&parsed),
         "grid" => commands::grid(&parsed),
+        "validate" => commands::validate(&parsed),
         other => {
             eprintln!("error: unknown command {other:?}\n");
             eprint!("{USAGE}");

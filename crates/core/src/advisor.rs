@@ -85,13 +85,9 @@ pub fn advise(pool: &InfoPool<'_>, sets: &[Vec<HostId>]) -> Result<WaitAdvice, A
     let recommended = options
         .iter()
         .enumerate()
-        .min_by(|(_, a), (_, b)| {
-            a.completion_seconds
-                .partial_cmp(&b.completion_seconds)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })
+        .min_by(|(_, a), (_, b)| a.completion_seconds.total_cmp(&b.completion_seconds))
         .map(|(i, _)| i)
-        .expect("non-empty options");
+        .ok_or(ApplesError::NoViableSchedule)?;
     Ok(WaitAdvice {
         recommended,
         options,

@@ -110,8 +110,7 @@ impl Decision {
         order.sort_by(|&a, &b| {
             self.considered[a]
                 .objective
-                .partial_cmp(&self.considered[b].objective)
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&self.considered[b].objective)
         });
         for &i in order.iter().take(3) {
             let c = &self.considered[i];
@@ -242,15 +241,11 @@ impl Coordinator {
                 let pa = self.user.preference_count(&a.hosts);
                 let pb = self.user.preference_count(&b.hosts);
                 pb.cmp(&pa)
-                    .then_with(|| {
-                        a.objective
-                            .partial_cmp(&b.objective)
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                    })
+                    .then_with(|| a.objective.total_cmp(&b.objective))
                     .then_with(|| a.schedule.hosts().len().cmp(&b.schedule.hosts().len()))
             })
             .map(|(i, _)| i)
-            .expect("non-empty considered");
+            .ok_or(ApplesError::NoViableSchedule)?;
         Ok(Decision {
             chosen_index,
             considered,

@@ -114,7 +114,7 @@ pub fn plan_strip(pool: &InfoPool<'_>, hosts: &[HostId]) -> Result<StencilSchedu
         ha.cmp(&hb).then_with(|| {
             let sa = pool.effective_mflops(a).unwrap_or(0.0);
             let sb = pool.effective_mflops(b).unwrap_or(0.0);
-            sb.partial_cmp(&sa).unwrap_or(std::cmp::Ordering::Equal)
+            sb.total_cmp(&sa)
         })
     });
 
@@ -155,16 +155,16 @@ pub fn plan_strip(pool: &InfoPool<'_>, hosts: &[HostId]) -> Result<StencilSchedu
     // and the best plan *for this resource set* may simply not use it.
     let (mut best_live, mut best_rows, mut best_t, mut best_spilled) = solve_round(pool, t, live)?;
     while best_live.len() > 1 {
-        let worst = best_live
+        // The loop guard holds at least two hosts, so a missing max
+        // is impossible; stop evicting rather than abort if it happens.
+        let Some(worst) = best_live
             .iter()
             .enumerate()
-            .max_by(|a, b| {
-                a.1.comm_sec
-                    .partial_cmp(&b.1.comm_sec)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
+            .max_by(|a, b| a.1.comm_sec.total_cmp(&b.1.comm_sec))
             .map(|(i, _)| i)
-            .expect("non-empty");
+        else {
+            break;
+        };
         let mut reduced = best_live.clone();
         reduced.remove(worst);
         match solve_round(pool, t, reduced) {
@@ -323,12 +323,7 @@ fn solve_with_caps(n: usize, live: &[StripHost]) -> SolveOutcome {
         if let Some(&worst) = free
             .iter()
             .filter(|&&i| (t_bal - live[i].comm_sec) / live[i].sec_per_row <= 0.0)
-            .max_by(|&&a, &&b| {
-                live[a]
-                    .comm_sec
-                    .partial_cmp(&live[b].comm_sec)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
+            .max_by(|&&a, &&b| live[a].comm_sec.total_cmp(&live[b].comm_sec))
         {
             return SolveOutcome::Drop(worst);
         }
@@ -377,7 +372,7 @@ fn integerize(n: usize, live: &[StripHost], rows: &[f64]) -> Vec<StencilPart> {
         .enumerate()
         .map(|(i, &r)| (i, r - r.floor()))
         .collect();
-    frac.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    frac.sort_by(|a, b| b.1.total_cmp(&a.1));
     while assigned < n {
         let mut progressed = false;
         for &(i, _) in &frac {

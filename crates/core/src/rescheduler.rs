@@ -17,7 +17,7 @@ use crate::actuator::actuate;
 use crate::coordinator::Coordinator;
 use crate::error::ApplesError;
 use crate::estimator::estimate_stencil;
-use crate::hat::Hat;
+use crate::hat::{Hat, StencilTemplate};
 use crate::info::InfoPool;
 use crate::schedule::{Schedule, StencilSchedule};
 use metasim::net::{simulate_transfers, TransferReq};
@@ -142,7 +142,7 @@ impl ReschedulingAgent {
             // have watched die.
             let mut user = self.coordinator.user.clone();
             user.excluded_hosts.extend(known_dead.iter().copied());
-            let replan_hat = rescoped_hat(&self.coordinator.hat, remaining);
+            let replan_hat = rescoped_hat(&self.coordinator.hat.name, &template, remaining);
             let pool = InfoPool::with_nws(topo, weather, &replan_hat, &user, now);
             let candidate = match self.coordinator_for(&replan_hat, &user).decide(&pool) {
                 Ok(d) => match d.schedule() {
@@ -187,7 +187,7 @@ impl ReschedulingAgent {
             };
             let report = match actuate(
                 topo,
-                &rescoped_hat(&self.coordinator.hat, phase_iters),
+                &rescoped_hat(&self.coordinator.hat.name, &template, phase_iters),
                 &Schedule::Stencil(phase_sched.clone()),
                 now,
             ) {
@@ -266,10 +266,10 @@ impl ReschedulingAgent {
 }
 
 /// The same HAT with the iteration count replaced.
-fn rescoped_hat(hat: &Hat, iterations: usize) -> Hat {
-    let mut t = hat.as_stencil().expect("stencil HAT").clone();
+fn rescoped_hat(name: &str, template: &StencilTemplate, iterations: usize) -> Hat {
+    let mut t = template.clone();
     t.iterations = iterations;
-    Hat::stencil(&hat.name, t)
+    Hat::stencil(name, t)
 }
 
 /// Predicted seconds to finish `remaining` iterations on `sched`.

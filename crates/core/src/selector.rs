@@ -108,7 +108,9 @@ impl ResourceSelector {
                 let ranked = Self::greedy_rank(pool, &feasible)?;
                 Ok((1..=max).map(|k| ranked[..k].to_vec()).collect())
             }
-            CandidateStrategy::Auto => unreachable!("resolved above"),
+            CandidateStrategy::Auto => Err(ApplesError::Invalid(
+                "candidate strategy Auto must be resolved before enumeration".into(),
+            )),
         }
     }
 
@@ -129,7 +131,7 @@ impl ResourceSelector {
         remaining.sort_by(|&a, &b| {
             let sa = pool.effective_mflops(a).unwrap_or(0.0);
             let sb = pool.effective_mflops(b).unwrap_or(0.0);
-            sb.partial_cmp(&sa).unwrap_or(std::cmp::Ordering::Equal)
+            sb.total_cmp(&sa)
         });
         chosen.push(remaining.remove(0));
 

@@ -137,11 +137,7 @@ pub fn evaluate(
             speedup: baseline_seconds / upgraded_seconds,
         });
     }
-    results.sort_by(|a, b| {
-        b.speedup
-            .partial_cmp(&a.speedup)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    results.sort_by(|a, b| b.speedup.total_cmp(&a.speedup));
     Ok(WhatIfReport {
         baseline_seconds,
         results,

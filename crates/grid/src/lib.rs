@@ -43,6 +43,7 @@ pub mod workload;
 
 pub use metrics::{percentile, slowdown_of, FleetMetrics, JobRecord};
 pub use service::{
-    run, run_jobs, run_jobs_with_retry, FaultInjection, GridConfig, GridError, GridOutcome, Regime,
+    run, run_jobs, run_jobs_with_retry, validate_config, Diagnostic, FaultInjection, GridConfig,
+    GridError, GridOutcome, GridService, Regime,
 };
 pub use workload::{ArrivalProcess, JobKind, JobMix, JobSpec, RetryPolicy, WorkloadConfig};

@@ -210,6 +210,204 @@ pub fn run_jobs(
     run_jobs_with_retry(cfg, jobs, duration, RetryPolicy::default())
 }
 
+/// One pre-run diagnostic: a stable machine-readable code plus prose.
+///
+/// Codes for testbed/fault problems come from
+/// [`metasim::ConfigIssue::code`]; service- and workload-level problems
+/// use the codes documented on [`validate_config`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable kebab-case class of the problem (e.g. `unreachable-hosts`).
+    pub code: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.code, self.message)
+    }
+}
+
+impl From<&metasim::ConfigIssue> for Diagnostic {
+    fn from(issue: &metasim::ConfigIssue) -> Self {
+        Diagnostic {
+            code: issue.code().to_owned(),
+            message: issue.to_string(),
+        }
+    }
+}
+
+/// Best-case per-host resident demand of one job kind when spread over
+/// `n_hosts`, for the static memory-fit check. `None` for kinds without
+/// a static footprint model.
+fn per_host_demand_mb(kind: &JobKind, n_hosts: usize) -> Option<(String, f64)> {
+    let (hat, _) = kind.hat_and_user();
+    if let Some(t) = hat.as_stencil() {
+        let rows = t.n.div_ceil(n_hosts.max(1));
+        Some((
+            format!("{} ({n}x{n} stencil)", kind.name(), n = t.n),
+            t.strip_resident_mb(rows),
+        ))
+    } else {
+        hat.as_pipeline().map(|p| {
+            (
+                kind.name().to_owned(),
+                p.producer_resident_mb.max(p.consumer_base_mb),
+            )
+        })
+    }
+}
+
+/// Statically validate a service configuration (and, when given, a
+/// workload) without running anything.
+///
+/// Returns every problem found, not just the first. Testbed and fault
+/// diagnostics carry [`metasim::ConfigIssue`] codes; the service adds:
+///
+/// * `admission` — `max_in_flight` is zero, the stream can never start;
+/// * `testbed` — the testbed itself failed to build;
+/// * `fault-model` — a random fault model with invalid rates;
+/// * `arrivals` / `job-mix` / `retry` — the corresponding workload knob
+///   was rejected;
+/// * `memory-overcommit` — a job kind in the mix cannot fit on the
+///   testbed's hosts even when spread perfectly.
+pub fn validate_config(cfg: &GridConfig, workload: Option<&WorkloadConfig>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut push = |code: &str, message: String| {
+        out.push(Diagnostic {
+            code: code.to_owned(),
+            message,
+        });
+    };
+
+    if cfg.max_in_flight == 0 {
+        push("admission", "max_in_flight must be at least 1".into());
+    }
+
+    let tb = pcl_sdsc(&TestbedConfig {
+        profile: cfg.profile,
+        horizon: cfg.horizon,
+        seed: cfg.seed,
+        with_sp2: cfg.with_sp2,
+    });
+    let tb = match tb {
+        Ok(tb) => tb,
+        Err(e) => {
+            push("testbed", format!("testbed failed to build: {e}"));
+            return out;
+        }
+    };
+
+    let mut report = metasim::validate_topology(&tb.topo);
+    match &cfg.faults {
+        FaultInjection::None => {}
+        FaultInjection::Spec(spec) => {
+            report.merge(metasim::validate_faults(&tb.topo, spec));
+        }
+        FaultInjection::Random(model) => {
+            if let Err(e) = model.validate() {
+                push("fault-model", e.to_string());
+            }
+        }
+    }
+    out.extend(report.issues.iter().map(Diagnostic::from));
+
+    if let Some(w) = workload {
+        if let Err(e) = w.arrivals.validate() {
+            out.push(Diagnostic {
+                code: "arrivals".into(),
+                message: e.to_string(),
+            });
+        }
+        if let Err(e) = w.mix.validate() {
+            out.push(Diagnostic {
+                code: "job-mix".into(),
+                message: e.to_string(),
+            });
+        }
+        if let Err(e) = w.retry.validate() {
+            out.push(Diagnostic {
+                code: "retry".into(),
+                message: e.to_string(),
+            });
+        }
+        let n_hosts = tb.topo.hosts().len();
+        for (kind, _) in &w.mix.entries {
+            if let Some((what, needed)) = per_host_demand_mb(kind, n_hosts) {
+                if let Some(issue) = metasim::validate::memory_fit(&tb.topo, &what, needed) {
+                    out.push(Diagnostic::from(&issue));
+                }
+            }
+        }
+    }
+
+    out
+}
+
+/// A validated handle on the simulated grid: construction runs the full
+/// static validation pass and refuses configurations that would panic
+/// or hang a stream mid-run.
+#[derive(Debug, Clone)]
+pub struct GridService {
+    cfg: GridConfig,
+}
+
+impl GridService {
+    /// Validate `cfg` (service knobs, testbed topology, fault schedule)
+    /// and wrap it. Every diagnostic is reported, joined into one
+    /// [`GridError::InvalidConfig`].
+    pub fn new(cfg: GridConfig) -> Result<GridService, GridError> {
+        let diags = validate_config(&cfg, None);
+        if !diags.is_empty() {
+            return Err(GridError::InvalidConfig(
+                diags
+                    .iter()
+                    .map(Diagnostic::to_string)
+                    .collect::<Vec<_>>()
+                    .join("; "),
+            ));
+        }
+        Ok(GridService { cfg })
+    }
+
+    /// The validated configuration.
+    pub fn config(&self) -> &GridConfig {
+        &self.cfg
+    }
+
+    /// Validate `workload` against this service's testbed (including
+    /// the static memory-fit check), then stream it.
+    pub fn run(&self, workload: &WorkloadConfig) -> Result<GridOutcome, GridError> {
+        let diags = validate_config(&self.cfg, Some(workload));
+        if !diags.is_empty() {
+            return Err(GridError::InvalidConfig(
+                diags
+                    .iter()
+                    .map(Diagnostic::to_string)
+                    .collect::<Vec<_>>()
+                    .join("; "),
+            ));
+        }
+        run(&self.cfg, workload)
+    }
+
+    /// Stream an explicit job list with the default retry policy.
+    pub fn run_jobs(&self, jobs: &[JobSpec], duration: SimTime) -> Result<GridOutcome, GridError> {
+        run_jobs(&self.cfg, jobs, duration)
+    }
+
+    /// Stream an explicit job list under `retry`.
+    pub fn run_jobs_with_retry(
+        &self,
+        jobs: &[JobSpec],
+        duration: SimTime,
+        retry: RetryPolicy,
+    ) -> Result<GridOutcome, GridError> {
+        run_jobs_with_retry(&self.cfg, jobs, duration, retry)
+    }
+}
+
 /// What one placement attempt produced.
 enum AttemptOutcome {
     /// The job ran to completion in one actuation.
@@ -477,9 +675,7 @@ fn decide(kind: &JobKind, pool: &InfoPool<'_>) -> Result<Schedule, ApplesError> 
                 .max_by(|&a, &b| {
                     let fa = pool.effective_mflops(a).unwrap_or(0.0);
                     let fb = pool.effective_mflops(b).unwrap_or(0.0);
-                    fa.partial_cmp(&fb)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(b.cmp(&a))
+                    fa.total_cmp(&fb).then(b.cmp(&a))
                 })
                 .ok_or(ApplesError::NoFeasibleResources)?;
             Ok(Schedule::Farm(plan_farm(pool, &feasible, home, home)?))
@@ -619,6 +815,133 @@ mod tests {
 
     fn s(x: f64) -> SimTime {
         SimTime::from_secs_f64(x)
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&str> {
+        diags.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    #[test]
+    fn grid_service_accepts_the_default_config() {
+        let svc = GridService::new(GridConfig::default()).expect("default config is valid");
+        assert_eq!(svc.config().seed, 1996);
+    }
+
+    #[test]
+    fn grid_service_refuses_zero_admission_bound() {
+        let cfg = GridConfig {
+            max_in_flight: 0,
+            ..GridConfig::default()
+        };
+        let diags = validate_config(&cfg, None);
+        assert!(codes(&diags).contains(&"admission"), "{diags:?}");
+        let err = GridService::new(cfg).unwrap_err();
+        assert!(matches!(err, GridError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn grid_service_refuses_bad_fault_model() {
+        let cfg = GridConfig {
+            faults: FaultInjection::Random(FaultModel {
+                host_crashes_per_hour: -1.0,
+                link_outages_per_hour: 0.0,
+                mean_outage: SimTime::from_secs(600),
+                permanent_fraction: 0.0,
+            }),
+            ..GridConfig::default()
+        };
+        let diags = validate_config(&cfg, None);
+        assert!(codes(&diags).contains(&"fault-model"), "{diags:?}");
+        assert!(GridService::new(cfg).is_err());
+    }
+
+    #[test]
+    fn grid_service_refuses_fault_windows_outside_horizon() {
+        let cfg = GridConfig {
+            faults: FaultInjection::Spec(FaultSpec {
+                host_faults: vec![metasim::HostFault {
+                    host: HostId(0),
+                    at: SimTime::from_secs(500_000),
+                    recover: None,
+                }],
+                link_faults: vec![],
+            }),
+            ..GridConfig::default()
+        };
+        let diags = validate_config(&cfg, None);
+        assert!(codes(&diags).contains(&"fault-beyond-horizon"), "{diags:?}");
+        assert!(GridService::new(cfg).is_err());
+    }
+
+    #[test]
+    fn grid_service_refuses_fault_on_unknown_host() {
+        let cfg = GridConfig {
+            faults: FaultInjection::Spec(FaultSpec {
+                host_faults: vec![metasim::HostFault {
+                    host: HostId(999),
+                    at: SimTime::from_secs(100),
+                    recover: None,
+                }],
+                link_faults: vec![],
+            }),
+            ..GridConfig::default()
+        };
+        let diags = validate_config(&cfg, None);
+        assert!(
+            codes(&diags).contains(&"fault-on-unknown-host"),
+            "{diags:?}"
+        );
+        assert!(GridService::new(cfg).is_err());
+    }
+
+    #[test]
+    fn validate_config_rejects_workload_knobs() {
+        let cfg = GridConfig::default();
+        let w = WorkloadConfig {
+            arrivals: ArrivalProcess::Poisson { rate_hz: 0.0 },
+            mix: JobMix { entries: vec![] },
+            retry: RetryPolicy {
+                max_attempts: 0,
+                ..RetryPolicy::default()
+            },
+            ..WorkloadConfig::default()
+        };
+        let diags = validate_config(&cfg, Some(&w));
+        let c = codes(&diags);
+        assert!(c.contains(&"arrivals"), "{c:?}");
+        assert!(c.contains(&"job-mix"), "{c:?}");
+        assert!(c.contains(&"retry"), "{c:?}");
+    }
+
+    #[test]
+    fn validate_config_flags_memory_overcommit() {
+        let cfg = GridConfig::default();
+        // A 30000x30000 Jacobi grid is ~14 GB resident; even spread
+        // across every Figure-2 host it cannot fit.
+        let w = WorkloadConfig {
+            mix: JobMix::only(JobKind::Jacobi {
+                n: 30_000,
+                iterations: 10,
+            }),
+            ..WorkloadConfig::default()
+        };
+        let diags = validate_config(&cfg, Some(&w));
+        assert!(codes(&diags).contains(&"memory-overcommit"), "{diags:?}");
+        // And the service refuses to run it.
+        let svc = GridService::new(cfg).unwrap();
+        assert!(matches!(svc.run(&w), Err(GridError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn validate_config_is_clean_for_shipped_configs() {
+        for with_sp2 in [false, true] {
+            let cfg = GridConfig {
+                with_sp2,
+                ..GridConfig::default()
+            };
+            let diags = validate_config(&cfg, Some(&WorkloadConfig::default()));
+            assert!(diags.is_empty(), "shipped config flagged: {diags:?}");
+        }
     }
 
     fn probe_jobs(long_iters: usize, probe_iters: usize) -> Vec<JobSpec> {

@@ -48,9 +48,11 @@ pub fn sweep_seeds(
             .collect();
         handles
             .into_iter()
+            // simlint: allow(panic-in-lib): re-raises a panic from a trial thread; swallowing it would fabricate results
             .map(|h| h.join().expect("trial thread"))
             .collect()
     })
+    // simlint: allow(panic-in-lib): crossbeam scope fails only when a child thread panicked; propagate it
     .expect("trial scope");
     results.into_iter().collect()
 }

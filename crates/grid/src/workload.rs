@@ -253,6 +253,7 @@ impl JobMix {
             }
             x -= w;
         }
+        // simlint: allow(panic-in-lib): JobMix::validate rejects empty mixes before any stream is realized
         self.entries.last().unwrap().0
     }
 }

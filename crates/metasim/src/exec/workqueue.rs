@@ -96,7 +96,11 @@ pub fn simulate_workqueue(
     let mut finish = job.start;
 
     while remaining > 0 {
-        let (now, wi) = ready.pop().expect("workers present");
+        let Some((now, wi)) = ready.pop() else {
+            return Err(SimError::Invalid(
+                "work queue drained while chunks remain".into(),
+            ));
+        };
         remaining -= 1;
         let worker = job.workers[wi];
         // Request/receive the chunk input.

@@ -150,6 +150,12 @@ impl FaultModel {
                 self.permanent_fraction
             )));
         }
+        if self.mean_outage <= SimTime::ZERO {
+            return Err(SimError::Invalid(format!(
+                "mean_outage must be positive, got {}",
+                self.mean_outage
+            )));
+        }
         Ok(())
     }
 

@@ -53,9 +53,11 @@ pub mod testbed;
 pub mod time;
 pub mod trace;
 pub mod tracefile;
+pub mod validate;
 
 pub use error::SimError;
 pub use fault::{apply_faults, FaultModel, FaultSpec, HostFault, LinkFault};
 pub use host::{Host, HostId, HostSpec, SharingPolicy};
 pub use net::{LinkId, LinkSpec, RouteTable, SegmentId, Topology};
 pub use time::SimTime;
+pub use validate::{validate_faults, validate_topology, ConfigIssue, ValidationReport};

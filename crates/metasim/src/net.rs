@@ -226,12 +226,26 @@ impl TopologyBuilder {
                     continue;
                 }
                 // Reconstruct the link path dst -> src, then reverse.
+                // `seen[dst]` implies an unbroken predecessor chain; if
+                // that ever fails to hold, skip the pair (route() will
+                // report NoRoute) rather than aborting the build.
                 let mut via = Vec::new();
                 let mut cur = dst;
+                let mut complete = true;
                 while cur != src {
-                    let (p, l) = prev[cur].expect("seen implies a predecessor");
-                    via.push(l);
-                    cur = p;
+                    match prev[cur] {
+                        Some((p, l)) => {
+                            via.push(l);
+                            cur = p;
+                        }
+                        None => {
+                            complete = false;
+                            break;
+                        }
+                    }
+                }
+                if !complete {
+                    continue;
                 }
                 via.reverse();
                 self.routes.add(SegmentId(src), SegmentId(dst), via);
@@ -561,10 +575,11 @@ pub fn simulate_transfers(
         }
     }
 
-    Ok(results
+    results
         .into_iter()
-        .map(|r| r.expect("every transfer resolved"))
-        .collect())
+        .enumerate()
+        .map(|(i, r)| r.ok_or_else(|| SimError::Invalid(format!("transfer {i} never resolved"))))
+        .collect()
 }
 
 #[cfg(test)]

@@ -109,6 +109,7 @@ impl Add for SimTime {
         SimTime(
             self.0
                 .checked_add(rhs.0)
+                // simlint: allow(panic-in-lib): clock overflow (~58k simulated years) is unrecoverable caller error
                 .expect("SimTime addition overflowed"),
         )
     }
@@ -128,6 +129,7 @@ impl Sub for SimTime {
         SimTime(
             self.0
                 .checked_sub(rhs.0)
+                // simlint: allow(panic-in-lib): subtracting past t=0 is a caller bug; wrapping would corrupt every later timestamp
                 .expect("SimTime subtraction underflowed"),
         )
     }

@@ -39,7 +39,7 @@ impl Stats {
             0.0
         };
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let median = if n % 2 == 1 {
             sorted[n / 2]
         } else {
@@ -107,6 +107,20 @@ pub fn render_timeline(outcome: &SpmdOutcome, labels: &[String], width: usize) -
 mod tests {
     use super::*;
     use crate::SimTime;
+
+    #[test]
+    fn stats_degrade_instead_of_panicking_on_nan() {
+        // Regression: the percentile sort used `partial_cmp.expect`,
+        // which aborted summarization of any series containing a NaN.
+        // With total_cmp the summary degrades (NaN sorts above +inf and
+        // poisons mean/max) but the finite order statistics survive.
+        let s = Stats::from_samples(&[3.0, f64::NAN, 1.0, 2.0]).unwrap();
+        assert_eq!(s.n, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 2.5, "NaN sorts last; finite median intact");
+        assert!(s.max.is_nan());
+        assert!(s.mean.is_nan());
+    }
 
     #[test]
     fn timeline_shows_busy_fraction() {

@@ -47,7 +47,7 @@ impl Forecaster for TrimmedMean {
             return None;
         }
         let mut v: Vec<f64> = self.buf.iter().copied().collect();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN measurement"));
+        v.sort_by(|a, b| a.total_cmp(b));
         // Trim as much as the (possibly still-filling) window allows.
         let t = self.trim.min((v.len() - 1) / 2);
         let kept = &v[t..v.len() - t];

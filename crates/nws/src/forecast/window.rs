@@ -36,7 +36,9 @@ impl Forecaster for SlidingWindowMean {
         self.buf.push_back(value);
         self.sum += value;
         if self.buf.len() > self.k {
-            self.sum -= self.buf.pop_front().expect("non-empty");
+            if let Some(evicted) = self.buf.pop_front() {
+                self.sum -= evicted;
+            }
         }
     }
     fn forecast(&self) -> Option<f64> {
@@ -92,7 +94,7 @@ impl Forecaster for SlidingWindowMedian {
             return None;
         }
         let mut v: Vec<f64> = self.buf.iter().copied().collect();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN measurement"));
+        v.sort_by(|a, b| a.total_cmp(b));
         let n = v.len();
         Some(if n % 2 == 1 {
             v[n / 2]
@@ -131,14 +133,12 @@ impl AdaptiveWindowMean {
 
     /// The window size currently winning the error race.
     pub fn current_window(&self) -> usize {
-        let best = self
-            .err
+        self.err
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("NaN error"))
-            .map(|(i, _)| i)
-            .expect("non-empty candidates");
-        self.candidates[best].k
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| self.candidates[i].k)
+            .unwrap_or(0)
     }
 }
 
@@ -164,7 +164,7 @@ impl Forecaster for AdaptiveWindowMean {
             .err
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("NaN error"))
+            .min_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)?;
         self.candidates[best].forecast()
     }

@@ -83,11 +83,7 @@ impl AdaptiveSelector {
     fn best_index(&self) -> Option<usize> {
         (0..self.members.len())
             .filter(|&i| self.scored[i] > 0)
-            .min_by(|&a, &b| {
-                self.err[a]
-                    .partial_cmp(&self.err[b])
-                    .expect("NaN forecast error")
-            })
+            .min_by(|&a, &b| self.err[a].total_cmp(&self.err[b]))
             .or_else(|| {
                 // Nothing scored yet: any member that can forecast.
                 (0..self.members.len()).find(|&i| self.members[i].forecast().is_some())

@@ -1,0 +1,315 @@
+//! simlint — the workspace's static-analysis pass.
+//!
+//! The apples suite promises *seeded, bit-identical replay*: every
+//! schedule, fault trace and benchmark must reproduce from a `--seed`
+//! alone. That promise is easy to break silently — one `Instant::now()`
+//! in a cost model, one `HashMap` iteration feeding a tie-break, one
+//! `partial_cmp().unwrap()` meeting a NaN — so simlint checks the
+//! invariants statically, before anything runs:
+//!
+//! * `nondeterminism` — no wall-clock, OS entropy, or hash-order
+//!   iteration in the simulation crates (`metasim`, `core`, `nws`,
+//!   `grid`).
+//! * `nan-unsafe-cmp` — comparator chains must use `total_cmp`, never
+//!   `partial_cmp(..).unwrap()/expect()/unwrap_or(..)`.
+//! * `panic-in-lib` — library code in the simulation crates returns
+//!   typed errors instead of `unwrap()`/`expect()`/`panic!`.
+//! * `float-keyed-map` — no `f64`/`f32`-keyed maps or sets.
+//!
+//! Suppression requires a reason:
+//! `// simlint: allow(<lint>): <why this site is sound>`.
+//! Reason-less or unknown-lint directives are themselves findings
+//! (`malformed-allow`) and never suppress anything.
+//!
+//! No dependencies: the scanner is a hand-rolled tokenizer
+//! ([`scanner`]), and the JSON output is rendered by hand.
+
+pub mod lints;
+pub mod scanner;
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use lints::{Finding, Lint, ALL_LINTS};
+
+/// Crates whose library code must be deterministic and panic-free.
+pub const SIM_CRATES: [&str; 4] = ["metasim", "core", "nws", "grid"];
+
+/// Directories never scanned (vendored shims, build output, VCS).
+const SKIP_DIRS: [&str; 5] = ["vendor", "target", ".git", ".github", "node_modules"];
+
+/// Which lints apply to a workspace-relative path, per the policy table
+/// in DESIGN.md:
+///
+/// * simulation crates (`crates/{metasim,core,nws,grid}`): all lints;
+/// * everything else (apps, cli, bench, simlint itself, the umbrella
+///   `src/` and `tests/`): `nan-unsafe-cmp` + `float-keyed-map` only —
+///   binaries may panic on bad input and read the wall clock, but
+///   NaN-poisoned ordering is wrong everywhere;
+/// * `vendor/` and `target/`: nothing.
+///
+/// Test code is additionally exempt from `nondeterminism` and
+/// `panic-in-lib` via the scanner's `in_test` marking; `nan-unsafe-cmp`
+/// and `float-keyed-map` apply even in tests.
+pub fn lints_for_path(rel: &Path) -> Vec<Lint> {
+    let comps: Vec<&str> = rel
+        .components()
+        .filter_map(|c| c.as_os_str().to_str())
+        .collect();
+    if comps.first().is_some_and(|c| SKIP_DIRS.contains(c)) {
+        return Vec::new();
+    }
+    let in_sim_crate =
+        comps.first() == Some(&"crates") && comps.get(1).is_some_and(|c| SIM_CRATES.contains(c));
+    if in_sim_crate {
+        ALL_LINTS.to_vec()
+    } else {
+        vec![Lint::NanUnsafeCmp, Lint::FloatKeyedMap]
+    }
+}
+
+/// Whole-file test code: integration tests, benches, examples.
+pub fn is_test_path(rel: &Path) -> bool {
+    rel.components()
+        .filter_map(|c| c.as_os_str().to_str())
+        .any(|c| c == "tests" || c == "benches" || c == "examples")
+}
+
+/// Lint a single source file (the policy is derived from `rel`).
+pub fn lint_source(rel: &str, source: &str) -> Vec<Finding> {
+    let path = Path::new(rel);
+    let enabled = lints_for_path(path);
+    if enabled.is_empty() {
+        return Vec::new();
+    }
+    let scanned = scanner::scan(source, is_test_path(path));
+    lints::check_file(rel, &scanned, &enabled)
+}
+
+/// The result of linting a workspace.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub files_scanned: usize,
+}
+
+impl Report {
+    pub fn unallowed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.allowed)
+    }
+
+    pub fn unallowed_count(&self) -> usize {
+        self.unallowed().count()
+    }
+
+    pub fn allowed_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.allowed).count()
+    }
+
+    /// rustc-style text rendering.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in self.unallowed() {
+            let level = "error";
+            let _ = writeln!(out, "{level}[{}]: {}", f.lint.name(), f.message);
+            let _ = writeln!(out, "  --> {}:{}:{}", f.file, f.line, f.col);
+            let gutter = f.line.to_string();
+            let pad = " ".repeat(gutter.len());
+            let _ = writeln!(out, "{pad} |");
+            let _ = writeln!(out, "{gutter} | {}", f.snippet);
+            let caret_pad = " ".repeat(f.col.saturating_sub(1));
+            let carets = "^".repeat(f.width);
+            let _ = writeln!(out, "{pad} | {caret_pad}{carets}");
+            let _ = writeln!(out, "{pad} = help: {}", f.lint.hint());
+            let _ = writeln!(out);
+        }
+        let _ = writeln!(
+            out,
+            "simlint: {} file(s) scanned, {} finding(s) ({} allowed, {} unallowed)",
+            self.files_scanned,
+            self.findings.len(),
+            self.allowed_count(),
+            self.unallowed_count()
+        );
+        out
+    }
+
+    /// Machine-readable JSON rendering (hand-built; no serde in-tree).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "  \"unallowed\": {},", self.unallowed_count());
+        let _ = writeln!(out, "  \"allowed\": {},", self.allowed_count());
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            let _ = write!(out, "\"lint\": \"{}\", ", f.lint.name());
+            let _ = write!(out, "\"file\": {}, ", json_str(&f.file));
+            let _ = write!(out, "\"line\": {}, \"col\": {}, ", f.line, f.col);
+            let _ = write!(out, "\"message\": {}, ", json_str(&f.message));
+            let _ = write!(out, "\"snippet\": {}, ", json_str(&f.snippet));
+            let _ = write!(out, "\"allowed\": {}", f.allowed);
+            if let Some(r) = &f.allow_reason {
+                let _ = write!(out, ", \"reason\": {}", json_str(r));
+            }
+            out.push('}');
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Recursively collect `.rs` files under `root`, skipping [`SKIP_DIRS`]
+/// and hidden directories. Paths come back sorted for deterministic
+/// reports. A `root` that is itself a file is returned as-is.
+fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    if root.is_file() {
+        return Ok(vec![root.to_path_buf()]);
+    }
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Lint every `.rs` file under `root` (a workspace checkout).
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let mut report = Report::default();
+    for path in collect_rs_files(root)? {
+        // For a single-file root the stripped prefix is empty; fall back
+        // to the full path so the crate policy still applies.
+        let rel = path
+            .strip_prefix(root)
+            .ok()
+            .filter(|r| !r.as_os_str().is_empty())
+            .unwrap_or(&path);
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        let enabled = lints_for_path(rel);
+        if enabled.is_empty() {
+            continue;
+        }
+        let source = fs::read_to_string(&path)?;
+        let scanned = scanner::scan(&source, is_test_path(rel));
+        report
+            .findings
+            .extend(lints::check_file(&rel_str, &scanned, &enabled));
+        report.files_scanned += 1;
+    }
+    report
+        .findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.col).cmp(&(b.file.as_str(), b.line, b.col)));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_gives_sim_crates_every_lint() {
+        let l = lints_for_path(Path::new("crates/metasim/src/net.rs"));
+        assert_eq!(l.len(), 4);
+        let l = lints_for_path(Path::new("crates/grid/src/service.rs"));
+        assert!(l.contains(&Lint::PanicInLib));
+    }
+
+    #[test]
+    fn policy_gives_binaries_only_nan_and_float_lints() {
+        let l = lints_for_path(Path::new("crates/cli/src/main.rs"));
+        assert_eq!(l, vec![Lint::NanUnsafeCmp, Lint::FloatKeyedMap]);
+        let l = lints_for_path(Path::new("crates/apps/src/nile.rs"));
+        assert_eq!(l, vec![Lint::NanUnsafeCmp, Lint::FloatKeyedMap]);
+    }
+
+    #[test]
+    fn policy_skips_vendor_and_target() {
+        assert!(lints_for_path(Path::new("vendor/rand/src/lib.rs")).is_empty());
+        assert!(lints_for_path(Path::new("target/debug/build/x.rs")).is_empty());
+    }
+
+    #[test]
+    fn integration_test_paths_are_test_code() {
+        assert!(is_test_path(Path::new("tests/grid_stream.rs")));
+        assert!(is_test_path(Path::new("crates/metasim/tests/replay.rs")));
+        assert!(is_test_path(Path::new("crates/bench/benches/grid.rs")));
+        assert!(!is_test_path(Path::new("crates/metasim/src/net.rs")));
+    }
+
+    #[test]
+    fn lint_source_honours_policy() {
+        let src = "fn f() { x.unwrap(); }\n";
+        // Panics allowed in the cli crate...
+        assert!(lint_source("crates/cli/src/commands.rs", src).is_empty());
+        // ...but not in metasim library code.
+        assert_eq!(lint_source("crates/metasim/src/host.rs", src).len(), 1);
+        // ...and metasim's integration tests are exempt again.
+        assert!(lint_source("crates/metasim/tests/faults.rs", src).is_empty());
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_backslashes() {
+        let s = json_str("say \"hi\"\\\n");
+        assert_eq!(s, "\"say \\\"hi\\\"\\\\\\n\"");
+    }
+
+    #[test]
+    fn json_report_is_well_formed_enough() {
+        let src = "fn f() { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n";
+        // cli policy: only nan-unsafe-cmp fires (the unwrap is exempt there).
+        let findings = lint_source("crates/cli/src/x.rs", src);
+        let report = Report {
+            findings,
+            files_scanned: 1,
+        };
+        let json = report.render_json();
+        assert!(json.contains("\"lint\": \"nan-unsafe-cmp\""));
+        assert!(json.contains("\"unallowed\": 1"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

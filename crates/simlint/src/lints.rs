@@ -1,0 +1,655 @@
+//! The lint passes and the allow-directive machinery.
+//!
+//! Each lint is a pattern over the token stream produced by
+//! [`crate::scanner`]. Findings carry enough position/snippet context to
+//! render rustc-style diagnostics, and can be suppressed by an inline
+//! `// simlint: allow(<lint>): <reason>` directive — the reason is
+//! mandatory; a reason-less or unknown-lint directive is itself reported
+//! as `malformed-allow` and suppresses nothing.
+
+use crate::scanner::{Comment, ScannedFile, TokKind, Token};
+
+/// The lints simlint knows about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lint {
+    /// Wall-clock / OS-entropy / iteration-order escapes in sim code.
+    Nondeterminism,
+    /// `partial_cmp(..).unwrap()/expect()/unwrap_or(..)` comparator chains.
+    NanUnsafeCmp,
+    /// `unwrap()`/`expect()`/`panic!`-family in non-test library code.
+    PanicInLib,
+    /// `f64`/`f32`-keyed `HashMap`/`BTreeMap`.
+    FloatKeyedMap,
+    /// A `simlint: allow` directive that is unusable (no reason / unknown lint).
+    MalformedAllow,
+}
+
+pub const ALL_LINTS: [Lint; 4] = [
+    Lint::Nondeterminism,
+    Lint::NanUnsafeCmp,
+    Lint::PanicInLib,
+    Lint::FloatKeyedMap,
+];
+
+impl Lint {
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::Nondeterminism => "nondeterminism",
+            Lint::NanUnsafeCmp => "nan-unsafe-cmp",
+            Lint::PanicInLib => "panic-in-lib",
+            Lint::FloatKeyedMap => "float-keyed-map",
+            Lint::MalformedAllow => "malformed-allow",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<Lint> {
+        match name {
+            "nondeterminism" => Some(Lint::Nondeterminism),
+            "nan-unsafe-cmp" => Some(Lint::NanUnsafeCmp),
+            "panic-in-lib" => Some(Lint::PanicInLib),
+            "float-keyed-map" => Some(Lint::FloatKeyedMap),
+            _ => None,
+        }
+    }
+
+    pub fn hint(self) -> &'static str {
+        match self {
+            Lint::Nondeterminism => {
+                "simulated time and seeded rngs only: use SimTime, a seeded ChaCha8Rng, \
+                 and BTreeMap/BTreeSet (or an explicit sort) for deterministic iteration"
+            }
+            Lint::NanUnsafeCmp => "use f64::total_cmp, which is total over NaN",
+            Lint::PanicInLib => {
+                "return a typed error (SimError/GridError) instead, or justify with \
+                 `// simlint: allow(panic-in-lib): <reason>`"
+            }
+            Lint::FloatKeyedMap => {
+                "float keys break Ord/Hash contracts under NaN; key by an integer id \
+                 or by to_bits()"
+            }
+            Lint::MalformedAllow => {
+                "write `// simlint: allow(<lint>): <reason>` with a known lint name \
+                 and a non-empty reason"
+            }
+        }
+    }
+}
+
+/// One diagnostic produced by a lint pass.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub lint: Lint,
+    /// Workspace-relative path.
+    pub file: String,
+    pub line: usize,
+    pub col: usize,
+    /// Width of the offending token, for caret rendering.
+    pub width: usize,
+    /// The source line the finding sits on, trimmed of trailing space.
+    pub snippet: String,
+    pub message: String,
+    /// True when covered by a well-formed allow directive.
+    pub allowed: bool,
+    pub allow_reason: Option<String>,
+}
+
+/// A parsed `// simlint: allow(<lint>): <reason>` directive.
+#[derive(Debug, Clone)]
+struct AllowDirective {
+    line: usize,
+    lint: Option<Lint>,
+    raw_name: String,
+    reason: Option<String>,
+}
+
+/// Run `enabled` lints over one scanned file.
+pub fn check_file(rel: &str, scanned: &ScannedFile, enabled: &[Lint]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let toks = &scanned.tokens;
+
+    for lint in enabled {
+        match lint {
+            Lint::NanUnsafeCmp => check_nan_unsafe_cmp(rel, scanned, toks, &mut findings),
+            Lint::PanicInLib => check_panic_in_lib(rel, scanned, toks, &mut findings),
+            Lint::Nondeterminism => check_nondeterminism(rel, scanned, toks, &mut findings),
+            Lint::FloatKeyedMap => check_float_keyed_map(rel, scanned, toks, &mut findings),
+            Lint::MalformedAllow => {}
+        }
+    }
+
+    apply_allows(rel, scanned, &mut findings);
+    findings.sort_by_key(|f| (f.line, f.col));
+    findings
+}
+
+fn snippet_at(scanned: &ScannedFile, line: usize) -> String {
+    scanned
+        .lines
+        .get(line.saturating_sub(1))
+        .map(|l| l.trim_end().to_owned())
+        .unwrap_or_default()
+}
+
+fn finding(lint: Lint, rel: &str, scanned: &ScannedFile, tok: &Token, message: String) -> Finding {
+    Finding {
+        lint,
+        file: rel.to_owned(),
+        line: tok.line,
+        col: tok.col,
+        width: tok.text.chars().count().max(1),
+        snippet: snippet_at(scanned, tok.line),
+        message,
+        allowed: false,
+        allow_reason: None,
+    }
+}
+
+/// Skip a balanced `(..)` group starting at `toks[i]` (which must be
+/// `(`); returns the index just past the matching `)`.
+fn skip_parens(toks: &[Token], i: usize) -> usize {
+    let mut depth = 0i64;
+    let mut j = i;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+fn check_nan_unsafe_cmp(rel: &str, scanned: &ScannedFile, toks: &[Token], out: &mut Vec<Finding>) {
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident || toks[i].text != "partial_cmp" {
+            continue;
+        }
+        // `fn partial_cmp(...)` is a PartialOrd impl, not a call site.
+        if i > 0 && toks[i - 1].text == "fn" {
+            continue;
+        }
+        // Must be a call: `partial_cmp(`.
+        let Some(open) = toks.get(i + 1) else {
+            continue;
+        };
+        if open.text != "(" {
+            continue;
+        }
+        let after = skip_parens(toks, i + 1);
+        let Some(dot) = toks.get(after) else { continue };
+        if dot.text != "." {
+            continue;
+        }
+        let Some(method) = toks.get(after + 1) else {
+            continue;
+        };
+        if matches!(
+            method.text.as_str(),
+            "unwrap" | "expect" | "unwrap_or" | "unwrap_or_else"
+        ) {
+            out.push(finding(
+                Lint::NanUnsafeCmp,
+                rel,
+                scanned,
+                &toks[i],
+                format!(
+                    "`partial_cmp(..).{}(..)` panics or mis-sorts on NaN",
+                    method.text
+                ),
+            ));
+        }
+    }
+}
+
+fn check_panic_in_lib(rel: &str, scanned: &ScannedFile, toks: &[Token], out: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.in_test {
+            continue;
+        }
+        match t.text.as_str() {
+            "unwrap" | "expect" => {
+                let prev_is_dot = i > 0 && toks[i - 1].text == ".";
+                let next_is_call = toks.get(i + 1).is_some_and(|n| n.text == "(");
+                if prev_is_dot && next_is_call {
+                    out.push(finding(
+                        Lint::PanicInLib,
+                        rel,
+                        scanned,
+                        t,
+                        format!(
+                            "`.{}()` in library code can abort a simulation mid-run",
+                            t.text
+                        ),
+                    ));
+                }
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented" => {
+                let next_is_bang = toks.get(i + 1).is_some_and(|n| n.text == "!");
+                // `core::panic::...` paths and `#[should_panic]` don't have
+                // a trailing `!`, so this stays call-site-only.
+                if next_is_bang {
+                    out.push(finding(
+                        Lint::PanicInLib,
+                        rel,
+                        scanned,
+                        t,
+                        format!("`{}!` in library code aborts a simulation mid-run", t.text),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn check_nondeterminism(rel: &str, scanned: &ScannedFile, toks: &[Token], out: &mut Vec<Finding>) {
+    let path_is = |i: usize, head: &str, tail: &str| -> bool {
+        toks[i].text == head
+            && toks.get(i + 1).is_some_and(|t| t.text == ":")
+            && toks.get(i + 2).is_some_and(|t| t.text == ":")
+            && toks.get(i + 3).is_some_and(|t| t.text == tail)
+    };
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.in_test {
+            continue;
+        }
+        match t.text.as_str() {
+            "SystemTime" if path_is(i, "SystemTime", "now") => {
+                out.push(finding(
+                    Lint::Nondeterminism,
+                    rel,
+                    scanned,
+                    t,
+                    "`SystemTime::now()` injects wall-clock time into simulated code".into(),
+                ));
+            }
+            "Instant" if path_is(i, "Instant", "now") => {
+                out.push(finding(
+                    Lint::Nondeterminism,
+                    rel,
+                    scanned,
+                    t,
+                    "`Instant::now()` injects wall-clock time into simulated code".into(),
+                ));
+            }
+            "thread_rng" => {
+                out.push(finding(
+                    Lint::Nondeterminism,
+                    rel,
+                    scanned,
+                    t,
+                    "`thread_rng()` draws OS entropy and breaks seeded replay".into(),
+                ));
+            }
+            "HashMap" | "HashSet" => {
+                out.push(finding(
+                    Lint::Nondeterminism,
+                    rel,
+                    scanned,
+                    t,
+                    format!(
+                        "`{}` iteration order is randomized per-process and can leak \
+                         into results",
+                        t.text
+                    ),
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+fn check_float_keyed_map(rel: &str, scanned: &ScannedFile, toks: &[Token], out: &mut Vec<Finding>) {
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if !matches!(
+            t.text.as_str(),
+            "HashMap" | "BTreeMap" | "HashSet" | "BTreeSet"
+        ) {
+            continue;
+        }
+        let lt = toks.get(i + 1).is_some_and(|n| n.text == "<");
+        let key_is_float = toks
+            .get(i + 2)
+            .is_some_and(|n| matches!(n.text.as_str(), "f64" | "f32"));
+        if lt && key_is_float {
+            out.push(finding(
+                Lint::FloatKeyedMap,
+                rel,
+                scanned,
+                t,
+                format!("`{}` keyed by a float type", t.text),
+            ));
+        }
+    }
+}
+
+fn parse_allows(comments: &[Comment]) -> Vec<AllowDirective> {
+    let mut out = Vec::new();
+    for c in comments {
+        // A directive must be the whole comment: `// simlint: allow(..): ..`.
+        // Mentions of the syntax mid-prose (docs, hints) are not directives.
+        let head = c.text.trim_start_matches(['/', '!']).trim_start();
+        let Some(rest) = head.strip_prefix("simlint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(body) = rest.strip_prefix("allow(") else {
+            out.push(AllowDirective {
+                line: c.line,
+                lint: None,
+                raw_name: rest.split_whitespace().next().unwrap_or("").to_owned(),
+                reason: None,
+            });
+            continue;
+        };
+        let Some(close) = body.find(')') else {
+            out.push(AllowDirective {
+                line: c.line,
+                lint: None,
+                raw_name: body.to_owned(),
+                reason: None,
+            });
+            continue;
+        };
+        let name = body[..close].trim().to_owned();
+        let after = body[close + 1..].trim_start();
+        let reason = after
+            .strip_prefix(':')
+            .map(|r| r.trim().to_owned())
+            .filter(|r| !r.is_empty());
+        out.push(AllowDirective {
+            line: c.line,
+            lint: Lint::from_name(&name),
+            raw_name: name,
+            reason,
+        });
+    }
+    out
+}
+
+/// Match findings against allow directives.
+///
+/// A directive on line `L` covers findings on `L` itself (trailing
+/// comment) and on the next line that holds any code (standalone comment
+/// above the offending expression).
+fn apply_allows(rel: &str, scanned: &ScannedFile, findings: &mut Vec<Finding>) {
+    let directives = parse_allows(&scanned.comments);
+    if directives.is_empty() {
+        return;
+    }
+
+    let next_code_line = |after: usize| -> Option<usize> {
+        scanned
+            .tokens
+            .iter()
+            .map(|t| t.line)
+            .filter(|&l| l > after)
+            .min()
+    };
+
+    for d in &directives {
+        match (&d.lint, &d.reason) {
+            (Some(lint), Some(reason)) => {
+                let covered_next = next_code_line(d.line);
+                for f in findings.iter_mut() {
+                    if f.lint == *lint
+                        && (f.line == d.line || Some(f.line) == covered_next)
+                        && !f.allowed
+                    {
+                        f.allowed = true;
+                        f.allow_reason = Some(reason.clone());
+                    }
+                }
+            }
+            (Some(_), None) => {
+                findings.push(Finding {
+                    lint: Lint::MalformedAllow,
+                    file: rel.to_owned(),
+                    line: d.line,
+                    col: 1,
+                    width: 1,
+                    snippet: snippet_at(scanned, d.line),
+                    message: format!("allow({}) is missing its mandatory reason", d.raw_name),
+                    allowed: false,
+                    allow_reason: None,
+                });
+            }
+            (None, _) => {
+                findings.push(Finding {
+                    lint: Lint::MalformedAllow,
+                    file: rel.to_owned(),
+                    line: d.line,
+                    col: 1,
+                    width: 1,
+                    snippet: snippet_at(scanned, d.line),
+                    message: format!("allow({}) names an unknown lint", d.raw_name),
+                    allowed: false,
+                    allow_reason: None,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    fn run(src: &str, lints: &[Lint]) -> Vec<Finding> {
+        let scanned = scan(src, false);
+        check_file("fixture.rs", &scanned, lints)
+    }
+
+    fn unallowed(findings: &[Finding]) -> usize {
+        findings.iter().filter(|f| !f.allowed).count()
+    }
+
+    // --- nan-unsafe-cmp ---
+
+    #[test]
+    fn nan_unsafe_cmp_flags_unwrap_expect_and_unwrap_or() {
+        let src = "
+fn f() {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(|a, b| a.partial_cmp(b).expect(\"NaN\"));
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}
+";
+        let f = run(src, &[Lint::NanUnsafeCmp]);
+        assert_eq!(f.len(), 3);
+        assert!(f.iter().all(|x| x.lint == Lint::NanUnsafeCmp));
+    }
+
+    #[test]
+    fn nan_unsafe_cmp_ignores_safe_uses() {
+        let src = "
+impl PartialOrd for T {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> { Some(self.cmp(other)) }
+}
+fn g() {
+    v.sort_by(|a, b| a.total_cmp(b));
+    // NaN-safe: treats None (NaN) explicitly
+    if x.partial_cmp(&0.0) != Some(Ordering::Greater) { }
+    let o = a.partial_cmp(&b).map(|o| o.reverse());
+}
+";
+        assert!(run(src, &[Lint::NanUnsafeCmp]).is_empty());
+    }
+
+    #[test]
+    fn nan_unsafe_cmp_spans_multiline_chains() {
+        let src = "
+fn f() {
+    v.sort_by(|a, b| {
+        a.cost
+            .partial_cmp(&b.cost)
+            .unwrap()
+    });
+}
+";
+        assert_eq!(run(src, &[Lint::NanUnsafeCmp]).len(), 1);
+    }
+
+    #[test]
+    fn nan_unsafe_cmp_applies_in_test_code_too() {
+        let src = "
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { items.min_by(|a, b| a.1.partial_cmp(&b.1).unwrap()); }
+}
+";
+        assert_eq!(run(src, &[Lint::NanUnsafeCmp]).len(), 1);
+    }
+
+    // --- panic-in-lib ---
+
+    #[test]
+    fn panic_in_lib_flags_unwrap_expect_and_macros() {
+        let src = "
+fn f() {
+    let a = x.unwrap();
+    let b = y.expect(\"msg\");
+    panic!(\"boom\");
+    unreachable!();
+    todo!();
+}
+";
+        let f = run(src, &[Lint::PanicInLib]);
+        assert_eq!(f.len(), 5);
+    }
+
+    #[test]
+    fn panic_in_lib_exempts_test_code_and_lookalikes() {
+        let src = "
+fn f() {
+    let a = x.unwrap_or(0);
+    let b = y.unwrap_or_else(|| 1);
+    let c = z.unwrap_or_default();
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { q.unwrap(); panic!(\"fine in tests\"); }
+}
+";
+        assert!(run(src, &[Lint::PanicInLib]).is_empty());
+    }
+
+    // --- nondeterminism ---
+
+    #[test]
+    fn nondeterminism_flags_clock_entropy_and_hash_iteration() {
+        let src = "
+fn f() {
+    let t = std::time::SystemTime::now();
+    let i = Instant::now();
+    let mut rng = rand::thread_rng();
+    let m: HashMap<u32, u32> = HashMap::new();
+}
+";
+        let f = run(src, &[Lint::Nondeterminism]);
+        // SystemTime, Instant, thread_rng, HashMap (type + ctor)
+        assert_eq!(f.len(), 5);
+    }
+
+    #[test]
+    fn nondeterminism_ignores_seeded_and_test_code() {
+        let src = "
+fn f() {
+    let rng = ChaCha8Rng::seed_from_u64(seed);
+    let m: BTreeMap<u32, u32> = BTreeMap::new();
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { let started = Instant::now(); }
+}
+";
+        assert!(run(src, &[Lint::Nondeterminism]).is_empty());
+    }
+
+    // --- float-keyed-map ---
+
+    #[test]
+    fn float_keyed_map_flags_f64_keys() {
+        let src = "fn f() { let m: BTreeMap<f64, u32> = BTreeMap::new(); let s: HashSet<f32> = HashSet::new(); }";
+        let f = run(src, &[Lint::FloatKeyedMap]);
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn float_keyed_map_ignores_integer_keys_and_float_values() {
+        let src = "fn f() { let m: BTreeMap<u64, f64> = BTreeMap::new(); }";
+        assert!(run(src, &[Lint::FloatKeyedMap]).is_empty());
+    }
+
+    // --- allow directives ---
+
+    #[test]
+    fn allow_with_reason_suppresses_same_line() {
+        let src = "fn f() { x.unwrap(); } // simlint: allow(panic-in-lib): poisoned lock is unrecoverable\n";
+        let f = run(src, &[Lint::PanicInLib]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].allowed);
+        assert_eq!(unallowed(&f), 0);
+        assert!(f[0].allow_reason.as_deref().unwrap().contains("poisoned"));
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses_next_code_line() {
+        let src = "
+// simlint: allow(panic-in-lib): invariant: queue is non-empty after push
+fn f() { x.unwrap(); }
+";
+        let f = run(src, &[Lint::PanicInLib]);
+        assert_eq!(unallowed(&f), 0);
+    }
+
+    #[test]
+    fn allow_without_reason_is_malformed_and_does_not_suppress() {
+        let src = "fn f() { x.unwrap(); } // simlint: allow(panic-in-lib)\n";
+        let f = run(src, &[Lint::PanicInLib]);
+        assert_eq!(unallowed(&f), 2, "original finding + malformed-allow");
+        assert!(f.iter().any(|x| x.lint == Lint::MalformedAllow));
+    }
+
+    #[test]
+    fn allow_with_unknown_lint_is_malformed() {
+        let src = "fn f() { x.unwrap(); } // simlint: allow(no-such-lint): because\n";
+        let f = run(src, &[Lint::PanicInLib]);
+        assert!(f.iter().any(|x| x.lint == Lint::MalformedAllow));
+        assert_eq!(unallowed(&f), 2);
+    }
+
+    #[test]
+    fn prose_mention_of_directive_syntax_is_not_a_directive() {
+        let src = "
+//! Docs: suppress with a `// simlint: allow(panic-in-lib): reason` comment.
+fn f() {}
+";
+        assert!(run(src, &[Lint::PanicInLib]).is_empty());
+    }
+
+    #[test]
+    fn allow_does_not_leak_to_other_lints_or_lines() {
+        let src = "
+// simlint: allow(panic-in-lib): justified here
+fn f() { x.unwrap(); }
+fn g() { y.unwrap(); }
+";
+        let f = run(src, &[Lint::PanicInLib]);
+        assert_eq!(unallowed(&f), 1);
+    }
+}

@@ -1,0 +1,510 @@
+//! Hand-rolled lexical scanner for Rust source.
+//!
+//! This is deliberately *not* a parser. It produces a flat stream of
+//! identifier / number / punctuation tokens with 1-based line:col
+//! positions, while skipping (but recording) comments and skipping the
+//! interiors of string, raw-string, byte-string and char literals. That
+//! is exactly enough structure for the pattern-level lints simlint
+//! ships, without pulling `syn` or any other dependency into the tree.
+//!
+//! Two extra pieces of bookkeeping ride along:
+//!
+//! * every line comment is kept (for `// simlint: allow(..)` directives),
+//! * each token is labelled `in_test` when it falls inside a
+//!   `#[cfg(test)]` / `#[test]` item body (or the whole file is test
+//!   code, e.g. anything under a `tests/` directory).
+
+/// Lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    Number,
+    Punct,
+}
+
+/// One token of a scanned source file.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column (in characters).
+    pub col: usize,
+    /// True when the token sits inside test-only code.
+    pub in_test: bool,
+}
+
+/// A line (`//`) comment, kept so allow-directives can be parsed.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: usize,
+}
+
+/// Result of scanning one file.
+#[derive(Debug)]
+pub struct ScannedFile {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+    /// Source split into lines, for diagnostic snippets.
+    pub lines: Vec<String>,
+}
+
+struct Cursor<'a> {
+    chars: &'a [char],
+    i: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(chars: &'a [char]) -> Self {
+        Cursor {
+            chars,
+            i: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn at_end(&self) -> bool {
+        self.i >= self.chars.len()
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Scan `source` into tokens + comments.
+///
+/// `whole_file_is_test` marks every token as test code regardless of
+/// attributes (used for files under `tests/`, `benches/`, `examples/`).
+pub fn scan(source: &str, whole_file_is_test: bool) -> ScannedFile {
+    let chars: Vec<char> = source.chars().collect();
+    let mut cur = Cursor::new(&chars);
+    let mut tokens: Vec<Token> = Vec::new();
+    let mut comments: Vec<Comment> = Vec::new();
+
+    while !cur.at_end() {
+        let c = cur.peek(0).unwrap();
+        let (line, col) = (cur.line, cur.col);
+
+        // Whitespace.
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && cur.peek(1) == Some('/') {
+            let mut text = String::new();
+            while let Some(ch) = cur.peek(0) {
+                if ch == '\n' {
+                    break;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            comments.push(Comment { text, line });
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            cur.bump();
+            cur.bump();
+            let mut depth = 1usize;
+            while depth > 0 && !cur.at_end() {
+                if cur.peek(0) == Some('/') && cur.peek(1) == Some('*') {
+                    cur.bump();
+                    cur.bump();
+                    depth += 1;
+                } else if cur.peek(0) == Some('*') && cur.peek(1) == Some('/') {
+                    cur.bump();
+                    cur.bump();
+                    depth -= 1;
+                } else {
+                    cur.bump();
+                }
+            }
+            continue;
+        }
+
+        // Raw / byte string literals: r"..", r#".."#, b"..", br#".."#.
+        if c == 'r' || c == 'b' {
+            if let Some(skip) = raw_or_byte_string_len(&cur) {
+                for _ in 0..skip {
+                    cur.bump();
+                }
+                continue;
+            }
+        }
+
+        // Plain string literal.
+        if c == '"' {
+            cur.bump();
+            skip_string_body(&mut cur);
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let next = cur.peek(1);
+            let after = cur.peek(2);
+            let is_lifetime = matches!(next, Some(n) if is_ident_start(n)) && after != Some('\'');
+            cur.bump(); // the quote
+            if is_lifetime {
+                while matches!(cur.peek(0), Some(n) if is_ident_continue(n)) {
+                    cur.bump();
+                }
+            } else {
+                // Char literal: consume to closing quote, honouring escapes.
+                loop {
+                    match cur.bump() {
+                        None | Some('\'') => break,
+                        Some('\\') => {
+                            cur.bump();
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            continue;
+        }
+
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            let mut text = String::new();
+            while matches!(cur.peek(0), Some(n) if is_ident_continue(n)) {
+                text.push(cur.bump().unwrap());
+            }
+            tokens.push(Token {
+                kind: TokKind::Ident,
+                text,
+                line,
+                col,
+                in_test: false,
+            });
+            continue;
+        }
+
+        // Number literal (handles 1_000, 0x1f, 1.5e-3, 2.0f64, and tuple
+        // access `x.0.partial_cmp` — the dot is only consumed when a digit
+        // follows it).
+        if c.is_ascii_digit() {
+            let mut text = String::new();
+            let mut prev = ' ';
+            loop {
+                match cur.peek(0) {
+                    Some(n) if is_ident_continue(n) => {
+                        prev = n;
+                        text.push(cur.bump().unwrap());
+                    }
+                    Some('.') if matches!(cur.peek(1), Some(d) if d.is_ascii_digit()) => {
+                        prev = '.';
+                        text.push(cur.bump().unwrap());
+                    }
+                    Some(s @ ('+' | '-')) if prev == 'e' || prev == 'E' => {
+                        prev = s;
+                        text.push(cur.bump().unwrap());
+                    }
+                    _ => break,
+                }
+            }
+            tokens.push(Token {
+                kind: TokKind::Number,
+                text,
+                line,
+                col,
+                in_test: false,
+            });
+            continue;
+        }
+
+        // Single punctuation character.
+        let ch = cur.bump().unwrap();
+        tokens.push(Token {
+            kind: TokKind::Punct,
+            text: ch.to_string(),
+            line,
+            col,
+            in_test: false,
+        });
+    }
+
+    if whole_file_is_test {
+        for t in &mut tokens {
+            t.in_test = true;
+        }
+    } else {
+        mark_test_regions(&mut tokens);
+    }
+
+    ScannedFile {
+        tokens,
+        comments,
+        lines: source.lines().map(str::to_owned).collect(),
+    }
+}
+
+/// If the cursor sits on the start of a raw/byte string literal, return
+/// the number of characters to skip (the whole literal); `None` when the
+/// `r`/`b` is just an identifier start.
+fn raw_or_byte_string_len(cur: &Cursor<'_>) -> Option<usize> {
+    let mut j;
+    let mut raw = false;
+    match cur.peek(0)? {
+        'b' => {
+            j = 1;
+            if cur.peek(1) == Some('r') {
+                raw = true;
+                j = 2;
+            }
+        }
+        'r' => {
+            raw = true;
+            j = 1;
+        }
+        _ => return None,
+    }
+    let mut hashes = 0usize;
+    if raw {
+        while cur.peek(j) == Some('#') {
+            hashes += 1;
+            j += 1;
+        }
+    }
+    if cur.peek(j) != Some('"') {
+        return None;
+    }
+    j += 1; // opening quote
+    if raw {
+        // Scan until `"` followed by `hashes` hash marks; no escapes.
+        loop {
+            match cur.peek(j) {
+                None => return Some(j),
+                Some('"') => {
+                    let mut k = 0usize;
+                    while k < hashes && cur.peek(j + 1 + k) == Some('#') {
+                        k += 1;
+                    }
+                    if k == hashes {
+                        return Some(j + 1 + hashes);
+                    }
+                    j += 1;
+                }
+                Some(_) => j += 1,
+            }
+        }
+    } else {
+        // Byte string with ordinary escapes.
+        loop {
+            match cur.peek(j) {
+                None => return Some(j),
+                Some('"') => return Some(j + 1),
+                Some('\\') => j += 2,
+                Some(_) => j += 1,
+            }
+        }
+    }
+}
+
+/// Consume a plain string body after the opening quote.
+fn skip_string_body(cur: &mut Cursor<'_>) {
+    loop {
+        match cur.bump() {
+            None | Some('"') => break,
+            Some('\\') => {
+                cur.bump();
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Mark tokens that live inside `#[cfg(test)]` / `#[test]` item bodies.
+///
+/// A brace-depth walk: when a test attribute is seen, the next `{` opens
+/// a test region that closes at its matching `}`. A `;` before any `{`
+/// cancels the pending attribute (brace-less items like `#[cfg(test)]
+/// use ...;`). `#[cfg(not(test))]` is *not* treated as test code.
+fn mark_test_regions(tokens: &mut [Token]) {
+    let n = tokens.len();
+    let mut depth: i64 = 0;
+    let mut region_stack: Vec<i64> = Vec::new();
+    let mut pending_test = false;
+    let mut i = 0usize;
+    while i < n {
+        // Attribute: `#[...]` or `#![...]`.
+        if tokens[i].text == "#" {
+            let mut j = i + 1;
+            if j < n && tokens[j].text == "!" {
+                j += 1;
+            }
+            if j < n && tokens[j].text == "[" {
+                let mut k = j + 1;
+                let mut bdepth = 1i64;
+                let mut has_test = false;
+                let mut has_not = false;
+                while k < n && bdepth > 0 {
+                    match tokens[k].text.as_str() {
+                        "[" => bdepth += 1,
+                        "]" => bdepth -= 1,
+                        "test" => has_test = true,
+                        "not" => has_not = true,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                if has_test && !has_not {
+                    pending_test = true;
+                    // The attribute tokens themselves are test-only.
+                    for t in tokens.iter_mut().take(k).skip(i) {
+                        t.in_test = true;
+                    }
+                }
+                let inside = !region_stack.is_empty();
+                for t in tokens.iter_mut().take(k).skip(i) {
+                    t.in_test = t.in_test || inside;
+                }
+                i = k;
+                continue;
+            }
+        }
+        match tokens[i].text.as_str() {
+            "{" => {
+                depth += 1;
+                if pending_test {
+                    region_stack.push(depth);
+                    pending_test = false;
+                }
+            }
+            "}" => {
+                if region_stack.last() == Some(&depth) {
+                    region_stack.pop();
+                    // The closing brace still belongs to the region.
+                    tokens[i].in_test = true;
+                    depth -= 1;
+                    i += 1;
+                    continue;
+                }
+                depth -= 1;
+            }
+            ";" => {
+                pending_test = false;
+            }
+            _ => {}
+        }
+        tokens[i].in_test = tokens[i].in_test || !region_stack.is_empty() || pending_test;
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(s: &ScannedFile) -> Vec<&str> {
+        s.tokens.iter().map(|t| t.text.as_str()).collect()
+    }
+
+    #[test]
+    fn skips_comments_strings_and_chars() {
+        let src = r##"
+// a partial_cmp in a comment
+let s = "partial_cmp inside string";
+let r = r#"raw "quoted" partial_cmp"#;
+let c = 'x'; let esc = '\''; let life: &'static str = s;
+real_ident();
+/* block partial_cmp /* nested */ still comment */
+"##;
+        let scanned = scan(src, false);
+        let toks = texts(&scanned);
+        assert!(toks.contains(&"real_ident"));
+        assert!(!toks.contains(&"partial_cmp"));
+        assert!(!toks.contains(&"quoted"));
+        // lifetime consumed, not an ident token
+        assert!(!toks.contains(&"static"));
+        assert_eq!(scanned.comments.len(), 1, "line comment collected");
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let scanned = scan("ab cd\n  ef", false);
+        assert_eq!(scanned.tokens[0].line, 1);
+        assert_eq!(scanned.tokens[0].col, 1);
+        assert_eq!(scanned.tokens[1].col, 4);
+        assert_eq!(scanned.tokens[2].line, 2);
+        assert_eq!(scanned.tokens[2].col, 3);
+    }
+
+    #[test]
+    fn tuple_field_access_is_not_swallowed_by_numbers() {
+        let scanned = scan("a.1.partial_cmp(&b.1)", false);
+        let toks = texts(&scanned);
+        assert!(toks.contains(&"partial_cmp"));
+    }
+
+    #[test]
+    fn marks_cfg_test_modules() {
+        let src = r#"
+fn lib_code() { x.unwrap(); }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { y.unwrap(); }
+}
+fn more_lib() { z.unwrap(); }
+"#;
+        let scanned = scan(src, false);
+        let unwraps: Vec<bool> = scanned
+            .tokens
+            .iter()
+            .filter(|t| t.text == "unwrap")
+            .map(|t| t.in_test)
+            .collect();
+        assert_eq!(unwraps, vec![false, true, false]);
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_does_not_leak() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn lib() { a.unwrap(); }\n";
+        let scanned = scan(src, false);
+        let t = scanned.tokens.iter().find(|t| t.text == "unwrap").unwrap();
+        assert!(!t.in_test);
+    }
+
+    #[test]
+    fn cfg_not_test_is_lib_code() {
+        let src = "#[cfg(not(test))]\nfn lib() { a.unwrap(); }\n";
+        let scanned = scan(src, false);
+        let t = scanned.tokens.iter().find(|t| t.text == "unwrap").unwrap();
+        assert!(!t.in_test);
+    }
+
+    #[test]
+    fn whole_file_test_marks_everything() {
+        let scanned = scan("fn f() { a.unwrap(); }", true);
+        assert!(scanned.tokens.iter().all(|t| t.in_test));
+    }
+}

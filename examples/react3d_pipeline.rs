@@ -27,7 +27,7 @@ fn main() {
     let sweep = sweep_pipeline_sizes(&tb, &[1, 2, 5, 10, 20, 40, 130, 520], 4).expect("sweep");
     let best = sweep
         .iter()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
         .expect("sweep");
     for &(u, secs) in &sweep {
         println!(

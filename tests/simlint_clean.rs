@@ -1,0 +1,54 @@
+//! The workspace must stay lint-clean: `simlint` run in-process over
+//! the whole tree reports zero unallowed findings. Reverting any of
+//! the burned-down fixes (a `partial_cmp(..).unwrap()` comparator, an
+//! `unwrap()` in simulation library code, a wall-clock read) makes
+//! this test fail, which is what keeps the deterministic-replay and
+//! NaN-safety guarantees from silently rotting.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_unallowed_simlint_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = simlint::lint_workspace(root).expect("workspace scan");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}); did the walker break?",
+        report.files_scanned
+    );
+    let unallowed: Vec<_> = report.unallowed().collect();
+    assert!(
+        unallowed.is_empty(),
+        "unallowed simlint findings:\n{}",
+        unallowed
+            .iter()
+            .map(|f| format!(
+                "  {}:{}:{} {} — {}",
+                f.file,
+                f.line,
+                f.col,
+                f.lint.name(),
+                f.message
+            ))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn every_allow_directive_carries_a_reason() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = simlint::lint_workspace(root).expect("workspace scan");
+    for f in &report.findings {
+        if f.allowed {
+            let reason = f.allow_reason.as_deref().unwrap_or("");
+            assert!(
+                !reason.trim().is_empty(),
+                "{}:{} allow for {} has no reason",
+                f.file,
+                f.line,
+                f.lint.name()
+            );
+        }
+    }
+}
