@@ -4,25 +4,31 @@
 //! ```text
 //! grid_throughput [--arrival-rate R] [--duration SECS] [--seed N]
 //!                 [--trials T] [--max-in-flight K] [--csv] [--json]
+//!                 [--trace FILE]
 //! ```
 //!
 //! `--csv` emits one machine-parseable row per trial (plus per-job
 //! rows for single-trial runs); `--json` emits the fleet metrics of
 //! each trial as one JSON object per line. Same seed → same output,
-//! bit for bit.
+//! bit for bit. `--trace` re-runs the first trial with a [`WriterSink`]
+//! attached and writes every structured event to FILE as JSONL.
+//!
+//! [`WriterSink`]: metasim::simtrace::WriterSink
 
 use apples_bench::grid_exp::{
     fleet_table, run_trials, sweep_summary, utilization_table, GridExpConfig,
 };
 use apples_grid::metrics::{FleetMetrics, JobRecord};
 use apples_grid::workload::{ArrivalProcess, JobMix, WorkloadConfig};
-use apples_grid::{run, GridConfig};
+use apples_grid::{run, run_with_sink, GridConfig};
+use metasim::simtrace::WriterSink;
 use metasim::SimTime;
 
 fn usage() -> ! {
     eprintln!(
         "usage: grid_throughput [--arrival-rate R] [--duration SECS] [--seed N]\n\
-         \x20                      [--trials T] [--max-in-flight K] [--csv] [--json]"
+         \x20                      [--trials T] [--max-in-flight K] [--csv] [--json]\n\
+         \x20                      [--trace FILE]"
     );
     std::process::exit(2);
 }
@@ -31,6 +37,7 @@ fn main() {
     let mut cfg = GridExpConfig::default();
     let mut csv = false;
     let mut json = false;
+    let mut trace_path = String::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut take = |name: &str| -> String {
@@ -46,6 +53,7 @@ fn main() {
             "--trials" => cfg.trials = parse(&take("--trials")),
             "--max-in-flight" => cfg.max_in_flight = parse(&take("--max-in-flight")),
             "--csv" => csv = true,
+            "--trace" => trace_path = take("--trace"),
             "--json" => json = true,
             "--help" | "-h" => usage(),
             other => {
@@ -60,6 +68,10 @@ fn main() {
     }
 
     let trials = run_trials(&cfg);
+
+    if !trace_path.is_empty() {
+        write_trace(&cfg, &trace_path);
+    }
 
     if json {
         for t in &trials {
@@ -105,6 +117,12 @@ fn parse<T: std::str::FromStr>(s: &str) -> T {
 /// Re-run the first trial to get its per-job records (the sweep only
 /// keeps fleet metrics; determinism makes the re-run free of surprise).
 fn single_trial_records(cfg: &GridExpConfig) -> Vec<JobRecord> {
+    let (grid, workload) = first_trial_config(cfg);
+    run(&grid, &workload).expect("grid stream").records
+}
+
+/// The service and workload configuration of the first trial.
+fn first_trial_config(cfg: &GridExpConfig) -> (GridConfig, WorkloadConfig) {
     let grid = GridConfig {
         seed: cfg.seed,
         max_in_flight: cfg.max_in_flight,
@@ -119,5 +137,27 @@ fn single_trial_records(cfg: &GridExpConfig) -> Vec<JobRecord> {
         seed: cfg.seed,
         ..WorkloadConfig::default()
     };
-    run(&grid, &workload).expect("grid stream").records
+    (grid, workload)
+}
+
+/// Re-run the first trial with a JSONL sink attached and write the
+/// event stream to `path`.
+fn write_trace(cfg: &GridExpConfig, path: &str) {
+    let (grid, workload) = first_trial_config(cfg);
+    let file = std::fs::File::create(path).unwrap_or_else(|e| {
+        eprintln!("cannot create {path}: {e}");
+        std::process::exit(2);
+    });
+    let mut sink = WriterSink::new(std::io::BufWriter::new(file));
+    let result = run_with_sink(&grid, &workload, &mut sink);
+    if let Some(e) = sink.take_error() {
+        eprintln!("writing {path}: {e}");
+        std::process::exit(2);
+    }
+    if let Err(e) = std::io::Write::flush(&mut sink.into_inner()) {
+        eprintln!("flushing {path}: {e}");
+        std::process::exit(2);
+    }
+    result.expect("grid stream");
+    eprintln!("trace written to {path}");
 }

@@ -524,7 +524,22 @@ pub fn grid(p: &Parsed) -> CmdResult {
     let max_in_flight = cfg.max_in_flight;
     let service = GridService::new(cfg)?;
     let cfg = service.config();
-    let out = service.run(&workload)?;
+    let trace_path = p.get("trace", "");
+    let out = if trace_path.is_empty() {
+        service.run(&workload)?
+    } else {
+        let file = std::fs::File::create(trace_path)
+            .map_err(|e| format!("cannot create {trace_path}: {e}"))?;
+        let mut sink = metasim::simtrace::WriterSink::new(std::io::BufWriter::new(file));
+        let out = service.run_with_sink(&workload, &mut sink);
+        if let Some(e) = sink.take_error() {
+            return Err(format!("writing {trace_path}: {e}").into());
+        }
+        sink.into_inner()
+            .into_inner()
+            .map_err(|e| format!("flushing {trace_path}: {e}"))?;
+        out?
+    };
 
     if p.switch("json") {
         println!("{}", out.fleet.to_json());
@@ -576,6 +591,53 @@ pub fn grid(p: &Parsed) -> CmdResult {
     Ok(())
 }
 
+/// `apples-cli trace summary FILE` / `apples-cli trace diff A B`.
+///
+/// Takes the raw (positional) arguments after `trace` and returns the
+/// process exit code: 0 on success / identical traces, 1 when `diff`
+/// finds a divergence, 2 on usage or I/O errors.
+pub fn trace(args: &[String]) -> i32 {
+    use metasim::simtrace::{first_divergence, TraceSummary};
+    let read = |path: &str| -> Result<String, i32> {
+        std::fs::read_to_string(path).map_err(|e| {
+            eprintln!("error: cannot read {path}: {e}");
+            2
+        })
+    };
+    match args {
+        [sub, file] if sub == "summary" => {
+            let text = match read(file) {
+                Ok(t) => t,
+                Err(code) => return code,
+            };
+            print!("{}", TraceSummary::from_jsonl(&text).render());
+            0
+        }
+        [sub, a, b] if sub == "diff" => {
+            let (ta, tb) = match (read(a), read(b)) {
+                (Ok(ta), Ok(tb)) => (ta, tb),
+                (Err(code), _) | (_, Err(code)) => return code,
+            };
+            match first_divergence(&ta, &tb) {
+                None => {
+                    println!("identical: {} events", ta.lines().count());
+                    0
+                }
+                Some(d) => {
+                    println!("divergence at line {}:", d.line);
+                    println!("  {a}: {}", d.left.as_deref().unwrap_or("<absent>"));
+                    println!("  {b}: {}", d.right.as_deref().unwrap_or("<absent>"));
+                    1
+                }
+            }
+        }
+        _ => {
+            eprintln!("usage: apples-cli trace summary FILE | trace diff A B");
+            2
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -613,6 +675,7 @@ mod tests {
                 "max-attempts",
                 "backoff",
                 "horizon",
+                "trace",
             ],
             &["sp2", "csv", "json", "blind"],
         )

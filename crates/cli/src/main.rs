@@ -46,14 +46,21 @@ USAGE:
                        [--max-in-flight K] [--blind] [--csv] [--json]
                        [--fault-rate C] [--link-fault-rate L] [--mean-outage SECS]
                        [--permanent F] [--max-attempts K] [--backoff SECS]
+                       [--trace FILE]
       Stream a multi-tenant job mix through the testbed; fleet metrics.
       --fault-rate crashes hosts at C per host-hour (--permanent F of
       them for good); revoked jobs retry up to --max-attempts times
-      with exponential backoff from --backoff seconds.
+      with exponential backoff from --backoff seconds. --trace writes
+      every structured event the stack emits to FILE as JSONL.
   apples-cli validate  [same flags as grid] [--horizon SECS]
       Statically check a grid configuration without running it: every
       problem is printed as a typed [code] diagnostic and the exit
       status is nonzero if any are found.
+  apples-cli trace summary FILE
+      Summarize a JSONL trace: event counts by kind, time span.
+  apples-cli trace diff A B
+      Compare two traces line by line; report the first divergence.
+      Exit 0 when identical, 1 on divergence, 2 on usage errors.
 
 Profiles: dedicated | light | moderate (default) | heavy
 ";
@@ -63,6 +70,11 @@ fn main() {
     if raw.is_empty() || raw[0] == "--help" || raw[0] == "help" {
         print!("{USAGE}");
         return;
+    }
+    // `trace` takes positional file arguments, which the flag grammar
+    // rejects — route it before the parser.
+    if raw[0] == "trace" {
+        std::process::exit(commands::trace(&raw[1..]));
     }
     let parsed = match Parsed::parse(
         &raw,
@@ -94,6 +106,7 @@ fn main() {
             "max-attempts",
             "backoff",
             "horizon",
+            "trace",
         ],
         &["sp2", "csv", "json", "blind"],
     ) {

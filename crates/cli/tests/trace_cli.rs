@@ -1,0 +1,107 @@
+//! End-to-end exit-code contract of `apples-cli trace` and the grid
+//! `--trace` flag: two same-seed traced runs must produce files that
+//! `trace diff` calls identical (exit 0); different seeds diverge
+//! (exit 1); bad invocations exit 2.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_apples-cli"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("apples-trace-cli-{}-{name}", std::process::id()));
+    p
+}
+
+fn traced_grid_run(seed: u64, out: &PathBuf) {
+    let status = cli()
+        .args([
+            "grid",
+            "--rate",
+            "0.005",
+            "--duration",
+            "900",
+            "--seed",
+            &seed.to_string(),
+            "--trace",
+        ])
+        .arg(out)
+        .status()
+        .expect("spawn apples-cli grid");
+    assert!(status.success(), "traced grid run failed");
+}
+
+#[test]
+fn same_seed_runs_diff_identical_and_exit_codes_hold() {
+    let a = tmp("a.jsonl");
+    let b = tmp("b.jsonl");
+    let c = tmp("c.jsonl");
+    traced_grid_run(42, &a);
+    traced_grid_run(42, &b);
+    traced_grid_run(43, &c);
+
+    // Byte-identical on disk, and `trace diff` agrees with exit 0.
+    let bytes_a = std::fs::read(&a).expect("read a");
+    let bytes_b = std::fs::read(&b).expect("read b");
+    assert!(!bytes_a.is_empty(), "trace file is empty");
+    assert_eq!(bytes_a, bytes_b, "same-seed trace files differ on disk");
+    let diff = cli()
+        .args(["trace", "diff"])
+        .args([&a, &b])
+        .output()
+        .expect("trace diff");
+    assert_eq!(diff.status.code(), Some(0), "identical traces must exit 0");
+    assert!(String::from_utf8_lossy(&diff.stdout).contains("identical"));
+
+    // A different seed diverges: exit 1 and the first bad line named.
+    let diff = cli()
+        .args(["trace", "diff"])
+        .args([&a, &c])
+        .output()
+        .expect("trace diff");
+    assert_eq!(diff.status.code(), Some(1), "divergent traces must exit 1");
+    assert!(String::from_utf8_lossy(&diff.stdout).contains("divergence at line"));
+
+    // Summary renders per-kind counts for a valid trace.
+    let summary = cli()
+        .args(["trace", "summary"])
+        .arg(&a)
+        .output()
+        .expect("trace summary");
+    assert_eq!(summary.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&summary.stdout).to_string();
+    assert!(text.contains("events:"), "{text}");
+    assert!(text.contains("job_submitted"), "{text}");
+
+    for p in [a, b, c] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn usage_and_io_errors_exit_2() {
+    // No subcommand.
+    let out = cli().arg("trace").output().expect("bare trace");
+    assert_eq!(out.status.code(), Some(2));
+    // Unknown subcommand.
+    let out = cli()
+        .args(["trace", "frobnicate", "x"])
+        .output()
+        .expect("bad sub");
+    assert_eq!(out.status.code(), Some(2));
+    // Missing file.
+    let out = cli()
+        .args(["trace", "summary", "/nonexistent/trace.jsonl"])
+        .output()
+        .expect("missing file");
+    assert_eq!(out.status.code(), Some(2));
+    // diff with only one file is usage, not a diff.
+    let out = cli()
+        .args(["trace", "diff", "/nonexistent/a.jsonl"])
+        .output()
+        .expect("one-arg diff");
+    assert_eq!(out.status.code(), Some(2));
+}

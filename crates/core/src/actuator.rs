@@ -10,8 +10,9 @@
 use crate::error::ApplesError;
 use crate::hat::Hat;
 use crate::schedule::{FarmSchedule, Schedule};
-use metasim::exec::{simulate_pipeline, simulate_spmd, PipelineOutcome, SpmdOutcome};
-use metasim::net::{simulate_transfers, TransferReq};
+use metasim::exec::{simulate_pipeline, simulate_spmd_with_sink, PipelineOutcome, SpmdOutcome};
+use metasim::net::{simulate_transfers_with_sink, TransferReq};
+use metasim::simtrace::{EventSink, NoopSink, TraceEvent};
 use metasim::{HostId, SimTime, Topology};
 
 /// Realized outcome of a task-farm actuation.
@@ -52,7 +53,19 @@ pub fn actuate(
     schedule: &Schedule,
     start: SimTime,
 ) -> Result<ActuationReport, ApplesError> {
-    match schedule {
+    actuate_with_sink(topo, hat, schedule, start, &mut NoopSink)
+}
+
+/// [`actuate`], streaming the executors' compute/transfer events plus a
+/// closing [`TraceEvent::Actuated`] into `sink`.
+pub fn actuate_with_sink(
+    topo: &Topology,
+    hat: &Hat,
+    schedule: &Schedule,
+    start: SimTime,
+    sink: &mut dyn EventSink,
+) -> Result<ActuationReport, ApplesError> {
+    let report = match schedule {
         Schedule::Stencil(s) => {
             let t = hat.as_stencil().ok_or(ApplesError::TemplateMismatch {
                 expected: "iterative-stencil",
@@ -60,12 +73,12 @@ pub fn actuate(
             })?;
             s.validate()?;
             let job = s.to_spmd_job(t, start);
-            let out = simulate_spmd(topo, &job)?;
-            Ok(ActuationReport {
+            let out = simulate_spmd_with_sink(topo, &job, sink)?;
+            ActuationReport {
                 finish: out.finish,
                 elapsed_seconds: out.makespan(start).as_secs_f64(),
                 detail: ActuationDetail::Spmd(out),
-            })
+            }
         }
         Schedule::Pipeline(p) => {
             let t = hat.as_pipeline().ok_or(ApplesError::TemplateMismatch {
@@ -76,14 +89,22 @@ pub fn actuate(
             let cname = topo.host(p.consumer)?.spec.name.clone();
             let job = p.to_pipeline_job(t, &pname, &cname, start)?;
             let out = simulate_pipeline(topo, &job)?;
-            Ok(ActuationReport {
+            ActuationReport {
                 finish: out.finish,
                 elapsed_seconds: out.makespan(start).as_secs_f64(),
                 detail: ActuationDetail::Pipeline(out),
-            })
+            }
         }
-        Schedule::Farm(f) => actuate_farm(topo, hat, f, start),
+        Schedule::Farm(f) => actuate_farm(topo, hat, f, start, sink)?,
+    };
+    if sink.enabled() {
+        sink.record(TraceEvent::Actuated {
+            at: start,
+            finish: report.finish,
+            elapsed_seconds: report.elapsed_seconds,
+        });
     }
+    Ok(report)
 }
 
 /// Task-farm execution: ship each host its input slice (all pulls
@@ -93,6 +114,7 @@ fn actuate_farm(
     hat: &Hat,
     sched: &FarmSchedule,
     start: SimTime,
+    sink: &mut dyn EventSink,
 ) -> Result<ActuationReport, ApplesError> {
     let t = hat.as_task_farm().ok_or(ApplesError::TemplateMismatch {
         expected: "task-farm",
@@ -113,7 +135,7 @@ fn actuate_farm(
             tag: i,
         })
         .collect();
-    let delivered = simulate_transfers(topo, &pulls)?;
+    let delivered = simulate_transfers_with_sink(topo, &pulls, sink)?;
 
     // Phase 2: compute; phase 3: return results.
     let mut pushes = Vec::with_capacity(sched.assignments.len());
@@ -121,8 +143,20 @@ fn actuate_farm(
         let h = topo.host(host)?;
         let compute_start = delivered[i].delivered + h.startup_wait();
         let resident = events as f64 * t.mb_per_event;
-        let done =
-            h.compute_finish_checked(compute_start, events as f64 * t.mflop_per_event, resident)?;
+        let work = events as f64 * t.mflop_per_event;
+        let done = h.compute_finish_checked(compute_start, work, resident)?;
+        if sink.enabled() {
+            sink.record(TraceEvent::ComputeStart {
+                host,
+                at: compute_start,
+                work_mflop: work,
+            });
+            sink.record(TraceEvent::ComputeFinish {
+                host,
+                at: done,
+                elapsed_seconds: done.saturating_sub(compute_start).as_secs_f64(),
+            });
+        }
         pushes.push(TransferReq {
             from: host,
             to: sched.result_home,
@@ -131,7 +165,7 @@ fn actuate_farm(
             tag: i,
         });
     }
-    let results = simulate_transfers(topo, &pushes)?;
+    let results = simulate_transfers_with_sink(topo, &pushes, sink)?;
 
     let mut host_done = Vec::with_capacity(results.len());
     let mut finish = start;

@@ -7,7 +7,7 @@
 //! for reporting). [`Coordinator::run`] completes the loop by handing
 //! the winner to the Actuator.
 
-use crate::actuator::{actuate, ActuationReport};
+use crate::actuator::{actuate_with_sink, ActuationReport};
 use crate::error::ApplesError;
 use crate::estimator::{estimate_seconds, objective};
 use crate::hat::Hat;
@@ -16,6 +16,7 @@ use crate::planner::plan;
 use crate::schedule::Schedule;
 use crate::selector::ResourceSelector;
 use crate::user::{PerformanceMetric, UserSpec};
+use metasim::simtrace::{EventSink, NoopSink, TraceEvent};
 use metasim::{HostId, SimTime, Topology};
 use nws::WeatherService;
 
@@ -172,7 +173,27 @@ impl Coordinator {
 
     /// Steps 1–3 of the blueprint: select, plan, estimate, choose.
     pub fn decide(&self, pool: &InfoPool<'_>) -> Result<Decision, ApplesError> {
+        self.decide_with_sink(pool, &mut NoopSink)
+    }
+
+    /// [`Coordinator::decide`], emitting
+    /// [`TraceEvent::ResourceSelection`], one
+    /// [`TraceEvent::CandidateConsidered`] per successfully planned
+    /// candidate and [`TraceEvent::ScheduleChosen`] for the winner —
+    /// the cost-model view behind the decision, timestamped at
+    /// `pool.now`.
+    pub fn decide_with_sink(
+        &self,
+        pool: &InfoPool<'_>,
+        sink: &mut dyn EventSink,
+    ) -> Result<Decision, ApplesError> {
         let candidate_sets = self.selector.candidates(pool)?;
+        if sink.enabled() {
+            sink.record(TraceEvent::ResourceSelection {
+                at: pool.now,
+                candidates: candidate_sets.len(),
+            });
+        }
 
         // For the Speedup metric we need the best single-host time as
         // the reference denominator.
@@ -213,6 +234,15 @@ impl Coordinator {
                 sched.hosts().len(),
                 best_single,
             );
+            if sink.enabled() {
+                sink.record(TraceEvent::CandidateConsidered {
+                    at: pool.now,
+                    index: considered.len(),
+                    hosts: sched.hosts().len(),
+                    predicted_seconds: predicted,
+                    objective: score,
+                });
+            }
             considered.push(CandidateEval {
                 hosts: set,
                 schedule: sched,
@@ -246,6 +276,13 @@ impl Coordinator {
             })
             .map(|(i, _)| i)
             .ok_or(ApplesError::NoViableSchedule)?;
+        if sink.enabled() {
+            sink.record(TraceEvent::ScheduleChosen {
+                at: pool.now,
+                index: chosen_index,
+                predicted_seconds: considered[chosen_index].predicted_seconds,
+            });
+        }
         Ok(Decision {
             chosen_index,
             considered,
@@ -261,9 +298,21 @@ impl Coordinator {
         weather: &WeatherService,
         now: SimTime,
     ) -> Result<(Decision, ActuationReport), ApplesError> {
+        self.run_with_sink(topo, weather, now, &mut NoopSink)
+    }
+
+    /// [`Coordinator::run`], with decision and actuation events
+    /// streamed into `sink`.
+    pub fn run_with_sink(
+        &self,
+        topo: &Topology,
+        weather: &WeatherService,
+        now: SimTime,
+        sink: &mut dyn EventSink,
+    ) -> Result<(Decision, ActuationReport), ApplesError> {
         let pool = InfoPool::with_nws(topo, weather, &self.hat, &self.user, now);
-        let decision = self.decide(&pool)?;
-        let report = actuate(topo, &self.hat, decision.schedule(), now)?;
+        let decision = self.decide_with_sink(&pool, sink)?;
+        let report = actuate_with_sink(topo, &self.hat, decision.schedule(), now, sink)?;
         Ok((decision, report))
     }
 }
@@ -271,6 +320,7 @@ impl Coordinator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::actuator::actuate;
     use crate::hat::jacobi2d_hat;
     use crate::info::ForecastSource;
     use metasim::host::HostSpec;
@@ -467,5 +517,43 @@ mod tests {
         let pool = InfoPool::static_nominal(&topo, &hat, &user, SimTime::ZERO);
         let agent = Coordinator::new(hat.clone(), user.clone());
         assert!(agent.decide(&pool).is_err());
+    }
+
+    #[test]
+    fn decide_with_sink_narrates_the_selection() {
+        use metasim::simtrace::{TraceEvent, VecSink};
+        let topo = topo();
+        let hat = jacobi2d_hat(600, 10);
+        let user = UserSpec::default();
+        let pool = InfoPool::static_nominal(&topo, &hat, &user, SimTime::ZERO);
+        let agent = Coordinator::new(hat.clone(), user.clone());
+        let mut sink = VecSink::default();
+        let d = agent.decide_with_sink(&pool, &mut sink).unwrap();
+
+        let selections: Vec<_> = sink
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::ResourceSelection { .. }))
+            .collect();
+        assert_eq!(selections.len(), 1);
+        let considered = sink
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::CandidateConsidered { .. }))
+            .count();
+        assert_eq!(considered, d.considered.len());
+        // Exactly one chosen event, and it names the winning index.
+        let chosen: Vec<_> = sink
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::ScheduleChosen { index, .. } => Some(*index),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(chosen, vec![d.chosen_index]);
+        // The sink-free path returns the identical decision.
+        let plain = agent.decide(&pool).unwrap();
+        assert_eq!(plain.chosen_index, d.chosen_index);
     }
 }

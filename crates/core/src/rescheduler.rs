@@ -13,7 +13,7 @@
 //! predicted saving exceeds the predicted cost of moving the data —
 //! the same application-centric calculus as the initial decision.
 
-use crate::actuator::actuate;
+use crate::actuator::actuate_with_sink;
 use crate::coordinator::Coordinator;
 use crate::error::ApplesError;
 use crate::estimator::estimate_stencil;
@@ -21,6 +21,7 @@ use crate::hat::{Hat, StencilTemplate};
 use crate::info::InfoPool;
 use crate::schedule::{Schedule, StencilSchedule};
 use metasim::net::{simulate_transfers, TransferReq};
+use metasim::simtrace::{EventSink, NoopSink, TraceEvent};
 use metasim::{HostId, SimTime, Topology};
 use nws::WeatherService;
 
@@ -111,6 +112,19 @@ impl ReschedulingAgent {
         weather: &mut WeatherService,
         start: SimTime,
     ) -> Result<RescheduleReport, ApplesError> {
+        self.run_stencil_with_sink(topo, weather, start, &mut NoopSink)
+    }
+
+    /// [`Self::run_stencil`], streaming every re-plan's trigger, the
+    /// keep/migrate calculus, revocations, and the underlying executor
+    /// events into `sink`.
+    pub fn run_stencil_with_sink(
+        &self,
+        topo: &Topology,
+        weather: &mut WeatherService,
+        start: SimTime,
+        sink: &mut dyn EventSink,
+    ) -> Result<RescheduleReport, ApplesError> {
         let template = self
             .coordinator
             .hat
@@ -135,8 +149,14 @@ impl ReschedulingAgent {
         let mut failures = 0usize;
 
         while remaining > 0 {
-            weather.advance(topo, now);
+            weather.advance_with_sink(topo, now, sink);
             let phase_iters = remaining.min(self.policy.phase_iterations);
+            if sink.enabled() {
+                sink.record(TraceEvent::RescheduleTriggered {
+                    at: now,
+                    phase: phases.len(),
+                });
+            }
 
             // Re-plan for everything still to do, excluding hosts we
             // have watched die.
@@ -144,7 +164,10 @@ impl ReschedulingAgent {
             user.excluded_hosts.extend(known_dead.iter().copied());
             let replan_hat = rescoped_hat(&self.coordinator.hat.name, &template, remaining);
             let pool = InfoPool::with_nws(topo, weather, &replan_hat, &user, now);
-            let candidate = match self.coordinator_for(&replan_hat, &user).decide(&pool) {
+            let candidate = match self
+                .coordinator_for(&replan_hat, &user)
+                .decide_with_sink(&pool, sink)
+            {
                 Ok(d) => match d.schedule() {
                     Schedule::Stencil(s) => Some(s.clone()),
                     _ => None,
@@ -163,7 +186,18 @@ impl ReschedulingAgent {
                     let keep_pred = predict_remaining(&pool, cur, remaining)?;
                     let move_pred = predict_remaining(&pool, &cand, remaining)?;
                     let move_cost = migration_cost(topo, &template, cur, &cand, now)?;
-                    if move_pred + move_cost < keep_pred * self.policy.improvement_threshold {
+                    let migrate =
+                        move_pred + move_cost < keep_pred * self.policy.improvement_threshold;
+                    if sink.enabled() {
+                        sink.record(TraceEvent::RescheduleDecision {
+                            at: now,
+                            keep_seconds: keep_pred,
+                            move_seconds: move_pred,
+                            move_cost_seconds: move_cost,
+                            migrated: migrate,
+                        });
+                    }
+                    if migrate {
                         migration_seconds = perform_migration(topo, &template, cur, &cand, now)?;
                         now += SimTime::from_secs_f64(migration_seconds);
                         *cur = cand;
@@ -185,11 +219,12 @@ impl ReschedulingAgent {
                 iterations: phase_iters,
                 parts: sched.parts.clone(),
             };
-            let report = match actuate(
+            let report = match actuate_with_sink(
                 topo,
                 &rescoped_hat(&self.coordinator.hat.name, &template, phase_iters),
                 &Schedule::Stencil(phase_sched.clone()),
                 now,
+                sink,
             ) {
                 Ok(r) => r,
                 Err(err) => {
@@ -198,6 +233,9 @@ impl ReschedulingAgent {
                     // executor watched the placement die.
                     if let ApplesError::Sim(metasim::SimError::PlacementLost { host, .. }) = &err {
                         let h = metasim::HostId(*host);
+                        if sink.enabled() {
+                            sink.record(TraceEvent::PlacementRevoked { host: h, at: now });
+                        }
                         if !known_dead.contains(&h) {
                             known_dead.push(h);
                             found_dead = true;
@@ -216,6 +254,9 @@ impl ReschedulingAgent {
                             .map(|&(_, v)| v == 0.0)
                             .unwrap_or(false);
                         if dead_forever && !known_dead.contains(&h) {
+                            if sink.enabled() {
+                                sink.record(TraceEvent::PlacementRevoked { host: h, at: now });
+                            }
                             known_dead.push(h);
                             found_dead = true;
                         }

@@ -43,7 +43,7 @@ pub mod workload;
 
 pub use metrics::{percentile, slowdown_of, FleetMetrics, JobRecord};
 pub use service::{
-    run, run_jobs, run_jobs_with_retry, validate_config, Diagnostic, FaultInjection, GridConfig,
-    GridError, GridOutcome, GridService, Regime,
+    run, run_jobs, run_jobs_with_retry, run_jobs_with_retry_sink, run_with_sink, validate_config,
+    Diagnostic, FaultInjection, GridConfig, GridError, GridOutcome, GridService, Regime,
 };
 pub use workload::{ArrivalProcess, JobKind, JobMix, JobSpec, RetryPolicy, WorkloadConfig};

@@ -50,7 +50,7 @@
 
 use crate::metrics::{slowdown_of, FleetMetrics, JobRecord};
 use crate::workload::{JobKind, JobSpec, RetryPolicy, WorkloadConfig};
-use apples::actuator::{actuate, ActuationDetail, ActuationReport};
+use apples::actuator::{actuate_with_sink, ActuationDetail, ActuationReport};
 use apples::hat::Hat;
 use apples::info::InfoPool;
 use apples::rescheduler::{RescheduleReport, ReschedulingAgent};
@@ -58,8 +58,9 @@ use apples::schedule::Schedule;
 use apples::{ApplesError, Coordinator};
 use apples_apps::nile::plan_farm;
 use metasim::load::Imposition;
+use metasim::simtrace::{EventSink, NoopSink, TraceEvent};
 use metasim::testbed::{pcl_sdsc, LoadProfile, TestbedConfig};
-use metasim::{apply_faults, FaultModel, FaultSpec, SimError};
+use metasim::{apply_faults_with_sink, FaultModel, FaultSpec, SimError};
 use metasim::{HostId, SimTime, Topology};
 use nws::{WeatherService, WeatherServiceConfig};
 use std::cmp::Reverse;
@@ -194,8 +195,25 @@ pub struct GridOutcome {
 /// Realize `workload` and stream it through the service under the
 /// workload's retry policy.
 pub fn run(cfg: &GridConfig, workload: &WorkloadConfig) -> Result<GridOutcome, GridError> {
+    run_with_sink(cfg, workload, &mut NoopSink)
+}
+
+/// [`run`], streaming every job's lifecycle (submit → dispatch → retry
+/// → complete/fail), the agents' decisions, forecasts, faults, imposed
+/// load, and executor events into `sink`.
+pub fn run_with_sink(
+    cfg: &GridConfig,
+    workload: &WorkloadConfig,
+    sink: &mut dyn EventSink,
+) -> Result<GridOutcome, GridError> {
     workload.validate()?;
-    run_jobs_with_retry(cfg, &workload.realize(), workload.duration, workload.retry)
+    run_jobs_with_retry_sink(
+        cfg,
+        &workload.realize(),
+        workload.duration,
+        workload.retry,
+        sink,
+    )
 }
 
 /// Stream an explicit job list (offsets from stream start) through the
@@ -392,6 +410,25 @@ impl GridService {
         run(&self.cfg, workload)
     }
 
+    /// [`Self::run`], streaming trace events into `sink`.
+    pub fn run_with_sink(
+        &self,
+        workload: &WorkloadConfig,
+        sink: &mut dyn EventSink,
+    ) -> Result<GridOutcome, GridError> {
+        let diags = validate_config(&self.cfg, Some(workload));
+        if !diags.is_empty() {
+            return Err(GridError::InvalidConfig(
+                diags
+                    .iter()
+                    .map(Diagnostic::to_string)
+                    .collect::<Vec<_>>()
+                    .join("; "),
+            ));
+        }
+        run_with_sink(&self.cfg, workload, sink)
+    }
+
     /// Stream an explicit job list with the default retry policy.
     pub fn run_jobs(&self, jobs: &[JobSpec], duration: SimTime) -> Result<GridOutcome, GridError> {
         run_jobs(&self.cfg, jobs, duration)
@@ -440,6 +477,17 @@ pub fn run_jobs_with_retry(
     duration: SimTime,
     retry: RetryPolicy,
 ) -> Result<GridOutcome, GridError> {
+    run_jobs_with_retry_sink(cfg, jobs, duration, retry, &mut NoopSink)
+}
+
+/// [`run_jobs_with_retry`], streaming trace events into `sink`.
+pub fn run_jobs_with_retry_sink(
+    cfg: &GridConfig,
+    jobs: &[JobSpec],
+    duration: SimTime,
+    retry: RetryPolicy,
+    sink: &mut dyn EventSink,
+) -> Result<GridOutcome, GridError> {
     retry.validate()?;
     if cfg.max_in_flight == 0 {
         return Err(GridError::InvalidConfig(
@@ -465,7 +513,7 @@ pub fn run_jobs_with_retry(
         }
     };
     if !fault_spec.is_empty() {
-        apply_faults(&mut topo, &fault_spec)?;
+        apply_faults_with_sink(&mut topo, &fault_spec, sink)?;
     }
     let faults_on = !fault_spec.is_empty();
 
@@ -495,6 +543,13 @@ pub fn run_jobs_with_retry(
             };
             start = start.max(freed);
         }
+        if sink.enabled() {
+            sink.record(TraceEvent::JobSubmitted {
+                job: job.id,
+                kind: job.kind.name().to_string(),
+                at: submit,
+            });
+        }
 
         let (hat, base_user) = job.kind.hat_and_user();
         // Aware stencil jobs run phase-wise under faults so a mid-run
@@ -510,6 +565,13 @@ pub fn run_jobs_with_retry(
 
         let record = loop {
             attempts += 1;
+            if sink.enabled() {
+                sink.record(TraceEvent::JobDispatched {
+                    job: job.id,
+                    at: start,
+                    attempt: attempts,
+                });
+            }
             let mut user = base_user.clone();
             user.excluded_hosts.extend(dead_hosts.iter().copied());
 
@@ -529,31 +591,38 @@ pub fn run_jobs_with_retry(
                 // stream.)
                 let mut ws = WeatherService::for_topology(&topo, WeatherServiceConfig::default());
                 agent
-                    .run_stencil(&topo, &mut ws, start)
+                    .run_stencil_with_sink(&topo, &mut ws, start, sink)
                     .map(AttemptOutcome::Phased)
             } else {
                 let schedule = match (&blind_ws, cfg.regime) {
                     (Some(ws), Regime::Blind) => {
                         let pool = InfoPool::with_nws(&pristine, ws, &hat, &user, cfg.warmup);
-                        decide(&job.kind, &pool)
+                        decide(&job.kind, &pool, sink)
                     }
                     _ => {
-                        shared_ws.advance(&topo, start);
+                        shared_ws.advance_with_sink(&topo, start, sink);
                         let pool = InfoPool::with_nws(&topo, &shared_ws, &hat, &user, start);
-                        decide(&job.kind, &pool)
+                        decide(&job.kind, &pool, sink)
                     }
                 };
                 schedule.and_then(|schedule| {
-                    actuate(&topo, &hat, &schedule, start)
+                    actuate_with_sink(&topo, &hat, &schedule, start, sink)
                         .map(|report| AttemptOutcome::OneShot(schedule, report))
                 })
             };
 
             match outcome {
                 Ok(AttemptOutcome::OneShot(schedule, report)) => {
-                    impose_job_load(&mut topo, &hat, &schedule, &report, start)?;
+                    impose_job_load(&mut topo, &hat, &schedule, &report, start, sink)?;
                     let hosts = host_names_of(&topo, &schedule.hosts())?;
                     let wait_seconds = start.saturating_sub(submit).as_secs_f64();
+                    if sink.enabled() {
+                        sink.record(TraceEvent::JobCompleted {
+                            job: job.id,
+                            at: report.finish,
+                            exec_seconds: report.elapsed_seconds,
+                        });
+                    }
                     break JobRecord {
                         id: job.id,
                         kind: job.kind.name().to_string(),
@@ -578,7 +647,14 @@ pub fn run_jobs_with_retry(
                             let busy = ph.compute_seconds.get(w).copied().unwrap_or(0.0);
                             if ph.elapsed_seconds > 0.0 {
                                 let utilization = (busy / ph.elapsed_seconds).clamp(0.0, 1.0);
-                                impose_host(&mut topo, h, ph.start, phase_end, 1.0 - utilization)?;
+                                impose_host(
+                                    &mut topo,
+                                    h,
+                                    ph.start,
+                                    phase_end,
+                                    1.0 - utilization,
+                                    sink,
+                                )?;
                             }
                             if !used.contains(&h) {
                                 used.push(h);
@@ -587,6 +663,13 @@ pub fn run_jobs_with_retry(
                     }
                     let hosts = host_names_of(&topo, &used)?;
                     let wait_seconds = start.saturating_sub(submit).as_secs_f64();
+                    if sink.enabled() {
+                        sink.record(TraceEvent::JobCompleted {
+                            job: job.id,
+                            at: report.finish,
+                            exec_seconds: report.elapsed_seconds,
+                        });
+                    }
                     break JobRecord {
                         id: job.id,
                         kind: job.kind.name().to_string(),
@@ -620,6 +703,13 @@ pub fn run_jobs_with_retry(
                         // topology carries no trace of the lost work.
                         let give_up = lost_at.unwrap_or(start).max(start);
                         let wait_seconds = give_up.saturating_sub(submit).as_secs_f64();
+                        if sink.enabled() {
+                            sink.record(TraceEvent::JobFailed {
+                                job: job.id,
+                                at: give_up,
+                                attempts,
+                            });
+                        }
                         break JobRecord {
                             id: job.id,
                             kind: job.kind.name().to_string(),
@@ -636,6 +726,13 @@ pub fn run_jobs_with_retry(
                         };
                     }
                     start = lost_at.unwrap_or(start).max(start) + retry.backoff(attempts);
+                    if sink.enabled() {
+                        sink.record(TraceEvent::JobRetried {
+                            job: job.id,
+                            at: start,
+                            attempt: attempts,
+                        });
+                    }
                 }
             }
         };
@@ -665,7 +762,11 @@ fn host_names_of(topo: &Topology, hosts: &[HostId]) -> Result<Vec<String>, GridE
 /// their Site Manager ([`plan_farm`]), as in the paper's NILE case
 /// study, over every feasible host with the data and result home on
 /// the fastest-forecast host.
-fn decide(kind: &JobKind, pool: &InfoPool<'_>) -> Result<Schedule, ApplesError> {
+fn decide(
+    kind: &JobKind,
+    pool: &InfoPool<'_>,
+    sink: &mut dyn EventSink,
+) -> Result<Schedule, ApplesError> {
     match kind {
         JobKind::NileFarm { .. } => {
             let feasible: Vec<HostId> = apples::selector::ResourceSelector::feasible_hosts(pool);
@@ -682,7 +783,7 @@ fn decide(kind: &JobKind, pool: &InfoPool<'_>) -> Result<Schedule, ApplesError> 
         }
         _ => {
             let coordinator = Coordinator::new(pool.hat.clone(), pool.user.clone());
-            Ok(coordinator.decide(pool)?.schedule().clone())
+            Ok(coordinator.decide_with_sink(pool, sink)?.schedule().clone())
         }
     }
 }
@@ -695,6 +796,7 @@ fn impose_job_load(
     schedule: &Schedule,
     report: &ActuationReport,
     start: SimTime,
+    sink: &mut dyn EventSink,
 ) -> Result<(), GridError> {
     let finish = report.finish;
     let elapsed = finish.saturating_sub(start).as_secs_f64();
@@ -706,15 +808,15 @@ fn impose_job_load(
             // Exact: the simulator reports each worker's compute time.
             for (w, part) in s.parts.iter().enumerate() {
                 let utilization = (out.compute_seconds[w] / elapsed).clamp(0.0, 1.0);
-                impose_host(topo, part.host, start, finish, 1.0 - utilization)?;
+                impose_host(topo, part.host, start, finish, 1.0 - utilization, sink)?;
             }
         }
         (Schedule::Pipeline(p), ActuationDetail::Pipeline(out)) => {
             let producer_busy = ((elapsed - out.producer_block_seconds) / elapsed).clamp(0.0, 1.0);
             let consumer_busy = ((elapsed - out.consumer_stall_seconds) / elapsed).clamp(0.0, 1.0);
-            impose_host(topo, p.producer, start, finish, 1.0 - producer_busy)?;
+            impose_host(topo, p.producer, start, finish, 1.0 - producer_busy, sink)?;
             if p.consumer != p.producer {
-                impose_host(topo, p.consumer, start, finish, 1.0 - consumer_busy)?;
+                impose_host(topo, p.consumer, start, finish, 1.0 - consumer_busy, sink)?;
             }
             if let Some(t) = hat.as_pipeline() {
                 let mb = t.mb_per_unit * t.total_units as f64;
@@ -735,7 +837,7 @@ fn impose_job_load(
                 let avail = h.mean_availability(start, done).max(1e-9);
                 let est_compute = events as f64 * t.mflop_per_event / (h.spec.mflops * avail);
                 let utilization = (est_compute / window).clamp(0.0, 1.0);
-                impose_host(topo, host, start, done, 1.0 - utilization)?;
+                impose_host(topo, host, start, done, 1.0 - utilization, sink)?;
                 impose_route(
                     topo,
                     f.data_home,
@@ -772,12 +874,21 @@ fn impose_host(
     from: SimTime,
     to: SimTime,
     factor: f64,
+    sink: &mut dyn EventSink,
 ) -> Result<(), GridError> {
     let h = topo.host_mut(host)?;
     let scaled = h
         .availability()
         .with_impositions(&[Imposition::new(from, to, factor)]);
     h.set_availability(scaled);
+    if sink.enabled() {
+        sink.record(TraceEvent::LoadImposed {
+            host,
+            at: from,
+            until: to,
+            factor,
+        });
+    }
     Ok(())
 }
 
@@ -1190,6 +1301,81 @@ mod tests {
     }
 
     #[test]
+    fn traced_stream_narrates_every_layer() {
+        use metasim::simtrace::VecSink;
+        let cfg = GridConfig::default();
+        let jobs = vec![
+            JobSpec {
+                id: 0,
+                submit: s(10.0),
+                kind: JobKind::Jacobi {
+                    n: 800,
+                    iterations: 60,
+                },
+            },
+            JobSpec {
+                id: 1,
+                submit: s(30.0),
+                kind: JobKind::NileFarm { events: 10_000 },
+            },
+        ];
+        let mut sink = VecSink::default();
+        let traced =
+            run_jobs_with_retry_sink(&cfg, &jobs, s(60.0), RetryPolicy::default(), &mut sink)
+                .expect("traced stream");
+        // Tracing must not perturb the simulation.
+        let plain = run_jobs(&cfg, &jobs, s(60.0)).expect("plain stream");
+        assert_eq!(traced.records, plain.records);
+
+        let kinds: std::collections::BTreeSet<&str> =
+            sink.events.iter().map(|e| e.kind()).collect();
+        // Events from every layer of the stack.
+        for k in [
+            "job_submitted",      // grid
+            "job_dispatched",     // grid
+            "job_completed",      // grid
+            "load_imposed",       // grid → metasim
+            "forecast_issued",    // nws
+            "resource_selection", // core
+            "candidate_considered",
+            "schedule_chosen",
+            "actuated",
+            "compute_start", // metasim executors
+            "compute_finish",
+            "transfer_start",
+            "transfer_finish",
+        ] {
+            assert!(kinds.contains(k), "missing {k}: have {kinds:?}");
+        }
+        // Timestamps never run backwards per job lifecycle: submit ≤
+        // dispatch ≤ complete.
+        let find = |want: &str, job: usize| {
+            sink.events
+                .iter()
+                .find_map(|e| match e {
+                    TraceEvent::JobSubmitted { job: j, at, .. }
+                    | TraceEvent::JobDispatched { job: j, at, .. }
+                    | TraceEvent::JobCompleted { job: j, at, .. }
+                        if *j == job && e.kind() == want =>
+                    {
+                        Some(*at)
+                    }
+                    _ => None,
+                })
+                .expect("lifecycle event present")
+        };
+        for job in [0usize, 1] {
+            let sub = find("job_submitted", job);
+            let disp = find("job_dispatched", job);
+            let done = find("job_completed", job);
+            assert!(
+                sub <= disp && disp <= done,
+                "job {job} lifecycle out of order"
+            );
+        }
+    }
+
+    #[test]
     fn imposed_load_keeps_availability_in_unit_interval() {
         let cfg = GridConfig::default();
         let workload = WorkloadConfig {
@@ -1215,9 +1401,11 @@ mod tests {
             let (hat, user) = job.kind.hat_and_user();
             ws.advance(&topo, start);
             let pool = InfoPool::with_nws(&topo, &ws, &hat, &user, start);
-            let schedule = decide(&job.kind, &pool).expect("plan");
-            let report = actuate(&topo, &hat, &schedule, start).expect("run");
-            impose_job_load(&mut topo, &hat, &schedule, &report, start).expect("impose");
+            let schedule = decide(&job.kind, &pool, &mut NoopSink).expect("plan");
+            let report =
+                actuate_with_sink(&topo, &hat, &schedule, start, &mut NoopSink).expect("run");
+            impose_job_load(&mut topo, &hat, &schedule, &report, start, &mut NoopSink)
+                .expect("impose");
         }
         for h in topo.hosts() {
             for &(_, v) in h.availability().points() {

@@ -66,6 +66,7 @@ impl ArrivalProcess {
     pub fn realize(&self, duration: SimTime, seed: u64) -> Vec<SimTime> {
         let mut out = match self {
             ArrivalProcess::Poisson { rate_hz } => {
+                // simlint: allow(panic-in-lib): ArrivalProcess::validate rejects non-positive rates before any stream is realized
                 assert!(
                     *rate_hz > 0.0 && rate_hz.is_finite(),
                     "Poisson arrivals need a positive rate"
@@ -84,6 +85,7 @@ impl ArrivalProcess {
                 arrivals
             }
             ArrivalProcess::Uniform { gap } => {
+                // simlint: allow(panic-in-lib): ArrivalProcess::validate rejects non-positive gaps before any stream is realized
                 assert!(*gap > SimTime::ZERO, "uniform arrivals need a positive gap");
                 let mut arrivals = Vec::new();
                 let mut t = *gap;
@@ -242,8 +244,10 @@ impl JobMix {
 
     /// Sample one kind, deterministically from `rng`.
     pub fn sample(&self, rng: &mut ChaCha8Rng) -> JobKind {
+        // simlint: allow(panic-in-lib): JobMix::validate rejects empty mixes before any stream is realized
         assert!(!self.entries.is_empty(), "empty job mix");
         let total: f64 = self.entries.iter().map(|&(_, w)| w.max(0.0)).sum();
+        // simlint: allow(panic-in-lib): JobMix::validate rejects non-positive weight sums before any stream is realized
         assert!(total > 0.0, "job mix weights must sum to a positive value");
         let mut x = rng.gen_range(0.0..total);
         for &(kind, w) in &self.entries {

@@ -19,6 +19,7 @@ pub mod workqueue;
 
 pub use pipeline::{simulate_pipeline, simulate_single_site, PipelineJob, PipelineOutcome};
 pub use spmd::{
-    simulate_spmd, simulate_spmd_traced, SpmdJob, SpmdOutcome, SpmdPlacement, SpmdTrace,
+    simulate_spmd, simulate_spmd_traced, simulate_spmd_with_sink, SpmdJob, SpmdOutcome,
+    SpmdPlacement, SpmdTrace,
 };
 pub use workqueue::{simulate_workqueue, WorkQueueJob, WorkQueueOutcome};

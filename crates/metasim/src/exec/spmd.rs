@@ -15,7 +15,8 @@
 
 use crate::error::SimError;
 use crate::host::HostId;
-use crate::net::{simulate_transfers, Topology, TransferReq};
+use crate::net::{simulate_transfers_with_sink, Topology, TransferReq};
+use crate::simtrace::{EventSink, NoopSink, TraceEvent};
 use crate::time::SimTime;
 
 /// One worker's placement and per-iteration behaviour.
@@ -113,6 +114,25 @@ pub fn simulate_spmd_traced(
     topo: &Topology,
     job: &SpmdJob,
 ) -> Result<(SpmdOutcome, SpmdTrace), SimError> {
+    simulate_spmd_full(topo, job, &mut NoopSink)
+}
+
+/// [`simulate_spmd`], emitting one [`TraceEvent::ComputeStart`] /
+/// [`TraceEvent::ComputeFinish`] pair per worker (covering all
+/// iterations) plus border-exchange transfer events into `sink`.
+pub fn simulate_spmd_with_sink(
+    topo: &Topology,
+    job: &SpmdJob,
+    sink: &mut dyn EventSink,
+) -> Result<SpmdOutcome, SimError> {
+    simulate_spmd_full(topo, job, sink).map(|(o, _)| o)
+}
+
+fn simulate_spmd_full(
+    topo: &Topology,
+    job: &SpmdJob,
+    sink: &mut dyn EventSink,
+) -> Result<(SpmdOutcome, SpmdTrace), SimError> {
     if job.placements.is_empty() {
         return Err(SimError::EmptySchedule);
     }
@@ -147,6 +167,16 @@ pub fn simulate_spmd_traced(
         barrier = barrier.max(ready);
     }
 
+    if sink.enabled() {
+        for p in &job.placements {
+            sink.record(TraceEvent::ComputeStart {
+                host: p.host,
+                at: barrier,
+                work_mflop: p.work_mflop * job.iterations as f64,
+            });
+        }
+    }
+
     let mut iteration_ends = Vec::with_capacity(job.iterations);
     let mut compute_seconds = vec![0.0; n];
     let mut sync_seconds = vec![0.0; n];
@@ -179,7 +209,7 @@ pub fn simulate_spmd_traced(
         }
         let mut next_barrier = compute_done.iter().copied().fold(barrier, SimTime::max);
         if !reqs.is_empty() {
-            for r in simulate_transfers(topo, &reqs)? {
+            for r in simulate_transfers_with_sink(topo, &reqs, sink)? {
                 next_barrier = next_barrier.max(r.delivered);
             }
         }
@@ -190,6 +220,21 @@ pub fn simulate_spmd_traced(
         trace.compute_done.push(compute_done);
         barrier = next_barrier;
         iteration_ends.push(barrier);
+    }
+
+    if sink.enabled() {
+        for (w, p) in job.placements.iter().enumerate() {
+            let last_done = trace
+                .compute_done
+                .last()
+                .and_then(|row| row.get(w).copied())
+                .unwrap_or(barrier);
+            sink.record(TraceEvent::ComputeFinish {
+                host: p.host,
+                at: last_done,
+                elapsed_seconds: compute_seconds[w],
+            });
+        }
     }
 
     Ok((
@@ -418,6 +463,40 @@ mod tests {
         // The traced outcome matches the untraced entry point.
         let plain = simulate_spmd(&topo, &job).unwrap();
         assert_eq!(out, plain);
+    }
+
+    #[test]
+    fn sink_variant_matches_plain_and_emits_events() {
+        use crate::simtrace::VecSink;
+        let topo = topo2();
+        let job = SpmdJob {
+            placements: vec![
+                placement(0, 100.0, vec![(1, 10.0)]),
+                placement(1, 100.0, vec![(0, 10.0)]),
+            ],
+            iterations: 2,
+            start: SimTime::ZERO,
+        };
+        let mut sink = VecSink::new();
+        let traced = simulate_spmd_with_sink(&topo, &job, &mut sink).unwrap();
+        let plain = simulate_spmd(&topo, &job).unwrap();
+        assert_eq!(traced, plain, "tracing must not perturb the simulation");
+        // 2 workers: one start + one finish each, plus 2 transfers per
+        // iteration over 2 iterations = 8 transfer events.
+        let kinds: Vec<&str> = sink.events.iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds.iter().filter(|k| **k == "compute_start").count(), 2);
+        assert_eq!(kinds.iter().filter(|k| **k == "compute_finish").count(), 2);
+        assert_eq!(kinds.iter().filter(|k| **k == "transfer_start").count(), 4);
+        assert_eq!(kinds.iter().filter(|k| **k == "transfer_finish").count(), 4);
+        // Both sends share the segment: contention share is 1/2.
+        for e in &sink.events {
+            if let crate::simtrace::TraceEvent::TransferFinish {
+                contention_share, ..
+            } = e
+            {
+                assert!((contention_share - 0.5).abs() < 1e-9, "{contention_share}");
+            }
+        }
     }
 
     #[test]

@@ -243,17 +243,43 @@ impl FaultModel {
 /// resource's availability to zero over its windows and record host
 /// fault windows for revocation attribution by the executors.
 pub fn apply_faults(topo: &mut Topology, spec: &FaultSpec) -> Result<(), SimError> {
+    apply_faults_with_sink(topo, spec, &mut crate::simtrace::NoopSink)
+}
+
+/// [`apply_faults`], emitting one
+/// [`crate::simtrace::TraceEvent::HostFaultInjected`] /
+/// [`crate::simtrace::TraceEvent::LinkFaultInjected`] per fault window.
+pub fn apply_faults_with_sink(
+    topo: &mut Topology,
+    spec: &FaultSpec,
+    sink: &mut dyn crate::simtrace::EventSink,
+) -> Result<(), SimError> {
+    use crate::simtrace::TraceEvent;
     spec.validate(topo)?;
     for f in &spec.host_faults {
         let h = topo.host_mut(f.host)?;
         let crashed = faulted_series(h.availability(), f.at, f.recover);
         h.set_availability(crashed);
         h.add_fault_window(f.at, f.recover);
+        if sink.enabled() {
+            sink.record(TraceEvent::HostFaultInjected {
+                host: f.host,
+                at: f.at,
+                recover: f.recover,
+            });
+        }
     }
     for f in &spec.link_faults {
         let l = topo.link_mut(f.link)?;
         let dark = faulted_series(l.availability(), f.at, f.recover);
         l.set_availability(dark);
+        if sink.enabled() {
+            sink.record(TraceEvent::LinkFaultInjected {
+                link: f.link,
+                at: f.at,
+                recover: f.recover,
+            });
+        }
     }
     Ok(())
 }

@@ -49,6 +49,7 @@ pub mod host;
 pub mod load;
 pub mod net;
 pub mod queue;
+pub mod simtrace;
 pub mod testbed;
 pub mod time;
 pub mod trace;
@@ -56,8 +57,11 @@ pub mod tracefile;
 pub mod validate;
 
 pub use error::SimError;
-pub use fault::{apply_faults, FaultModel, FaultSpec, HostFault, LinkFault};
+pub use fault::{
+    apply_faults, apply_faults_with_sink, FaultModel, FaultSpec, HostFault, LinkFault,
+};
 pub use host::{Host, HostId, HostSpec, SharingPolicy};
 pub use net::{LinkId, LinkSpec, RouteTable, SegmentId, Topology};
+pub use simtrace::{EventSink, NoopSink, TraceEvent, TraceSummary, VecSink, WriterSink};
 pub use time::SimTime;
 pub use validate::{validate_faults, validate_topology, ConfigIssue, ValidationReport};

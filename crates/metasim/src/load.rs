@@ -46,6 +46,7 @@ impl StepSeries {
     /// value; values are clamped to `[0, 1]`. If no point is given at
     /// time zero, the earliest value is extended back to time zero.
     pub fn from_points(mut pts: Vec<(SimTime, f64)>) -> Self {
+        // simlint: allow(panic-in-lib): documented precondition; an empty series has no value to extend
         assert!(!pts.is_empty(), "StepSeries needs at least one point");
         pts.sort_by_key(|&(t, _)| t);
         let mut points: Vec<(SimTime, f64)> = Vec::with_capacity(pts.len());
@@ -220,6 +221,7 @@ impl StepSeries {
     /// Sample the series at a fixed period over `[0, horizon]`, as a
     /// measurement stream (what a sensor would observe).
     pub fn sample(&self, period: SimTime, horizon: SimTime) -> Vec<(SimTime, f64)> {
+        // simlint: allow(panic-in-lib): documented precondition; a zero period would loop forever
         assert!(period > SimTime::ZERO, "sampling period must be positive");
         let mut out = Vec::new();
         let mut t = SimTime::ZERO;
@@ -325,6 +327,7 @@ impl LoadModel {
                 half_period,
                 phase,
             } => {
+                // simlint: allow(panic-in-lib): documented precondition; a zero half-period would generate infinite points
                 assert!(
                     *half_period > SimTime::ZERO,
                     "periodic load needs a positive half-period"
@@ -352,10 +355,12 @@ impl LoadModel {
                 floor,
                 ceil,
             } => {
+                // simlint: allow(panic-in-lib): documented precondition; a zero interval would generate infinite points
                 assert!(
                     *interval > SimTime::ZERO,
                     "random walk needs a positive interval"
                 );
+                // simlint: allow(panic-in-lib): documented precondition; an inverted range has no valid sample
                 assert!(floor <= ceil, "random walk floor must not exceed ceil");
                 let mut rng = ChaCha8Rng::seed_from_u64(seed);
                 let mut pts = Vec::new();
@@ -383,6 +388,7 @@ impl LoadModel {
                 mean_idle,
                 mean_busy,
             } => {
+                // simlint: allow(panic-in-lib): documented precondition; zero holding times would generate infinite points
                 assert!(
                     *mean_idle > SimTime::ZERO && *mean_busy > SimTime::ZERO,
                     "Markov on/off needs positive mean holding times"

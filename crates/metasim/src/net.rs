@@ -454,6 +454,20 @@ pub fn simulate_transfers(
     topo: &Topology,
     reqs: &[TransferReq],
 ) -> Result<Vec<TransferResult>, SimError> {
+    simulate_transfers_with_sink(topo, reqs, &mut crate::simtrace::NoopSink)
+}
+
+/// [`simulate_transfers`], emitting [`TraceEvent::TransferStart`] when
+/// a flow is admitted to the network and
+/// [`TraceEvent::TransferFinish`] (with its achieved-over-nominal
+/// contention share) when it is delivered. Same-host and zero-size
+/// transfers never touch the network and emit nothing.
+pub fn simulate_transfers_with_sink(
+    topo: &Topology,
+    reqs: &[TransferReq],
+    sink: &mut dyn crate::simtrace::EventSink,
+) -> Result<Vec<TransferResult>, SimError> {
+    use crate::simtrace::TraceEvent;
     let mut results: Vec<Option<TransferResult>> = vec![None; reqs.len()];
 
     // Resolve routes up front and dispatch trivial local transfers.
@@ -499,7 +513,15 @@ pub fn simulate_transfers(
     while !active.is_empty() || next_arrival < pending.len() {
         // Admit arrivals at the current time.
         while next_arrival < pending.len() && pending[next_arrival].2 <= now {
-            let (i, f, _) = &pending[next_arrival];
+            let (i, f, start) = &pending[next_arrival];
+            if sink.enabled() {
+                sink.record(TraceEvent::TransferStart {
+                    from: reqs[*i].from,
+                    to: reqs[*i].to,
+                    at: *start,
+                    mb: reqs[*i].mb,
+                });
+            }
             active.push((*i, f.clone()));
             next_arrival += 1;
         }
@@ -565,9 +587,33 @@ pub fn simulate_transfers(
         while i < active.len() {
             if active[i].1.remaining_mb <= EPS_MB {
                 let (idx, f) = active.swap_remove(i);
+                let delivered = now + f.latency;
+                if sink.enabled() {
+                    // Mean achieved bandwidth over the nominal
+                    // bottleneck: 1.0 means the flow had the route to
+                    // itself for its whole lifetime.
+                    let r = &reqs[idx];
+                    let elapsed = (delivered.saturating_sub(r.start) - f.latency).as_secs_f64();
+                    let mut nominal = f64::INFINITY;
+                    for l in &f.route {
+                        nominal = nominal.min(topo.link(*l)?.spec.bandwidth_mbps);
+                    }
+                    let share = if elapsed > 0.0 && nominal.is_finite() && nominal > 0.0 {
+                        (r.mb / elapsed / nominal).min(1.0)
+                    } else {
+                        1.0
+                    };
+                    sink.record(TraceEvent::TransferFinish {
+                        from: r.from,
+                        to: r.to,
+                        at: delivered,
+                        mb: r.mb,
+                        contention_share: share,
+                    });
+                }
                 results[idx] = Some(TransferResult {
                     tag: f.tag,
-                    delivered: now + f.latency,
+                    delivered,
                 });
             } else {
                 i += 1;

@@ -79,6 +79,7 @@ impl<E> EventQueue<E> {
     /// Panics if `at` is earlier than the current clock — scheduling into
     /// the past is always a logic error in a discrete-event simulation.
     pub fn schedule(&mut self, at: SimTime, payload: E) {
+        // simlint: allow(panic-in-lib): documented `# Panics`: scheduling into the past is a simulator logic bug
         assert!(
             at >= self.now,
             "scheduled event at {:?} before current time {:?}",

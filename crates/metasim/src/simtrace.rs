@@ -1,0 +1,1032 @@
+//! Structured event tracing across the simulation stack.
+//!
+//! The paper's argument is about *why* a schedule won — per-worker
+//! compute vs. wait, border-exchange cost, forecast error at decision
+//! time — yet end-of-run aggregates throw that information away. This
+//! module defines a deterministic event log every layer can append to:
+//!
+//! * **metasim** emits compute, transfer, fault and load events,
+//! * **nws** emits one [`TraceEvent::ForecastIssued`] per monitored
+//!   resource per advance (predicted vs. observed, per-method error),
+//! * **core** emits selection, candidate-evaluation, actuation and
+//!   rescheduling decisions,
+//! * **grid** emits the job lifecycle (submit → dispatch →
+//!   retry/backoff → complete/fail).
+//!
+//! Producers take a `&mut dyn EventSink`. The default [`NoopSink`]
+//! reports `enabled() == false`, and every emission site is guarded by
+//! that check, so untraced runs never construct an event — tracing is
+//! zero-cost when no sink is attached.
+//!
+//! **Determinism guarantee:** the simulation is deterministic given a
+//! seed, and events are emitted in simulation order by straight-line
+//! code, so two runs with the same seed and configuration produce
+//! byte-identical JSONL streams ([`WriterSink`]). [`first_divergence`]
+//! turns that guarantee into a mechanical check.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::Write;
+
+use crate::host::HostId;
+use crate::net::LinkId;
+use crate::time::SimTime;
+
+/// One structured event from somewhere in the stack.
+///
+/// Every variant carries an absolute simulation timestamp ([`SimTime`],
+/// serialized as integer microseconds) so streams from different layers
+/// interleave on a common clock.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A worker began its compute phase on a host (one event per worker
+    /// per run, covering all iterations; `work_mflop` is the total).
+    ComputeStart {
+        /// Host executing the worker.
+        host: HostId,
+        /// Co-allocation barrier time when compute began.
+        at: SimTime,
+        /// Total work across all iterations, Mflop.
+        work_mflop: f64,
+    },
+    /// A worker finished its last compute phase.
+    ComputeFinish {
+        /// Host that executed the worker.
+        host: HostId,
+        /// When the final compute phase completed.
+        at: SimTime,
+        /// Total wall-clock seconds spent computing (load and paging
+        /// slowdown included).
+        elapsed_seconds: f64,
+    },
+    /// A transfer was admitted to the network.
+    TransferStart {
+        /// Sending host.
+        from: HostId,
+        /// Receiving host.
+        to: HostId,
+        /// When the transfer entered the network.
+        at: SimTime,
+        /// Payload, MB.
+        mb: f64,
+    },
+    /// A transfer was fully delivered.
+    TransferFinish {
+        /// Sending host.
+        from: HostId,
+        /// Receiving host.
+        to: HostId,
+        /// Delivery time (propagation latency included).
+        at: SimTime,
+        /// Payload, MB.
+        mb: f64,
+        /// Mean achieved bandwidth over the nominal bottleneck
+        /// bandwidth of the route: 1.0 means the flow had the
+        /// bottleneck to itself, lower means contention.
+        contention_share: f64,
+    },
+    /// A host crash was injected into the topology.
+    HostFaultInjected {
+        /// Crashed host.
+        host: HostId,
+        /// Crash time.
+        at: SimTime,
+        /// Recovery time; `None` is a permanent crash.
+        recover: Option<SimTime>,
+    },
+    /// A link outage was injected into the topology.
+    LinkFaultInjected {
+        /// Dark link.
+        link: LinkId,
+        /// Outage start.
+        at: SimTime,
+        /// Recovery time; `None` is a permanent outage.
+        recover: Option<SimTime>,
+    },
+    /// A running placement was revoked mid-run by a host death.
+    PlacementRevoked {
+        /// Host that died under the placement.
+        host: HostId,
+        /// When the loss was detected.
+        at: SimTime,
+    },
+    /// Background load was imposed on a host (a dispatched job making
+    /// the resource busier for everyone after it).
+    LoadImposed {
+        /// Loaded host.
+        host: HostId,
+        /// Load window start.
+        at: SimTime,
+        /// Load window end.
+        until: SimTime,
+        /// Multiplicative availability factor applied over the window.
+        factor: f64,
+    },
+    /// The forecaster published a prediction for a resource and
+    /// immediately scored it against the newly observed value.
+    ForecastIssued {
+        /// Monitored resource, e.g. `cpu:3` or `link:1`.
+        resource: String,
+        /// Wall-clock of the monitoring advance.
+        at: SimTime,
+        /// Prediction made *before* the new samples arrived.
+        predicted: f64,
+        /// Most recent observed value.
+        observed: f64,
+        /// Running mean absolute error of the winning method.
+        error: f64,
+        /// Name of the forecasting method that currently wins.
+        method: String,
+    },
+    /// The coordinator started a selection over a candidate pool.
+    ResourceSelection {
+        /// Decision time.
+        at: SimTime,
+        /// Number of candidate resource sets under consideration.
+        candidates: usize,
+    },
+    /// One candidate schedule was evaluated by the cost model.
+    CandidateConsidered {
+        /// Decision time.
+        at: SimTime,
+        /// Index of the candidate within the selection.
+        index: usize,
+        /// Number of hosts the candidate uses.
+        hosts: usize,
+        /// Cost-model predicted execution seconds.
+        predicted_seconds: f64,
+        /// Objective value (lower is better).
+        objective: f64,
+    },
+    /// The coordinator committed to a schedule.
+    ScheduleChosen {
+        /// Decision time.
+        at: SimTime,
+        /// Index of the winning candidate.
+        index: usize,
+        /// Predicted execution seconds of the winner.
+        predicted_seconds: f64,
+    },
+    /// A schedule was actuated on the simulated testbed.
+    Actuated {
+        /// Actuation start time.
+        at: SimTime,
+        /// Simulated completion time.
+        finish: SimTime,
+        /// Elapsed wall-clock seconds.
+        elapsed_seconds: f64,
+    },
+    /// The rescheduler re-planned at a phase boundary.
+    RescheduleTriggered {
+        /// Re-planning time.
+        at: SimTime,
+        /// Phase number (0-based).
+        phase: usize,
+    },
+    /// The rescheduler compared staying put against migrating.
+    RescheduleDecision {
+        /// Decision time.
+        at: SimTime,
+        /// Predicted seconds for the remaining work if it stays.
+        keep_seconds: f64,
+        /// Predicted seconds for the remaining work if it moves.
+        move_seconds: f64,
+        /// Predicted cost of moving the state, seconds.
+        move_cost_seconds: f64,
+        /// Whether the job migrated.
+        migrated: bool,
+    },
+    /// A job entered the stream.
+    JobSubmitted {
+        /// Submission-order index within the stream.
+        job: usize,
+        /// Job class name.
+        kind: String,
+        /// Absolute submission time.
+        at: SimTime,
+    },
+    /// A job was admitted and its agent dispatched a placement attempt.
+    JobDispatched {
+        /// Job index.
+        job: usize,
+        /// Dispatch time.
+        at: SimTime,
+        /// Attempt number (1 = first try).
+        attempt: u32,
+    },
+    /// A failed attempt was scheduled for retry after backoff.
+    JobRetried {
+        /// Job index.
+        job: usize,
+        /// Time the retry was scheduled (next attempt start).
+        at: SimTime,
+        /// The attempt that failed.
+        attempt: u32,
+    },
+    /// A job finished its work.
+    JobCompleted {
+        /// Job index.
+        job: usize,
+        /// Completion time.
+        at: SimTime,
+        /// Admission-to-completion seconds.
+        exec_seconds: f64,
+    },
+    /// A job exhausted its retry budget.
+    JobFailed {
+        /// Job index.
+        job: usize,
+        /// Time of the final failed attempt.
+        at: SimTime,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an `f64` as a JSON value (`null` for non-finite inputs, which
+/// JSON cannot represent).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Format an optional [`SimTime`] as integer microseconds or `null`.
+fn json_opt_time(t: Option<SimTime>) -> String {
+    match t {
+        Some(t) => format!("{}", t.0),
+        None => "null".to_string(),
+    }
+}
+
+impl TraceEvent {
+    /// Stable snake_case name of the event kind (the JSON `kind`
+    /// field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::ComputeStart { .. } => "compute_start",
+            TraceEvent::ComputeFinish { .. } => "compute_finish",
+            TraceEvent::TransferStart { .. } => "transfer_start",
+            TraceEvent::TransferFinish { .. } => "transfer_finish",
+            TraceEvent::HostFaultInjected { .. } => "host_fault_injected",
+            TraceEvent::LinkFaultInjected { .. } => "link_fault_injected",
+            TraceEvent::PlacementRevoked { .. } => "placement_revoked",
+            TraceEvent::LoadImposed { .. } => "load_imposed",
+            TraceEvent::ForecastIssued { .. } => "forecast_issued",
+            TraceEvent::ResourceSelection { .. } => "resource_selection",
+            TraceEvent::CandidateConsidered { .. } => "candidate_considered",
+            TraceEvent::ScheduleChosen { .. } => "schedule_chosen",
+            TraceEvent::Actuated { .. } => "actuated",
+            TraceEvent::RescheduleTriggered { .. } => "reschedule_triggered",
+            TraceEvent::RescheduleDecision { .. } => "reschedule_decision",
+            TraceEvent::JobSubmitted { .. } => "job_submitted",
+            TraceEvent::JobDispatched { .. } => "job_dispatched",
+            TraceEvent::JobRetried { .. } => "job_retried",
+            TraceEvent::JobCompleted { .. } => "job_completed",
+            TraceEvent::JobFailed { .. } => "job_failed",
+        }
+    }
+
+    /// The event's absolute timestamp.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            TraceEvent::ComputeStart { at, .. }
+            | TraceEvent::ComputeFinish { at, .. }
+            | TraceEvent::TransferStart { at, .. }
+            | TraceEvent::TransferFinish { at, .. }
+            | TraceEvent::HostFaultInjected { at, .. }
+            | TraceEvent::LinkFaultInjected { at, .. }
+            | TraceEvent::PlacementRevoked { at, .. }
+            | TraceEvent::LoadImposed { at, .. }
+            | TraceEvent::ForecastIssued { at, .. }
+            | TraceEvent::ResourceSelection { at, .. }
+            | TraceEvent::CandidateConsidered { at, .. }
+            | TraceEvent::ScheduleChosen { at, .. }
+            | TraceEvent::Actuated { at, .. }
+            | TraceEvent::RescheduleTriggered { at, .. }
+            | TraceEvent::RescheduleDecision { at, .. }
+            | TraceEvent::JobSubmitted { at, .. }
+            | TraceEvent::JobDispatched { at, .. }
+            | TraceEvent::JobRetried { at, .. }
+            | TraceEvent::JobCompleted { at, .. }
+            | TraceEvent::JobFailed { at, .. } => at,
+        }
+    }
+
+    /// Serialize the event as one line of JSON (hand-rolled; the
+    /// workspace carries no serialization dependency). [`SimTime`]
+    /// fields are integer microseconds so streams compare byte-exactly.
+    pub fn to_json(&self) -> String {
+        let kind = self.kind();
+        match self {
+            TraceEvent::ComputeStart {
+                host,
+                at,
+                work_mflop,
+            } => format!(
+                "{{\"kind\":\"{kind}\",\"at\":{},\"host\":{},\"work_mflop\":{}}}",
+                at.0,
+                host.0,
+                json_f64(*work_mflop)
+            ),
+            TraceEvent::ComputeFinish {
+                host,
+                at,
+                elapsed_seconds,
+            } => format!(
+                "{{\"kind\":\"{kind}\",\"at\":{},\"host\":{},\"elapsed_seconds\":{}}}",
+                at.0,
+                host.0,
+                json_f64(*elapsed_seconds)
+            ),
+            TraceEvent::TransferStart { from, to, at, mb } => format!(
+                "{{\"kind\":\"{kind}\",\"at\":{},\"from\":{},\"to\":{},\"mb\":{}}}",
+                at.0,
+                from.0,
+                to.0,
+                json_f64(*mb)
+            ),
+            TraceEvent::TransferFinish {
+                from,
+                to,
+                at,
+                mb,
+                contention_share,
+            } => format!(
+                "{{\"kind\":\"{kind}\",\"at\":{},\"from\":{},\"to\":{},\"mb\":{},\
+                 \"contention_share\":{}}}",
+                at.0,
+                from.0,
+                to.0,
+                json_f64(*mb),
+                json_f64(*contention_share)
+            ),
+            TraceEvent::HostFaultInjected { host, at, recover } => format!(
+                "{{\"kind\":\"{kind}\",\"at\":{},\"host\":{},\"recover\":{}}}",
+                at.0,
+                host.0,
+                json_opt_time(*recover)
+            ),
+            TraceEvent::LinkFaultInjected { link, at, recover } => format!(
+                "{{\"kind\":\"{kind}\",\"at\":{},\"link\":{},\"recover\":{}}}",
+                at.0,
+                link.0,
+                json_opt_time(*recover)
+            ),
+            TraceEvent::PlacementRevoked { host, at } => format!(
+                "{{\"kind\":\"{kind}\",\"at\":{},\"host\":{}}}",
+                at.0, host.0
+            ),
+            TraceEvent::LoadImposed {
+                host,
+                at,
+                until,
+                factor,
+            } => format!(
+                "{{\"kind\":\"{kind}\",\"at\":{},\"host\":{},\"until\":{},\"factor\":{}}}",
+                at.0,
+                host.0,
+                until.0,
+                json_f64(*factor)
+            ),
+            TraceEvent::ForecastIssued {
+                resource,
+                at,
+                predicted,
+                observed,
+                error,
+                method,
+            } => format!(
+                "{{\"kind\":\"{kind}\",\"at\":{},\"resource\":\"{}\",\"predicted\":{},\
+                 \"observed\":{},\"error\":{},\"method\":\"{}\"}}",
+                at.0,
+                json_escape(resource),
+                json_f64(*predicted),
+                json_f64(*observed),
+                json_f64(*error),
+                json_escape(method)
+            ),
+            TraceEvent::ResourceSelection { at, candidates } => format!(
+                "{{\"kind\":\"{kind}\",\"at\":{},\"candidates\":{candidates}}}",
+                at.0
+            ),
+            TraceEvent::CandidateConsidered {
+                at,
+                index,
+                hosts,
+                predicted_seconds,
+                objective,
+            } => format!(
+                "{{\"kind\":\"{kind}\",\"at\":{},\"index\":{index},\"hosts\":{hosts},\
+                 \"predicted_seconds\":{},\"objective\":{}}}",
+                at.0,
+                json_f64(*predicted_seconds),
+                json_f64(*objective)
+            ),
+            TraceEvent::ScheduleChosen {
+                at,
+                index,
+                predicted_seconds,
+            } => format!(
+                "{{\"kind\":\"{kind}\",\"at\":{},\"index\":{index},\"predicted_seconds\":{}}}",
+                at.0,
+                json_f64(*predicted_seconds)
+            ),
+            TraceEvent::Actuated {
+                at,
+                finish,
+                elapsed_seconds,
+            } => format!(
+                "{{\"kind\":\"{kind}\",\"at\":{},\"finish\":{},\"elapsed_seconds\":{}}}",
+                at.0,
+                finish.0,
+                json_f64(*elapsed_seconds)
+            ),
+            TraceEvent::RescheduleTriggered { at, phase } => {
+                format!("{{\"kind\":\"{kind}\",\"at\":{},\"phase\":{phase}}}", at.0)
+            }
+            TraceEvent::RescheduleDecision {
+                at,
+                keep_seconds,
+                move_seconds,
+                move_cost_seconds,
+                migrated,
+            } => format!(
+                "{{\"kind\":\"{kind}\",\"at\":{},\"keep_seconds\":{},\"move_seconds\":{},\
+                 \"move_cost_seconds\":{},\"migrated\":{migrated}}}",
+                at.0,
+                json_f64(*keep_seconds),
+                json_f64(*move_seconds),
+                json_f64(*move_cost_seconds)
+            ),
+            TraceEvent::JobSubmitted { job, kind: k, at } => format!(
+                "{{\"kind\":\"{kind}\",\"at\":{},\"job\":{job},\"class\":\"{}\"}}",
+                at.0,
+                json_escape(k)
+            ),
+            TraceEvent::JobDispatched { job, at, attempt } => format!(
+                "{{\"kind\":\"{kind}\",\"at\":{},\"job\":{job},\"attempt\":{attempt}}}",
+                at.0
+            ),
+            TraceEvent::JobRetried { job, at, attempt } => format!(
+                "{{\"kind\":\"{kind}\",\"at\":{},\"job\":{job},\"attempt\":{attempt}}}",
+                at.0
+            ),
+            TraceEvent::JobCompleted {
+                job,
+                at,
+                exec_seconds,
+            } => format!(
+                "{{\"kind\":\"{kind}\",\"at\":{},\"job\":{job},\"exec_seconds\":{}}}",
+                at.0,
+                json_f64(*exec_seconds)
+            ),
+            TraceEvent::JobFailed { job, at, attempts } => format!(
+                "{{\"kind\":\"{kind}\",\"at\":{},\"job\":{job},\"attempts\":{attempts}}}",
+                at.0
+            ),
+        }
+    }
+}
+
+/// Receiver for [`TraceEvent`]s.
+///
+/// Emission sites guard with [`EventSink::enabled`] before constructing
+/// an event, so a disabled sink costs one virtual call per potential
+/// event and nothing else.
+pub trait EventSink {
+    /// Whether this sink wants events at all. Emission sites skip event
+    /// construction entirely when this returns `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Record one event.
+    fn record(&mut self, event: TraceEvent);
+}
+
+/// The default sink: drops everything, reports itself disabled.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl EventSink for NoopSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _event: TraceEvent) {}
+}
+
+/// Collects events in memory, for tests and in-process analysis.
+#[derive(Debug, Default, Clone)]
+pub struct VecSink {
+    /// Recorded events, in emission order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl VecSink {
+    /// An empty sink.
+    pub fn new() -> VecSink {
+        VecSink::default()
+    }
+}
+
+impl EventSink for VecSink {
+    fn record(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+}
+
+/// Streams events as JSONL (one [`TraceEvent::to_json`] object per
+/// line) to any [`Write`] target.
+///
+/// Write errors are captured rather than panicking; check
+/// [`WriterSink::take_error`] after the run.
+#[derive(Debug)]
+pub struct WriterSink<W: Write> {
+    writer: W,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> WriterSink<W> {
+    /// Wrap a writer.
+    pub fn new(writer: W) -> WriterSink<W> {
+        WriterSink {
+            writer,
+            error: None,
+        }
+    }
+
+    /// The first write error encountered, if any (consumes it).
+    pub fn take_error(&mut self) -> Option<std::io::Error> {
+        self.error.take()
+    }
+
+    /// Unwrap the inner writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write> EventSink for WriterSink<W> {
+    fn record(&mut self, event: TraceEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = writeln!(self.writer, "{}", event.to_json()) {
+            self.error = Some(e);
+        }
+    }
+}
+
+/// Aggregate view of an event stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// Total events.
+    pub events: usize,
+    /// Events per kind, alphabetically ordered.
+    pub by_kind: BTreeMap<String, usize>,
+    /// Earliest event timestamp.
+    pub first_at: Option<SimTime>,
+    /// Latest event timestamp.
+    pub last_at: Option<SimTime>,
+}
+
+impl TraceSummary {
+    /// Summarize an in-memory event stream.
+    pub fn from_events(events: &[TraceEvent]) -> TraceSummary {
+        Self::from_kinds(events.iter().map(|e| (e.kind().to_string(), e.at())))
+    }
+
+    /// Summarize a JSONL stream produced by [`WriterSink`]. Lines that
+    /// do not carry a recognizable `kind` field are ignored.
+    pub fn from_jsonl(text: &str) -> TraceSummary {
+        Self::from_kinds(text.lines().filter_map(|line| {
+            let kind = extract_json_str(line, "kind")?;
+            let at = extract_json_u64(line, "at").unwrap_or(0);
+            Some((kind, SimTime(at)))
+        }))
+    }
+
+    fn from_kinds(kinds: impl Iterator<Item = (String, SimTime)>) -> TraceSummary {
+        let mut by_kind: BTreeMap<String, usize> = BTreeMap::new();
+        let mut events = 0usize;
+        let mut first_at: Option<SimTime> = None;
+        let mut last_at: Option<SimTime> = None;
+        for (kind, at) in kinds {
+            *by_kind.entry(kind).or_insert(0) += 1;
+            events += 1;
+            first_at = Some(first_at.map_or(at, |f| f.min(at)));
+            last_at = Some(last_at.map_or(at, |l| l.max(at)));
+        }
+        TraceSummary {
+            events,
+            by_kind,
+            first_at,
+            last_at,
+        }
+    }
+
+    /// Human-readable multi-line rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "events: {}", self.events);
+        if let (Some(f), Some(l)) = (self.first_at, self.last_at) {
+            let _ = writeln!(
+                out,
+                "span: {:.3}s .. {:.3}s",
+                f.as_secs_f64(),
+                l.as_secs_f64()
+            );
+        }
+        let width = self.by_kind.keys().map(|k| k.len()).max().unwrap_or(0);
+        for (kind, n) in &self.by_kind {
+            let _ = writeln!(out, "  {kind:width$}  {n}");
+        }
+        out
+    }
+
+    /// The summary as a JSON object.
+    pub fn to_json(&self) -> String {
+        let kinds: Vec<String> = self
+            .by_kind
+            .iter()
+            .map(|(k, n)| format!("\"{}\":{n}", json_escape(k)))
+            .collect();
+        format!(
+            "{{\"events\":{},\"first_at\":{},\"last_at\":{},\"by_kind\":{{{}}}}}",
+            self.events,
+            json_opt_time(self.first_at),
+            json_opt_time(self.last_at),
+            kinds.join(",")
+        )
+    }
+}
+
+/// Pull a `"key":"value"` string field out of a one-line JSON object
+/// without a full parser (the format is our own, from
+/// [`TraceEvent::to_json`]).
+fn extract_json_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+/// Pull a `"key":123` integer field out of a one-line JSON object.
+fn extract_json_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// Where two JSONL streams first diverge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// 1-based line number of the first differing line.
+    pub line: usize,
+    /// That line in the left stream (`None` if the stream ended).
+    pub left: Option<String>,
+    /// That line in the right stream (`None` if the stream ended).
+    pub right: Option<String>,
+}
+
+/// Compare two JSONL streams line by line; `None` means identical.
+///
+/// This is the mechanical form of the determinism guarantee: two runs
+/// with the same seed and configuration must produce identical streams.
+pub fn first_divergence(a: &str, b: &str) -> Option<Divergence> {
+    let mut left = a.lines();
+    let mut right = b.lines();
+    let mut line = 0usize;
+    loop {
+        line += 1;
+        match (left.next(), right.next()) {
+            (None, None) => return None,
+            (l, r) if l == r => continue,
+            (l, r) => {
+                return Some(Divergence {
+                    line,
+                    left: l.map(str::to_string),
+                    right: r.map(str::to_string),
+                })
+            }
+        }
+    }
+}
+
+/// Total busy (compute) seconds per host, from
+/// [`TraceEvent::ComputeFinish`] events.
+pub fn host_busy_seconds(events: &[TraceEvent]) -> BTreeMap<HostId, f64> {
+    let mut busy: BTreeMap<HostId, f64> = BTreeMap::new();
+    for e in events {
+        if let TraceEvent::ComputeFinish {
+            host,
+            elapsed_seconds,
+            ..
+        } = e
+        {
+            *busy.entry(*host).or_insert(0.0) += elapsed_seconds.max(0.0);
+        }
+    }
+    busy
+}
+
+/// Per-host utilization over time: for each host, the fraction of each
+/// `bucket_seconds`-wide bucket spent computing, from the
+/// `[at - elapsed, at]` interval of every [`TraceEvent::ComputeFinish`].
+/// Buckets cover `[0, last event]`. Overlapping workers on one host can
+/// push a bucket above 1.0 (demand utilization, same convention as
+/// `apples_grid::metrics`).
+pub fn host_utilization_timeline(
+    events: &[TraceEvent],
+    bucket_seconds: f64,
+) -> BTreeMap<HostId, Vec<f64>> {
+    let bucket_seconds = if bucket_seconds > 0.0 {
+        bucket_seconds
+    } else {
+        1.0
+    };
+    let end = events
+        .iter()
+        .map(|e| e.at().as_secs_f64())
+        .fold(0.0f64, f64::max);
+    let n_buckets = (end / bucket_seconds).ceil() as usize;
+    let mut out: BTreeMap<HostId, Vec<f64>> = BTreeMap::new();
+    if n_buckets == 0 {
+        return out;
+    }
+    for e in events {
+        if let TraceEvent::ComputeFinish {
+            host,
+            at,
+            elapsed_seconds,
+        } = e
+        {
+            let fin = at.as_secs_f64();
+            let start = (fin - elapsed_seconds.max(0.0)).max(0.0);
+            let buckets = out.entry(*host).or_insert_with(|| vec![0.0; n_buckets]);
+            let first = (start / bucket_seconds).floor() as usize;
+            let last = ((fin / bucket_seconds).ceil() as usize).min(n_buckets);
+            for (i, b) in buckets.iter_mut().enumerate().take(last).skip(first) {
+                let b_start = i as f64 * bucket_seconds;
+                let b_end = b_start + bucket_seconds;
+                let overlap = (fin.min(b_end) - start.max(b_start)).max(0.0);
+                *b += overlap / bucket_seconds;
+            }
+        }
+    }
+    out
+}
+
+/// Queue depth over time: jobs submitted (or scheduled for retry) but
+/// not yet dispatched. Returns `(time, depth)` change points in event
+/// order.
+pub fn queue_depth_timeline(events: &[TraceEvent]) -> Vec<(SimTime, usize)> {
+    let mut depth = 0usize;
+    let mut out = Vec::new();
+    for e in events {
+        match e {
+            TraceEvent::JobSubmitted { at, .. } | TraceEvent::JobRetried { at, .. } => {
+                depth += 1;
+                out.push((*at, depth));
+            }
+            TraceEvent::JobDispatched { at, .. } => {
+                depth = depth.saturating_sub(1);
+                out.push((*at, depth));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Per-job decision latency: seconds from submission to first dispatch.
+pub fn decision_latency_seconds(events: &[TraceEvent]) -> BTreeMap<usize, f64> {
+    let mut submitted: BTreeMap<usize, SimTime> = BTreeMap::new();
+    let mut out: BTreeMap<usize, f64> = BTreeMap::new();
+    for e in events {
+        match e {
+            TraceEvent::JobSubmitted { job, at, .. } => {
+                submitted.entry(*job).or_insert(*at);
+            }
+            TraceEvent::JobDispatched { job, at, .. } => {
+                if let Some(&sub) = submitted.get(job) {
+                    out.entry(*job)
+                        .or_insert_with(|| at.saturating_sub(sub).as_secs_f64());
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(x: f64) -> SimTime {
+        SimTime::from_secs_f64(x)
+    }
+
+    #[test]
+    fn noop_sink_is_disabled() {
+        let sink = NoopSink;
+        assert!(!sink.enabled());
+    }
+
+    #[test]
+    fn vec_sink_collects_in_order() {
+        let mut sink = VecSink::new();
+        assert!(sink.enabled());
+        sink.record(TraceEvent::JobSubmitted {
+            job: 0,
+            kind: "jacobi2d".into(),
+            at: s(1.0),
+        });
+        sink.record(TraceEvent::JobDispatched {
+            job: 0,
+            at: s(2.0),
+            attempt: 1,
+        });
+        assert_eq!(sink.events.len(), 2);
+        assert_eq!(sink.events[0].kind(), "job_submitted");
+        assert_eq!(sink.events[1].at(), s(2.0));
+    }
+
+    #[test]
+    fn writer_sink_emits_jsonl() {
+        let mut sink = WriterSink::new(Vec::new());
+        sink.record(TraceEvent::ComputeStart {
+            host: HostId(3),
+            at: s(1.5),
+            work_mflop: 100.0,
+        });
+        sink.record(TraceEvent::HostFaultInjected {
+            host: HostId(1),
+            at: s(10.0),
+            recover: None,
+        });
+        assert!(sink.take_error().is_none());
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"kind\":\"compute_start\",\"at\":1500000,\"host\":3,\"work_mflop\":100}"
+        );
+        assert!(lines[1].contains("\"recover\":null"));
+    }
+
+    #[test]
+    fn json_escapes_strings_and_non_finite() {
+        let e = TraceEvent::ForecastIssued {
+            resource: "cpu:\"x\"".into(),
+            at: s(0.0),
+            predicted: f64::NAN,
+            observed: 0.5,
+            error: 0.1,
+            method: "mean\n".into(),
+        };
+        let j = e.to_json();
+        assert!(j.contains("cpu:\\\"x\\\""));
+        assert!(j.contains("\"predicted\":null"));
+        assert!(j.contains("mean\\n"));
+    }
+
+    #[test]
+    fn summary_counts_kinds_from_events_and_jsonl() {
+        let events = vec![
+            TraceEvent::JobSubmitted {
+                job: 0,
+                kind: "jacobi2d".into(),
+                at: s(1.0),
+            },
+            TraceEvent::JobDispatched {
+                job: 0,
+                at: s(2.0),
+                attempt: 1,
+            },
+            TraceEvent::JobCompleted {
+                job: 0,
+                at: s(5.0),
+                exec_seconds: 3.0,
+            },
+        ];
+        let sum = TraceSummary::from_events(&events);
+        assert_eq!(sum.events, 3);
+        assert_eq!(sum.by_kind["job_submitted"], 1);
+        assert_eq!(sum.first_at, Some(s(1.0)));
+        assert_eq!(sum.last_at, Some(s(5.0)));
+
+        let jsonl: String = events
+            .iter()
+            .map(|e| format!("{}\n", e.to_json()))
+            .collect();
+        let sum2 = TraceSummary::from_jsonl(&jsonl);
+        assert_eq!(sum, sum2);
+        assert!(sum.render().contains("job_completed"));
+        assert!(sum.to_json().contains("\"events\":3"));
+    }
+
+    #[test]
+    fn divergence_reports_first_differing_line() {
+        assert!(first_divergence("a\nb\n", "a\nb\n").is_none());
+        let d = first_divergence("a\nb\nc\n", "a\nx\nc\n").unwrap();
+        assert_eq!(d.line, 2);
+        assert_eq!(d.left.as_deref(), Some("b"));
+        assert_eq!(d.right.as_deref(), Some("x"));
+        // Length mismatch: the shorter stream "ends".
+        let d = first_divergence("a\n", "a\nb\n").unwrap();
+        assert_eq!(d.line, 2);
+        assert!(d.left.is_none());
+        assert_eq!(d.right.as_deref(), Some("b"));
+    }
+
+    #[test]
+    fn busy_seconds_and_utilization_timeline() {
+        let events = vec![
+            TraceEvent::ComputeFinish {
+                host: HostId(0),
+                at: s(10.0),
+                elapsed_seconds: 10.0,
+            },
+            TraceEvent::ComputeFinish {
+                host: HostId(1),
+                at: s(10.0),
+                elapsed_seconds: 5.0,
+            },
+        ];
+        let busy = host_busy_seconds(&events);
+        assert_eq!(busy[&HostId(0)], 10.0);
+        assert_eq!(busy[&HostId(1)], 5.0);
+        let tl = host_utilization_timeline(&events, 5.0);
+        // Host 0 computed over [0, 10]: both buckets full.
+        assert!((tl[&HostId(0)][0] - 1.0).abs() < 1e-9);
+        assert!((tl[&HostId(0)][1] - 1.0).abs() < 1e-9);
+        // Host 1 computed over [5, 10]: second bucket only.
+        assert!(tl[&HostId(1)][0].abs() < 1e-9);
+        assert!((tl[&HostId(1)][1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn queue_depth_and_decision_latency() {
+        let events = vec![
+            TraceEvent::JobSubmitted {
+                job: 0,
+                kind: "jacobi2d".into(),
+                at: s(1.0),
+            },
+            TraceEvent::JobSubmitted {
+                job: 1,
+                kind: "react-pipe".into(),
+                at: s(2.0),
+            },
+            TraceEvent::JobDispatched {
+                job: 0,
+                at: s(3.0),
+                attempt: 1,
+            },
+            TraceEvent::JobDispatched {
+                job: 1,
+                at: s(6.0),
+                attempt: 1,
+            },
+        ];
+        let depths = queue_depth_timeline(&events);
+        assert_eq!(
+            depths,
+            vec![(s(1.0), 1), (s(2.0), 2), (s(3.0), 1), (s(6.0), 0)]
+        );
+        let lat = decision_latency_seconds(&events);
+        assert!((lat[&0] - 2.0).abs() < 1e-9);
+        assert!((lat[&1] - 4.0).abs() < 1e-9);
+    }
+}

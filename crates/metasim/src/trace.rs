@@ -6,13 +6,21 @@
 //! [`render_timeline`] draws a quick per-worker utilization bar for
 //! interactive inspection of an SPMD run.
 
+use crate::error::SimError;
 use crate::exec::SpmdOutcome;
 
 /// Summary statistics over a sample of f64 observations.
+///
+/// NaN observations are counted in [`Stats::nan_count`] and excluded
+/// from every aggregate (same convention as
+/// `apples_grid::metrics::percentile`), so one poisoned trial cannot
+/// take the whole summary down with it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Stats {
-    /// Number of observations.
+    /// Number of finite-or-infinite (non-NaN) observations.
     pub n: usize,
+    /// NaN observations dropped from the aggregates.
+    pub nan_count: usize,
     /// Arithmetic mean.
     pub mean: f64,
     /// Sample standard deviation (n-1 denominator; 0 for n < 2).
@@ -26,19 +34,21 @@ pub struct Stats {
 }
 
 impl Stats {
-    /// Compute summary statistics. Returns `None` for an empty sample.
+    /// Compute summary statistics. NaN samples are dropped (and
+    /// counted); returns `None` when no non-NaN samples remain.
     pub fn from_samples(samples: &[f64]) -> Option<Stats> {
-        if samples.is_empty() {
+        let mut sorted: Vec<f64> = samples.iter().copied().filter(|x| !x.is_nan()).collect();
+        let nan_count = samples.len() - sorted.len();
+        if sorted.is_empty() {
             return None;
         }
-        let n = samples.len();
-        let mean = samples.iter().sum::<f64>() / n as f64;
+        let n = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / n as f64;
         let var = if n > 1 {
-            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+            sorted.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
         } else {
             0.0
         };
-        let mut sorted = samples.to_vec();
         sorted.sort_by(|a, b| a.total_cmp(b));
         let median = if n % 2 == 1 {
             sorted[n / 2]
@@ -47,6 +57,7 @@ impl Stats {
         };
         Some(Stats {
             n,
+            nan_count,
             mean,
             std_dev: var.sqrt(),
             min: sorted[0],
@@ -55,12 +66,15 @@ impl Stats {
         })
     }
 
-    /// Coefficient of variation (std_dev / mean); 0 when the mean is 0.
+    /// Coefficient of variation (std_dev / |mean|); 0 when the mean is
+    /// 0. The magnitude of the mean is used so series centred below
+    /// zero (e.g. signed forecast errors) still report a non-negative
+    /// dispersion.
     pub fn cv(&self) -> f64 {
         if self.mean == 0.0 {
             0.0
         } else {
-            self.std_dev / self.mean
+            self.std_dev / self.mean.abs()
         }
     }
 }
@@ -70,13 +84,20 @@ impl Stats {
 /// barrier (communication + stragglers). One line per worker.
 ///
 /// `labels` supplies one name per worker; `width` is the bar length in
-/// characters.
-pub fn render_timeline(outcome: &SpmdOutcome, labels: &[String], width: usize) -> String {
-    assert_eq!(
-        labels.len(),
-        outcome.compute_seconds.len(),
-        "one label per worker"
-    );
+/// characters. A label/worker-count mismatch is an
+/// [`SimError::Invalid`] — library code must not panic on caller input.
+pub fn render_timeline(
+    outcome: &SpmdOutcome,
+    labels: &[String],
+    width: usize,
+) -> Result<String, SimError> {
+    if labels.len() != outcome.compute_seconds.len() {
+        return Err(SimError::Invalid(format!(
+            "one label per worker: {} labels for {} workers",
+            labels.len(),
+            outcome.compute_seconds.len()
+        )));
+    }
     let width = width.max(1);
     let name_w = labels.iter().map(|l| l.len()).max().unwrap_or(0);
     let mut out = String::new();
@@ -100,7 +121,7 @@ pub fn render_timeline(outcome: &SpmdOutcome, labels: &[String], width: usize) -
             }
         ));
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -110,16 +131,20 @@ mod tests {
 
     #[test]
     fn stats_degrade_instead_of_panicking_on_nan() {
-        // Regression: the percentile sort used `partial_cmp.expect`,
-        // which aborted summarization of any series containing a NaN.
-        // With total_cmp the summary degrades (NaN sorts above +inf and
-        // poisons mean/max) but the finite order statistics survive.
+        // Regression, twice over: the percentile sort used
+        // `partial_cmp.expect`, which aborted on NaN; then the NaN
+        // survived the sort and poisoned mean/std_dev/max. Now NaNs are
+        // filtered (and counted) so every aggregate stays finite.
         let s = Stats::from_samples(&[3.0, f64::NAN, 1.0, 2.0]).unwrap();
-        assert_eq!(s.n, 4);
+        assert_eq!(s.n, 3);
+        assert_eq!(s.nan_count, 1);
         assert_eq!(s.min, 1.0);
-        assert_eq!(s.median, 2.5, "NaN sorts last; finite median intact");
-        assert!(s.max.is_nan());
-        assert!(s.mean.is_nan());
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!(s.std_dev.is_finite());
+        // A sample of only NaNs reduces to the empty case.
+        assert!(Stats::from_samples(&[f64::NAN, f64::NAN]).is_none());
     }
 
     #[test]
@@ -131,7 +156,7 @@ mod tests {
             sync_seconds: vec![2.5, 7.5],
         };
         let labels = vec!["fast".to_string(), "slow".to_string()];
-        let t = render_timeline(&outcome, &labels, 8);
+        let t = render_timeline(&outcome, &labels, 8).unwrap();
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains("|######..|"), "{}", lines[0]);
@@ -147,20 +172,24 @@ mod tests {
             compute_seconds: vec![0.0],
             sync_seconds: vec![0.0],
         };
-        let t = render_timeline(&outcome, &["idle".to_string()], 4);
+        let t = render_timeline(&outcome, &["idle".to_string()], 4).unwrap();
         assert!(t.contains("0.0% busy"));
     }
 
     #[test]
-    #[should_panic(expected = "one label per worker")]
     fn timeline_rejects_label_mismatch() {
+        // Regression: this used to be an `assert_eq!` panic in library
+        // code; a mismatch is ordinary caller error, so it is now a
+        // `SimError::Invalid`.
         let outcome = SpmdOutcome {
             finish: SimTime::ZERO,
             iteration_ends: vec![],
             compute_seconds: vec![0.0, 0.0],
             sync_seconds: vec![0.0, 0.0],
         };
-        render_timeline(&outcome, &["only-one".to_string()], 4);
+        let err = render_timeline(&outcome, &["only-one".to_string()], 4).unwrap_err();
+        assert!(matches!(err, SimError::Invalid(_)));
+        assert!(err.to_string().contains("one label per worker"));
     }
 
     #[test]
@@ -201,5 +230,15 @@ mod tests {
         assert_eq!(s.cv(), 0.0);
         let s2 = Stats::from_samples(&[4.0, 6.0]).unwrap();
         assert!(s2.cv() > 0.0);
+    }
+
+    #[test]
+    fn cv_is_non_negative_for_negative_means() {
+        // Regression: a series centred below zero (signed forecast
+        // errors) reported a *negative* coefficient of variation.
+        let neg = Stats::from_samples(&[-4.0, -6.0]).unwrap();
+        let pos = Stats::from_samples(&[4.0, 6.0]).unwrap();
+        assert!(neg.cv() > 0.0);
+        assert!((neg.cv() - pos.cv()).abs() < 1e-12);
     }
 }

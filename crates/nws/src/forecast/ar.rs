@@ -24,7 +24,9 @@ impl AutoRegressive {
     /// Panics if `order == 0` or `window < order + 2` (not enough data
     /// for even one regression row plus a residual degree of freedom).
     pub fn new(order: usize, window: usize) -> Self {
+        // simlint: allow(panic-in-lib): documented `# Panics` constructor precondition
         assert!(order > 0, "AR order must be positive");
+        // simlint: allow(panic-in-lib): documented `# Panics` constructor precondition
         assert!(
             window >= order + 2,
             "window {window} too small for AR({order})"

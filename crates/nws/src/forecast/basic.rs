@@ -81,6 +81,7 @@ impl ExpSmoothing {
     /// # Panics
     /// Panics unless `0 < alpha <= 1`.
     pub fn new(alpha: f64) -> Self {
+        // simlint: allow(panic-in-lib): documented `# Panics` constructor precondition
         assert!(
             alpha > 0.0 && alpha <= 1.0,
             "smoothing factor must be in (0, 1], got {alpha}"

@@ -19,7 +19,9 @@ impl TrimmedMean {
     /// # Panics
     /// Panics if `k == 0` or `2 * trim >= k` (nothing left to average).
     pub fn new(k: usize, trim: usize) -> Self {
+        // simlint: allow(panic-in-lib): documented `# Panics` constructor precondition
         assert!(k > 0, "window must be non-empty");
+        // simlint: allow(panic-in-lib): documented `# Panics` constructor precondition
         assert!(
             2 * trim < k,
             "trim {trim} leaves nothing of a window of {k}"
@@ -74,6 +76,7 @@ impl LinearTrend {
     /// # Panics
     /// Panics if `k < 2` (a line needs two points).
     pub fn new(k: usize) -> Self {
+        // simlint: allow(panic-in-lib): documented `# Panics` constructor precondition
         assert!(k >= 2, "trend window needs at least 2 samples");
         LinearTrend {
             k,

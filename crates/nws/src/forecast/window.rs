@@ -19,6 +19,7 @@ impl SlidingWindowMean {
     /// # Panics
     /// Panics if `k == 0`.
     pub fn new(k: usize) -> Self {
+        // simlint: allow(panic-in-lib): documented `# Panics` constructor precondition
         assert!(k > 0, "window must be non-empty");
         SlidingWindowMean {
             k,
@@ -71,6 +72,7 @@ impl SlidingWindowMedian {
     /// # Panics
     /// Panics if `k == 0`.
     pub fn new(k: usize) -> Self {
+        // simlint: allow(panic-in-lib): documented `# Panics` constructor precondition
         assert!(k > 0, "window must be non-empty");
         SlidingWindowMedian {
             k,
@@ -124,6 +126,7 @@ impl AdaptiveWindowMean {
     /// # Panics
     /// Panics if `windows` is empty or contains a zero.
     pub fn new(windows: &[usize]) -> Self {
+        // simlint: allow(panic-in-lib): documented `# Panics` constructor precondition
         assert!(!windows.is_empty(), "need at least one candidate window");
         AdaptiveWindowMean {
             candidates: windows.iter().map(|&k| SlidingWindowMean::new(k)).collect(),

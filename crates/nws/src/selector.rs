@@ -53,6 +53,7 @@ impl AdaptiveSelector {
     /// # Panics
     /// Panics if `members` is empty.
     pub fn with_members(members: Vec<Box<dyn Forecaster>>) -> Self {
+        // simlint: allow(panic-in-lib): documented `# Panics` constructor precondition
         assert!(!members.is_empty(), "selector needs at least one member");
         let n = members.len();
         AdaptiveSelector {

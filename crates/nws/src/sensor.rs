@@ -67,7 +67,9 @@ impl CpuSensor {
     /// # Panics
     /// Panics if `period` is zero or `noise` is negative.
     pub fn with_noise(host: HostId, period: SimTime, noise: f64, noise_seed: u64) -> Self {
+        // simlint: allow(panic-in-lib): documented `# Panics` constructor precondition
         assert!(period > SimTime::ZERO, "sensor period must be positive");
+        // simlint: allow(panic-in-lib): documented `# Panics` constructor precondition
         assert!(noise >= 0.0, "noise amplitude must be non-negative");
         CpuSensor {
             host,
@@ -130,7 +132,9 @@ impl LinkSensor {
     /// # Panics
     /// Panics if `period` is zero or `noise` is negative.
     pub fn with_noise(link: LinkId, period: SimTime, noise: f64, noise_seed: u64) -> Self {
+        // simlint: allow(panic-in-lib): documented `# Panics` constructor precondition
         assert!(period > SimTime::ZERO, "sensor period must be positive");
+        // simlint: allow(panic-in-lib): documented `# Panics` constructor precondition
         assert!(noise >= 0.0, "noise amplitude must be non-negative");
         LinkSensor {
             link,

@@ -21,6 +21,7 @@ impl TimeSeries {
     /// Panics if timestamps are not strictly increasing.
     pub fn from_points(points: Vec<(SimTime, f64)>) -> Self {
         for w in points.windows(2) {
+            // simlint: allow(panic-in-lib): documented precondition; out-of-order points would corrupt every forecast
             assert!(
                 w[0].0 < w[1].0,
                 "TimeSeries timestamps must be strictly increasing"
@@ -35,6 +36,7 @@ impl TimeSeries {
     /// Panics if `t` is not after the last timestamp.
     pub fn push(&mut self, t: SimTime, v: f64) {
         if let Some(&(last, _)) = self.points.last() {
+            // simlint: allow(panic-in-lib): documented precondition; a non-monotonic push is a sensor logic bug
             assert!(t > last, "measurement at {t:?} not after {last:?}");
         }
         self.points.push((t, v));

@@ -9,6 +9,7 @@
 use crate::selector::AdaptiveSelector;
 use crate::sensor::{CpuSensor, LinkSensor, Sensor};
 use crate::series::TimeSeries;
+use metasim::simtrace::{EventSink, NoopSink, TraceEvent};
 use metasim::{HostId, LinkId, SimTime, Topology};
 use std::collections::BTreeMap;
 
@@ -155,11 +156,44 @@ impl WeatherService {
     /// the forecasters. Monotone in `now`; going backwards is a no-op
     /// for sensors that have already passed the requested time.
     pub fn advance(&mut self, topo: &Topology, now: SimTime) {
+        self.advance_with_sink(topo, now, &mut NoopSink);
+    }
+
+    /// [`WeatherService::advance`], emitting one
+    /// [`TraceEvent::ForecastIssued`] per resource that received at
+    /// least one new sample: the prediction made *before* the new
+    /// samples arrived, scored against the freshest observation — the
+    /// forecast error the scheduler would have eaten had it decided
+    /// just before this advance.
+    pub fn advance_with_sink(&mut self, topo: &Topology, now: SimTime, sink: &mut dyn EventSink) {
         self.now = self.now.max(now);
-        for m in self.monitored.values_mut() {
+        for (key, m) in self.monitored.iter_mut() {
+            let predicted = if sink.enabled() {
+                m.selector.forecast()
+            } else {
+                None
+            };
+            let mut last_observed = None;
             for (t, v) in m.sensor.poll(topo, now) {
                 m.history.push(t, v);
                 m.selector.update(v);
+                last_observed = Some(v);
+            }
+            if sink.enabled() {
+                if let (Some(predicted), Some(observed)) = (predicted, last_observed) {
+                    let resource = match key {
+                        ResourceKey::Cpu(h) => format!("cpu:{}", h.0),
+                        ResourceKey::Link(l) => format!("link:{}", l.0),
+                    };
+                    sink.record(TraceEvent::ForecastIssued {
+                        resource,
+                        at: now,
+                        predicted: predicted.clamp(0.0, 1.0),
+                        observed,
+                        error: m.selector.best_error().unwrap_or(f64::INFINITY),
+                        method: m.selector.best_name().unwrap_or_default(),
+                    });
+                }
             }
         }
     }
@@ -375,6 +409,39 @@ mod tests {
         for (_, name, err) in summary {
             assert!(!name.is_empty());
             assert!(err < 1e-6, "constant signals should be nailed, err {err}");
+        }
+    }
+
+    #[test]
+    fn advance_with_sink_scores_forecasts_against_observations() {
+        use metasim::simtrace::VecSink;
+        let topo = topo();
+        let mut ws = WeatherService::for_topology(&topo, WeatherServiceConfig::default());
+        let mut sink = VecSink::new();
+        // First advance: no prior forecast exists, so nothing is scored.
+        ws.advance_with_sink(&topo, s(100.0), &mut sink);
+        assert!(sink.events.is_empty());
+        // Second advance: one event per monitored resource.
+        ws.advance_with_sink(&topo, s(200.0), &mut sink);
+        assert_eq!(sink.events.len(), 3); // 2 CPUs + 1 link
+        for e in &sink.events {
+            match e {
+                TraceEvent::ForecastIssued {
+                    resource,
+                    predicted,
+                    observed,
+                    error,
+                    method,
+                    ..
+                } => {
+                    assert!(resource.starts_with("cpu:") || resource.starts_with("link:"));
+                    // Constant signals: prediction nails the observation.
+                    assert!((predicted - observed).abs() < 1e-9);
+                    assert!(*error < 1e-6);
+                    assert!(!method.is_empty());
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
         }
     }
 

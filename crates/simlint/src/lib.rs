@@ -13,7 +13,9 @@
 //! * `nan-unsafe-cmp` — comparator chains must use `total_cmp`, never
 //!   `partial_cmp(..).unwrap()/expect()/unwrap_or(..)`.
 //! * `panic-in-lib` — library code in the simulation crates returns
-//!   typed errors instead of `unwrap()`/`expect()`/`panic!`.
+//!   typed errors instead of `unwrap()`/`expect()`/`panic!` or the
+//!   `assert!`/`assert_eq!`/`assert_ne!` family (`debug_assert*` is
+//!   exempt: it compiles out of release simulations).
 //! * `float-keyed-map` — no `f64`/`f32`-keyed maps or sets.
 //!
 //! Suppression requires a reason:

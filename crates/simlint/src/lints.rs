@@ -243,6 +243,24 @@ fn check_panic_in_lib(rel: &str, scanned: &ScannedFile, toks: &[Token], out: &mu
                     ));
                 }
             }
+            // `debug_assert*` is deliberately exempt: it compiles out of
+            // release simulations.
+            "assert" | "assert_eq" | "assert_ne" => {
+                let next_is_bang = toks.get(i + 1).is_some_and(|n| n.text == "!");
+                if next_is_bang {
+                    out.push(finding(
+                        Lint::PanicInLib,
+                        rel,
+                        scanned,
+                        t,
+                        format!(
+                            "`{}!` in library code panics on bad input instead of \
+                             returning an error",
+                            t.text
+                        ),
+                    ));
+                }
+            }
             _ => {}
         }
     }
@@ -528,6 +546,26 @@ fn f() {
 ";
         let f = run(src, &[Lint::PanicInLib]);
         assert_eq!(f.len(), 5);
+    }
+
+    #[test]
+    fn panic_in_lib_flags_assert_family_outside_tests() {
+        let src = "
+fn f(n: usize) {
+    assert!(n > 0);
+    assert_eq!(n % 2, 0);
+    assert_ne!(n, 7);
+    debug_assert!(n < 100); // compiled out in release: exempt
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { assert_eq!(1 + 1, 2); }
+}
+";
+        let f = run(src, &[Lint::PanicInLib]);
+        assert_eq!(f.len(), 3, "{f:?}");
+        assert!(f.iter().all(|x| x.message.contains("panics on bad input")));
     }
 
     #[test]

@@ -93,7 +93,10 @@ fn main() {
         "\nexecution: {:.2} s; per-worker utilization:\n",
         outcome.makespan(now).as_secs_f64()
     );
-    print!("{}", render_timeline(&outcome, &labels, 40));
+    print!(
+        "{}",
+        render_timeline(&outcome, &labels, 40).expect("one label per worker")
+    );
     println!(
         "\nThe nominally fastest machine (60 Mflop/s shared server) gets a\n\
          modest strip because the *recorded* trace says it is busy now —\n\

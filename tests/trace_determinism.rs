@@ -1,0 +1,102 @@
+//! simtrace determinism: the whole point of structured tracing over a
+//! deterministic simulator is that the event stream is part of the
+//! reproducibility contract. Same seed → byte-identical JSONL, and the
+//! `trace diff` machinery must report zero divergence on such a pair.
+
+use apples_grid::workload::{ArrivalProcess, JobMix, WorkloadConfig};
+use apples_grid::{run, run_with_sink, GridConfig};
+use metasim::simtrace::{first_divergence, TraceSummary, VecSink, WriterSink};
+use metasim::SimTime;
+
+fn s(x: f64) -> SimTime {
+    SimTime::from_secs_f64(x)
+}
+
+fn workload() -> WorkloadConfig {
+    WorkloadConfig {
+        arrivals: ArrivalProcess::Poisson { rate_hz: 0.02 },
+        mix: JobMix::default_mix(),
+        duration: s(300.0),
+        seed: 7,
+        ..WorkloadConfig::default()
+    }
+}
+
+/// Run the stream with a JSONL sink and return the bytes written.
+fn traced_jsonl() -> String {
+    let mut sink = WriterSink::new(Vec::new());
+    run_with_sink(&GridConfig::default(), &workload(), &mut sink).expect("traced stream");
+    assert!(sink.take_error().is_none());
+    String::from_utf8(sink.into_inner()).expect("JSONL is UTF-8")
+}
+
+#[test]
+fn same_seed_traces_are_byte_identical() {
+    let a = traced_jsonl();
+    let b = traced_jsonl();
+    assert!(!a.is_empty(), "traced stream emitted nothing");
+    assert_eq!(a, b, "same seed must reproduce the trace byte for byte");
+    assert!(
+        first_divergence(&a, &b).is_none(),
+        "diff machinery disagrees with byte equality"
+    );
+}
+
+#[test]
+fn trace_diff_pinpoints_the_first_divergence() {
+    let a = traced_jsonl();
+    // Corrupt one line mid-stream and check the report names it.
+    let lines: Vec<&str> = a.lines().collect();
+    let k = lines.len() / 2;
+    let mut mutated: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
+    mutated[k] = mutated[k].replace("\"at\":", "\"at\":9");
+    let b = mutated.join("\n") + "\n";
+    let d = first_divergence(&a, &b).expect("mutation must diverge");
+    assert_eq!(d.line, k + 1, "divergence line is 1-indexed");
+    assert_eq!(d.left.as_deref(), Some(lines[k]));
+    // A truncated right side reports the missing line as absent.
+    let truncated: String = lines[..k]
+        .iter()
+        .map(|l| format!("{l}\n"))
+        .collect::<String>();
+    let d = first_divergence(&a, &truncated).expect("truncation must diverge");
+    assert_eq!(d.line, k + 1);
+    assert!(d.right.is_none());
+}
+
+#[test]
+fn traced_grid_run_spans_the_stack_and_matches_untraced() {
+    let mut sink = VecSink::new();
+    let traced =
+        run_with_sink(&GridConfig::default(), &workload(), &mut sink).expect("traced stream");
+    let plain = run(&GridConfig::default(), &workload()).expect("plain stream");
+    assert_eq!(
+        traced.records, plain.records,
+        "attaching a sink must not perturb the simulation"
+    );
+
+    let summary = TraceSummary::from_events(&sink.events);
+    assert_eq!(summary.events, sink.events.len());
+    assert!(
+        summary.by_kind.len() >= 6,
+        "expected at least 6 distinct event kinds, got {:?}",
+        summary.by_kind
+    );
+    // At least one event from each layer of the stack.
+    let kinds: Vec<&str> = summary.by_kind.keys().map(|k| k.as_str()).collect();
+    for (layer, witness) in [
+        ("metasim", "compute_start"),
+        ("nws", "forecast_issued"),
+        ("core", "schedule_chosen"),
+        ("grid", "job_completed"),
+    ] {
+        assert!(kinds.contains(&witness), "no {witness} event from {layer}");
+    }
+
+    // The JSONL round-trip preserves the per-kind counts.
+    let jsonl: String = sink.events.iter().map(|e| e.to_json() + "\n").collect();
+    let reparsed = TraceSummary::from_jsonl(&jsonl);
+    assert_eq!(reparsed.by_kind, summary.by_kind);
+    assert_eq!(reparsed.first_at, summary.first_at);
+    assert_eq!(reparsed.last_at, summary.last_at);
+}
