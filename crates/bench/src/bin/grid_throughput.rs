@@ -4,16 +4,19 @@
 //! ```text
 //! grid_throughput [--arrival-rate R] [--duration SECS] [--seed N]
 //!                 [--trials T] [--max-in-flight K] [--csv] [--json]
-//!                 [--trace FILE]
+//!                 [--trace FILE] [--metrics FILE]
 //! ```
 //!
 //! `--csv` emits one machine-parseable row per trial (plus per-job
 //! rows for single-trial runs); `--json` emits the fleet metrics of
 //! each trial as one JSON object per line. Same seed → same output,
 //! bit for bit. `--trace` re-runs the first trial with a [`WriterSink`]
-//! attached and writes every structured event to FILE as JSONL.
+//! attached and writes every structured event to FILE as JSONL;
+//! `--metrics` does the same with a [`MetricsSink`] and writes a
+//! Prometheus text-format snapshot.
 //!
 //! [`WriterSink`]: metasim::simtrace::WriterSink
+//! [`MetricsSink`]: obsv::MetricsSink
 
 use apples_bench::grid_exp::{
     fleet_table, run_trials, sweep_summary, utilization_table, GridExpConfig,
@@ -28,7 +31,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: grid_throughput [--arrival-rate R] [--duration SECS] [--seed N]\n\
          \x20                      [--trials T] [--max-in-flight K] [--csv] [--json]\n\
-         \x20                      [--trace FILE]"
+         \x20                      [--trace FILE] [--metrics FILE]"
     );
     std::process::exit(2);
 }
@@ -38,6 +41,7 @@ fn main() {
     let mut csv = false;
     let mut json = false;
     let mut trace_path = String::new();
+    let mut metrics_path = String::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut take = |name: &str| -> String {
@@ -54,6 +58,7 @@ fn main() {
             "--max-in-flight" => cfg.max_in_flight = parse(&take("--max-in-flight")),
             "--csv" => csv = true,
             "--trace" => trace_path = take("--trace"),
+            "--metrics" => metrics_path = take("--metrics"),
             "--json" => json = true,
             "--help" | "-h" => usage(),
             other => {
@@ -71,6 +76,9 @@ fn main() {
 
     if !trace_path.is_empty() {
         write_trace(&cfg, &trace_path);
+    }
+    if !metrics_path.is_empty() {
+        write_metrics(&cfg, &metrics_path);
     }
 
     if json {
@@ -160,4 +168,17 @@ fn write_trace(cfg: &GridExpConfig, path: &str) {
     }
     result.expect("grid stream");
     eprintln!("trace written to {path}");
+}
+
+/// Re-run the first trial with a metrics sink attached and write the
+/// Prometheus exposition to `path`.
+fn write_metrics(cfg: &GridExpConfig, path: &str) {
+    let (grid, workload) = first_trial_config(cfg);
+    let mut sink = obsv::MetricsSink::new();
+    run_with_sink(&grid, &workload, &mut sink).expect("grid stream");
+    if let Err(e) = std::fs::write(path, sink.registry().expose()) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!("metrics written to {path}");
 }

@@ -1,0 +1,119 @@
+//! T-PROF: where do the simulated seconds go under each partitioning
+//! strategy of the Figure-5 scenario?
+//!
+//! ```text
+//! prof_attribution [--n N] [--iterations K] [--seed S] [--folded DIR]
+//! ```
+//!
+//! Runs the three Figure-5 partitions (AppLeS, static Strip, HPF
+//! Blocked) on the same warmed testbed with an event sink attached,
+//! folds each trace with simprof, and prints the per-strategy
+//! execution-time attribution (compute / border-exchange /
+//! contention-wait shares). The paper's Figure 5 says AppLeS wins;
+//! this says *why* — the static partitions burn their extra seconds
+//! waiting, not computing. `--folded DIR` additionally writes one
+//! flamegraph-compatible folded-stack file per strategy.
+
+use apples::info::InfoPool;
+use apples_apps::jacobi2d::partition::jacobi_context;
+use apples_apps::jacobi2d::{apples_stencil_schedule, blocked_uniform, static_strip};
+use metasim::exec::simulate_spmd_with_sink;
+use metasim::simtrace::VecSink;
+use metasim::testbed::{pcl_sdsc, LoadProfile, TestbedConfig};
+use metasim::SimTime;
+use nws::{WeatherService, WeatherServiceConfig};
+use obsv::Profile;
+
+fn usage() -> ! {
+    eprintln!("usage: prof_attribution [--n N] [--iterations K] [--seed S] [--folded DIR]");
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("could not parse {s:?}");
+        usage()
+    })
+}
+
+fn main() {
+    let mut n = 1400usize;
+    let mut iterations = 100usize;
+    let mut seed = 1996u64;
+    let mut folded_dir = String::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--n" => n = parse(&take("--n")),
+            "--iterations" => iterations = parse(&take("--iterations")),
+            "--seed" => seed = parse(&take("--seed")),
+            "--folded" => folded_dir = take("--folded"),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+        }
+    }
+
+    let warmup = SimTime::from_secs(600);
+    let tb = pcl_sdsc(&TestbedConfig {
+        profile: LoadProfile::Moderate,
+        horizon: SimTime::from_secs(400_000),
+        seed,
+        with_sp2: false,
+    })
+    .expect("testbed");
+    let workstations = tb.workstations();
+    let (hat, user) = jacobi_context(n, iterations);
+    let t = hat.as_stencil().expect("stencil HAT");
+
+    let mut ws = WeatherService::for_topology(&tb.topo, WeatherServiceConfig::default());
+    ws.advance(&tb.topo, warmup);
+    let pool = InfoPool::with_nws(&tb.topo, &ws, &hat, &user, warmup);
+
+    let apples = apples_stencil_schedule(&pool).expect("apples plan");
+    let strip = static_strip(&tb.topo, n, iterations, &workstations);
+    let blocked = blocked_uniform(n, iterations, &workstations);
+    let jobs = [
+        ("AppLeS", apples.to_spmd_job(t, warmup)),
+        ("static-strip", strip.to_spmd_job(t, warmup)),
+        ("hpf-blocked", blocked.to_spmd_job(t, warmup)),
+    ];
+
+    println!("Jacobi2D {n}x{n}, {iterations} iterations, seed {seed} (moderate profile):\n");
+    println!(
+        "{:<14} {:>10} {:>10} {:>17} {:>17}",
+        "strategy", "makespan", "compute", "border-exchange", "contention-wait"
+    );
+    for (name, job) in &jobs {
+        let mut sink = VecSink::new();
+        let out = simulate_spmd_with_sink(&tb.topo, job, &mut sink).expect("spmd run");
+        let profile = Profile::from_events(&sink.events);
+        let shares = profile.exec_shares().expect("nonempty trace");
+        println!(
+            "{:<14} {:>9.2}s {:>9.1}% {:>16.1}% {:>16.1}%",
+            name,
+            out.makespan(warmup).as_secs_f64(),
+            shares.compute * 100.0,
+            shares.border_exchange * 100.0,
+            shares.contention_wait * 100.0,
+        );
+        if !folded_dir.is_empty() {
+            let path = format!("{folded_dir}/{name}.folded");
+            if let Err(e) = std::fs::write(&path, profile.folded()) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if !folded_dir.is_empty() {
+        eprintln!("folded stacks written to {folded_dir}/<strategy>.folded");
+    }
+}

@@ -525,19 +525,49 @@ pub fn grid(p: &Parsed) -> CmdResult {
     let service = GridService::new(cfg)?;
     let cfg = service.config();
     let trace_path = p.get("trace", "");
-    let out = if trace_path.is_empty() {
+    let metrics_path = p.get("metrics", "");
+    let out = if trace_path.is_empty() && metrics_path.is_empty() {
         service.run(&workload)?
     } else {
-        let file = std::fs::File::create(trace_path)
-            .map_err(|e| format!("cannot create {trace_path}: {e}"))?;
-        let mut sink = metasim::simtrace::WriterSink::new(std::io::BufWriter::new(file));
-        let out = service.run_with_sink(&workload, &mut sink);
-        if let Some(e) = sink.take_error() {
-            return Err(format!("writing {trace_path}: {e}").into());
+        // Fan the one event stream out to whichever consumers were
+        // asked for: a JSONL writer (--trace) and/or a metrics
+        // registry (--metrics).
+        let mut writer = if trace_path.is_empty() {
+            None
+        } else {
+            let file = std::fs::File::create(trace_path)
+                .map_err(|e| format!("cannot create {trace_path}: {e}"))?;
+            Some(metasim::simtrace::WriterSink::new(std::io::BufWriter::new(
+                file,
+            )))
+        };
+        let mut metrics = if metrics_path.is_empty() {
+            None
+        } else {
+            Some(obsv::MetricsSink::new())
+        };
+        let out = {
+            let mut fan = obsv::FanoutSink::new();
+            if let Some(w) = writer.as_mut() {
+                fan.push(w);
+            }
+            if let Some(m) = metrics.as_mut() {
+                fan.push(m);
+            }
+            service.run_with_sink(&workload, &mut fan)
+        };
+        if let Some(mut sink) = writer {
+            if let Some(e) = sink.take_error() {
+                return Err(format!("writing {trace_path}: {e}").into());
+            }
+            sink.into_inner()
+                .into_inner()
+                .map_err(|e| format!("flushing {trace_path}: {e}"))?;
         }
-        sink.into_inner()
-            .into_inner()
-            .map_err(|e| format!("flushing {trace_path}: {e}"))?;
+        if let Some(sink) = metrics {
+            std::fs::write(metrics_path, sink.registry().expose())
+                .map_err(|e| format!("cannot write {metrics_path}: {e}"))?;
+        }
         out?
     };
 
@@ -636,6 +666,116 @@ pub fn trace(args: &[String]) -> i32 {
             2
         }
     }
+}
+
+/// `apples-cli prof FILE [--mode folded|gantt|table] [--width N]` —
+/// time-attribution profile of a JSONL trace.
+///
+/// Positional like `trace`; returns the process exit code (0 on
+/// success, 2 on usage or I/O errors).
+pub fn prof(args: &[String]) -> i32 {
+    let mut file: Option<&str> = None;
+    let mut mode = "folded";
+    let mut width = 72usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--mode" => match it.next() {
+                Some(m) => mode = m,
+                None => {
+                    eprintln!("error: --mode needs a value (folded|gantt|table)");
+                    return 2;
+                }
+            },
+            "--width" => match it.next().and_then(|w| w.parse().ok()) {
+                Some(w) => width = w,
+                None => {
+                    eprintln!("error: --width needs an integer value");
+                    return 2;
+                }
+            },
+            other if !other.starts_with('-') && file.is_none() => file = Some(other),
+            other => {
+                eprintln!("error: unexpected argument {other:?}");
+                return 2;
+            }
+        }
+    }
+    let Some(path) = file else {
+        eprintln!("usage: apples-cli prof FILE [--mode folded|gantt|table] [--width N]");
+        return 2;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    let profile = obsv::Profile::from_jsonl(&text);
+    match mode {
+        "folded" => print!("{}", profile.folded()),
+        "gantt" => print!("{}", profile.gantt(width)),
+        "table" => print!("{}", profile.table()),
+        other => {
+            eprintln!("error: unknown mode {other:?} (folded|gantt|table)");
+            return 2;
+        }
+    }
+    0
+}
+
+/// `apples-cli snapshot-diff A B` — compare two Prometheus text
+/// snapshots series by series. Exit 0 when they agree, 1 on any
+/// difference, 2 on I/O or usage errors (mirrors `trace diff`).
+pub fn snapshot_diff(args: &[String]) -> i32 {
+    let [a, b] = args else {
+        eprintln!("usage: apples-cli snapshot-diff A B");
+        return 2;
+    };
+    let read = |path: &str| -> Result<String, i32> {
+        std::fs::read_to_string(path).map_err(|e| {
+            eprintln!("error: cannot read {path}: {e}");
+            2
+        })
+    };
+    let (ta, tb) = match (read(a), read(b)) {
+        (Ok(ta), Ok(tb)) => (ta, tb),
+        (Err(code), _) | (_, Err(code)) => return code,
+    };
+    let deltas = obsv::snapshot_diff(&ta, &tb);
+    if deltas.is_empty() {
+        println!(
+            "identical: {} series",
+            obsv::Snapshot::parse(&ta).series.len()
+        );
+        return 0;
+    }
+    println!("{} differing series:", deltas.len());
+    for d in &deltas {
+        println!("  {}", d.render());
+    }
+    1
+}
+
+/// `apples-cli metrics` — run a seeded grid scenario with a
+/// [`obsv::MetricsSink`] attached and dump the Prometheus exposition
+/// (to stdout, or `--out FILE`). Same scenario flags as `grid`.
+pub fn metrics(p: &Parsed) -> CmdResult {
+    use apples_grid::GridService;
+    let (cfg, workload) = grid_setup(p)?;
+    let service = GridService::new(cfg)?;
+    let mut sink = obsv::MetricsSink::new();
+    service.run_with_sink(&workload, &mut sink)?;
+    let exposition = sink.registry().expose();
+    let out_path = p.get("out", "");
+    if out_path.is_empty() {
+        print!("{exposition}");
+    } else {
+        std::fs::write(out_path, exposition)
+            .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]

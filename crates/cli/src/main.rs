@@ -46,12 +46,13 @@ USAGE:
                        [--max-in-flight K] [--blind] [--csv] [--json]
                        [--fault-rate C] [--link-fault-rate L] [--mean-outage SECS]
                        [--permanent F] [--max-attempts K] [--backoff SECS]
-                       [--trace FILE]
+                       [--trace FILE] [--metrics FILE]
       Stream a multi-tenant job mix through the testbed; fleet metrics.
       --fault-rate crashes hosts at C per host-hour (--permanent F of
       them for good); revoked jobs retry up to --max-attempts times
       with exponential backoff from --backoff seconds. --trace writes
-      every structured event the stack emits to FILE as JSONL.
+      every structured event the stack emits to FILE as JSONL;
+      --metrics writes a Prometheus text-format snapshot to FILE.
   apples-cli validate  [same flags as grid] [--horizon SECS]
       Statically check a grid configuration without running it: every
       problem is printed as a typed [code] diagnostic and the exit
@@ -61,6 +62,18 @@ USAGE:
   apples-cli trace diff A B
       Compare two traces line by line; report the first divergence.
       Exit 0 when identical, 1 on divergence, 2 on usage errors.
+  apples-cli prof FILE [--mode folded|gantt|table] [--width N]
+      Time-attribution profile of a JSONL trace: per-job queue-wait /
+      retry-backoff / compute / border-exchange / contention-wait
+      buckets (they sum to each job's makespan exactly). folded emits
+      flamegraph-compatible stacks, gantt an ASCII timeline with
+      per-host utilization lanes, table a plain-text breakdown.
+  apples-cli metrics   [same flags as grid] [--out FILE]
+      Run a seeded grid scenario with the metrics registry attached
+      and dump a Prometheus text-format snapshot.
+  apples-cli snapshot-diff A B
+      Compare two Prometheus snapshots series by series.
+      Exit 0 when identical, 1 on any difference, 2 on usage errors.
 
 Profiles: dedicated | light | moderate (default) | heavy
 ";
@@ -71,10 +84,17 @@ fn main() {
         print!("{USAGE}");
         return;
     }
-    // `trace` takes positional file arguments, which the flag grammar
-    // rejects — route it before the parser.
+    // `trace`, `prof` and `snapshot-diff` take positional file
+    // arguments, which the flag grammar rejects — route them before
+    // the parser.
     if raw[0] == "trace" {
         std::process::exit(commands::trace(&raw[1..]));
+    }
+    if raw[0] == "prof" {
+        std::process::exit(commands::prof(&raw[1..]));
+    }
+    if raw[0] == "snapshot-diff" {
+        std::process::exit(commands::snapshot_diff(&raw[1..]));
     }
     let parsed = match Parsed::parse(
         &raw,
@@ -107,6 +127,8 @@ fn main() {
             "backoff",
             "horizon",
             "trace",
+            "metrics",
+            "out",
         ],
         &["sp2", "csv", "json", "blind"],
     ) {
@@ -129,6 +151,7 @@ fn main() {
         "whatif" => commands::whatif(&parsed),
         "grid" => commands::grid(&parsed),
         "validate" => commands::validate(&parsed),
+        "metrics" => commands::metrics(&parsed),
         other => {
             eprintln!("error: unknown command {other:?}\n");
             eprint!("{USAGE}");

@@ -34,12 +34,15 @@
 //!
 //! Everything is deterministic per seed: same seed + same workload
 //! config + same fault schedule → bit-identical records and fleet
-//! metrics.
+//! metrics. The [`obsv`] crate (re-exported here) turns the service's
+//! trace stream into metrics, profiles and Prometheus expositions.
 
 pub mod metrics;
 pub mod service;
 pub mod sweep;
 pub mod workload;
+
+pub use obsv;
 
 pub use metrics::{percentile, slowdown_of, FleetMetrics, JobRecord};
 pub use service::{

@@ -83,18 +83,14 @@ impl JobRecord {
     }
 }
 
-/// Nearest-rank percentile of an unsorted sample (p in `[0, 100]`).
-/// Returns 0.0 for an empty sample. NaN samples are ignored; a sample
-/// of only NaNs reduces to the empty case.
-pub fn percentile(samples: &[f64], p: f64) -> f64 {
-    let mut sorted: Vec<f64> = samples.iter().copied().filter(|x| !x.is_nan()).collect();
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    sorted.sort_by(|a, b| a.total_cmp(b));
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
-}
+/// Nearest-rank percentile of an unsorted sample.
+///
+/// The one implementation lives in [`obsv::percentile`] (shared with
+/// the histogram quantiles in the metrics registry); re-exported here
+/// because fleet metrics are where grid callers reach for it. `p` is
+/// clamped to `[0, 100]`, NaN samples are dropped, and an empty or
+/// all-NaN sample yields `0.0` — never NaN, never a panic.
+pub use obsv::percentile;
 
 /// Aggregate view of a whole job stream.
 #[derive(Debug, Clone, PartialEq)]
@@ -299,6 +295,18 @@ mod tests {
         assert_eq!(percentile(&xs, 100.0), 100.0);
         assert_eq!(percentile(&[7.0], 50.0), 7.0);
         assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range_p() {
+        // Regression: p < 0 used to produce rank 0 via a saturating
+        // float→usize cast, silently aliasing p0; p > 100 read past
+        // the intended range. Both now clamp.
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, -25.0), 1.0);
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 400.0), 4.0);
+        assert_eq!(percentile(&xs, f64::NAN), 1.0);
     }
 
     #[test]

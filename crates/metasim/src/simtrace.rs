@@ -508,6 +508,150 @@ impl TraceEvent {
             ),
         }
     }
+
+    /// Parse one JSONL line produced by [`TraceEvent::to_json`] back
+    /// into an event.
+    ///
+    /// Returns `None` when the line has no recognizable `kind`, an
+    /// unknown kind, or a missing required field, so consumers of
+    /// foreign or truncated traces can skip bad lines and keep going.
+    /// Numeric fields serialized as `null` (non-finite floats) come
+    /// back as NaN, preserving the event rather than dropping it.
+    pub fn from_json(line: &str) -> Option<TraceEvent> {
+        let kind = extract_json_str(line, "kind")?;
+        let at = SimTime(extract_json_u64(line, "at")?);
+        let host = |key: &str| Some(HostId(extract_json_u64(line, key)? as usize));
+        let idx = |key: &str| Some(extract_json_u64(line, key)? as usize);
+        Some(match kind.as_str() {
+            "compute_start" => TraceEvent::ComputeStart {
+                host: host("host")?,
+                at,
+                work_mflop: extract_json_f64(line, "work_mflop")?,
+            },
+            "compute_finish" => TraceEvent::ComputeFinish {
+                host: host("host")?,
+                at,
+                elapsed_seconds: extract_json_f64(line, "elapsed_seconds")?,
+            },
+            "transfer_start" => TraceEvent::TransferStart {
+                from: host("from")?,
+                to: host("to")?,
+                at,
+                mb: extract_json_f64(line, "mb")?,
+            },
+            "transfer_finish" => TraceEvent::TransferFinish {
+                from: host("from")?,
+                to: host("to")?,
+                at,
+                mb: extract_json_f64(line, "mb")?,
+                contention_share: extract_json_f64(line, "contention_share")?,
+            },
+            "host_fault_injected" => TraceEvent::HostFaultInjected {
+                host: host("host")?,
+                at,
+                recover: extract_json_u64(line, "recover").map(SimTime),
+            },
+            "link_fault_injected" => TraceEvent::LinkFaultInjected {
+                link: LinkId(extract_json_u64(line, "link")? as usize),
+                at,
+                recover: extract_json_u64(line, "recover").map(SimTime),
+            },
+            "placement_revoked" => TraceEvent::PlacementRevoked {
+                host: host("host")?,
+                at,
+            },
+            "load_imposed" => TraceEvent::LoadImposed {
+                host: host("host")?,
+                at,
+                until: SimTime(extract_json_u64(line, "until")?),
+                factor: extract_json_f64(line, "factor")?,
+            },
+            "forecast_issued" => TraceEvent::ForecastIssued {
+                resource: extract_json_str(line, "resource")?,
+                at,
+                predicted: extract_json_f64(line, "predicted")?,
+                observed: extract_json_f64(line, "observed")?,
+                error: extract_json_f64(line, "error")?,
+                method: extract_json_str(line, "method")?,
+            },
+            "resource_selection" => TraceEvent::ResourceSelection {
+                at,
+                candidates: idx("candidates")?,
+            },
+            "candidate_considered" => TraceEvent::CandidateConsidered {
+                at,
+                index: idx("index")?,
+                hosts: idx("hosts")?,
+                predicted_seconds: extract_json_f64(line, "predicted_seconds")?,
+                objective: extract_json_f64(line, "objective")?,
+            },
+            "schedule_chosen" => TraceEvent::ScheduleChosen {
+                at,
+                index: idx("index")?,
+                predicted_seconds: extract_json_f64(line, "predicted_seconds")?,
+            },
+            "actuated" => TraceEvent::Actuated {
+                at,
+                finish: SimTime(extract_json_u64(line, "finish")?),
+                elapsed_seconds: extract_json_f64(line, "elapsed_seconds")?,
+            },
+            "reschedule_triggered" => TraceEvent::RescheduleTriggered {
+                at,
+                phase: idx("phase")?,
+            },
+            "reschedule_decision" => TraceEvent::RescheduleDecision {
+                at,
+                keep_seconds: extract_json_f64(line, "keep_seconds")?,
+                move_seconds: extract_json_f64(line, "move_seconds")?,
+                move_cost_seconds: extract_json_f64(line, "move_cost_seconds")?,
+                migrated: extract_json_bool(line, "migrated")?,
+            },
+            "job_submitted" => TraceEvent::JobSubmitted {
+                job: idx("job")?,
+                kind: extract_json_str(line, "class")?,
+                at,
+            },
+            "job_dispatched" => TraceEvent::JobDispatched {
+                job: idx("job")?,
+                at,
+                attempt: extract_json_u64(line, "attempt")? as u32,
+            },
+            "job_retried" => TraceEvent::JobRetried {
+                job: idx("job")?,
+                at,
+                attempt: extract_json_u64(line, "attempt")? as u32,
+            },
+            "job_completed" => TraceEvent::JobCompleted {
+                job: idx("job")?,
+                at,
+                exec_seconds: extract_json_f64(line, "exec_seconds")?,
+            },
+            "job_failed" => TraceEvent::JobFailed {
+                job: idx("job")?,
+                at,
+                attempts: extract_json_u64(line, "attempts")? as u32,
+            },
+            _ => return None,
+        })
+    }
+
+    /// Parse a whole JSONL stream, skipping unparseable lines (see
+    /// [`TraceEvent::from_json`]). Returns the events plus the count of
+    /// non-empty lines that did not parse.
+    pub fn from_jsonl(text: &str) -> (Vec<TraceEvent>, usize) {
+        let mut events = Vec::new();
+        let mut skipped = 0usize;
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match TraceEvent::from_json(line) {
+                Some(e) => events.push(e),
+                None => skipped += 1,
+            }
+        }
+        (events, skipped)
+    }
 }
 
 /// Receiver for [`TraceEvent`]s.
@@ -691,8 +835,29 @@ fn extract_json_str(line: &str, key: &str) -> Option<String> {
     let pat = format!("\"{key}\":\"");
     let start = line.find(&pat)? + pat.len();
     let rest = &line[start..];
-    let end = rest.find('"')?;
-    Some(rest[..end].to_string())
+    // Unescape up to the closing quote, honoring the escapes
+    // `json_escape` produces.
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
 }
 
 /// Pull a `"key":123` integer field out of a one-line JSON object.
@@ -704,6 +869,37 @@ fn extract_json_u64(line: &str, key: &str) -> Option<u64> {
         .take_while(|c| c.is_ascii_digit())
         .collect();
     digits.parse().ok()
+}
+
+/// Pull a `"key":<number>` float field out of a one-line JSON object.
+/// A `null` value (how [`json_f64`] spells non-finite floats) parses as
+/// NaN so the enclosing event survives the round-trip.
+fn extract_json_f64(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    if rest.starts_with("null") {
+        return Some(f64::NAN);
+    }
+    let num: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+        .collect();
+    num.parse().ok()
+}
+
+/// Pull a `"key":true|false` field out of a one-line JSON object.
+fn extract_json_bool(line: &str, key: &str) -> Option<bool> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
 }
 
 /// Where two JSONL streams first diverge.

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # obsv — deterministic observability for the AppLeS testbed
+//!
+//! The AppLeS argument is that a scheduler wins by *seeing* what the
+//! testbed is doing; this crate is the seeing apparatus for the
+//! reproduction itself. It turns the [`metasim::simtrace`] event
+//! stream into three artifacts:
+//!
+//! * a **metrics registry** ([`Registry`]) — counters, gauges and
+//!   fixed-boundary histograms with bucket-interpolated p50/p95/p99,
+//!   deterministic by construction: no wall-clock, no hash-map
+//!   iteration, canonical label ordering. [`MetricsSink`] implements
+//!   [`metasim::simtrace::EventSink`], so every `_with_sink` call site
+//!   in the stack feeds it without modification, and [`FanoutSink`]
+//!   lets JSONL tracing and metrics watch the same run;
+//! * **simprof** ([`Profile`]) — a time-attribution profiler that
+//!   folds a trace into per-job/per-host/per-phase buckets
+//!   (queue-wait, retry-backoff, compute, border-exchange,
+//!   contention-wait) which partition each job's makespan exactly,
+//!   rendered as flamegraph folded stacks, an ASCII Gantt/utilization
+//!   timeline, or a table;
+//! * **exposition** — Prometheus text format via
+//!   [`Registry::expose`], with [`Snapshot`] parsing and
+//!   [`snapshot_diff`] so CI can gate on "same seed ⇒ same metrics".
+//!
+//! Everything here is read-only with respect to the simulation: a
+//! sink that is never attached costs nothing, and attaching one
+//! cannot change simulated outcomes.
+
+pub mod expose;
+pub mod profile;
+pub mod registry;
+pub mod sink;
+
+pub use expose::{snapshot_diff, SeriesDelta, Snapshot};
+pub use profile::{ExecShares, HostProfile, JobProfile, Phase, Profile, PHASES};
+pub use registry::{percentile, Histogram, Registry};
+pub use sink::{FanoutSink, MetricsSink};

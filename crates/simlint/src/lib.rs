@@ -9,7 +9,7 @@
 //!
 //! * `nondeterminism` — no wall-clock, OS entropy, or hash-order
 //!   iteration in the simulation crates (`metasim`, `core`, `nws`,
-//!   `grid`).
+//!   `grid`, `obsv`).
 //! * `nan-unsafe-cmp` — comparator chains must use `total_cmp`, never
 //!   `partial_cmp(..).unwrap()/expect()/unwrap_or(..)`.
 //! * `panic-in-lib` — library code in the simulation crates returns
@@ -17,6 +17,9 @@
 //!   `assert!`/`assert_eq!`/`assert_ne!` family (`debug_assert*` is
 //!   exempt: it compiles out of release simulations).
 //! * `float-keyed-map` — no `f64`/`f32`-keyed maps or sets.
+//! * `print-in-lib` — library code in the simulation crates never
+//!   writes to stdout/stderr directly; output flows through an
+//!   `EventSink`, a returned value, or a caller-supplied writer.
 //!
 //! Suppression requires a reason:
 //! `// simlint: allow(<lint>): <why this site is sound>`.
@@ -37,7 +40,7 @@ use std::path::{Path, PathBuf};
 pub use lints::{Finding, Lint, ALL_LINTS};
 
 /// Crates whose library code must be deterministic and panic-free.
-pub const SIM_CRATES: [&str; 4] = ["metasim", "core", "nws", "grid"];
+pub const SIM_CRATES: [&str; 5] = ["metasim", "core", "nws", "grid", "obsv"];
 
 /// Directories never scanned (vendored shims, build output, VCS).
 const SKIP_DIRS: [&str; 5] = ["vendor", "target", ".git", ".github", "node_modules"];
@@ -254,9 +257,11 @@ mod tests {
     #[test]
     fn policy_gives_sim_crates_every_lint() {
         let l = lints_for_path(Path::new("crates/metasim/src/net.rs"));
-        assert_eq!(l.len(), 4);
+        assert_eq!(l.len(), 5);
         let l = lints_for_path(Path::new("crates/grid/src/service.rs"));
         assert!(l.contains(&Lint::PanicInLib));
+        let l = lints_for_path(Path::new("crates/obsv/src/registry.rs"));
+        assert!(l.contains(&Lint::PrintInLib));
     }
 
     #[test]

@@ -20,15 +20,18 @@ pub enum Lint {
     PanicInLib,
     /// `f64`/`f32`-keyed `HashMap`/`BTreeMap`.
     FloatKeyedMap,
+    /// `println!`/`eprintln!`-family in non-test library code.
+    PrintInLib,
     /// A `simlint: allow` directive that is unusable (no reason / unknown lint).
     MalformedAllow,
 }
 
-pub const ALL_LINTS: [Lint; 4] = [
+pub const ALL_LINTS: [Lint; 5] = [
     Lint::Nondeterminism,
     Lint::NanUnsafeCmp,
     Lint::PanicInLib,
     Lint::FloatKeyedMap,
+    Lint::PrintInLib,
 ];
 
 impl Lint {
@@ -38,6 +41,7 @@ impl Lint {
             Lint::NanUnsafeCmp => "nan-unsafe-cmp",
             Lint::PanicInLib => "panic-in-lib",
             Lint::FloatKeyedMap => "float-keyed-map",
+            Lint::PrintInLib => "print-in-lib",
             Lint::MalformedAllow => "malformed-allow",
         }
     }
@@ -48,6 +52,7 @@ impl Lint {
             "nan-unsafe-cmp" => Some(Lint::NanUnsafeCmp),
             "panic-in-lib" => Some(Lint::PanicInLib),
             "float-keyed-map" => Some(Lint::FloatKeyedMap),
+            "print-in-lib" => Some(Lint::PrintInLib),
             _ => None,
         }
     }
@@ -66,6 +71,12 @@ impl Lint {
             Lint::FloatKeyedMap => {
                 "float keys break Ord/Hash contracts under NaN; key by an integer id \
                  or by to_bits()"
+            }
+            Lint::PrintInLib => {
+                "library output must flow through an EventSink, a returned value, or a \
+                 caller-supplied writer — stdout/stderr from a library can't be \
+                 captured, redirected or diffed; justify with \
+                 `// simlint: allow(print-in-lib): <reason>`"
             }
             Lint::MalformedAllow => {
                 "write `// simlint: allow(<lint>): <reason>` with a known lint name \
@@ -113,6 +124,7 @@ pub fn check_file(rel: &str, scanned: &ScannedFile, enabled: &[Lint]) -> Vec<Fin
             Lint::PanicInLib => check_panic_in_lib(rel, scanned, toks, &mut findings),
             Lint::Nondeterminism => check_nondeterminism(rel, scanned, toks, &mut findings),
             Lint::FloatKeyedMap => check_float_keyed_map(rel, scanned, toks, &mut findings),
+            Lint::PrintInLib => check_print_in_lib(rel, scanned, toks, &mut findings),
             Lint::MalformedAllow => {}
         }
     }
@@ -262,6 +274,30 @@ fn check_panic_in_lib(rel: &str, scanned: &ScannedFile, toks: &[Token], out: &mu
                 }
             }
             _ => {}
+        }
+    }
+}
+
+fn check_print_in_lib(rel: &str, scanned: &ScannedFile, toks: &[Token], out: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.in_test {
+            continue;
+        }
+        if let "println" | "eprintln" | "print" | "eprint" = t.text.as_str() {
+            let next_is_bang = toks.get(i + 1).is_some_and(|n| n.text == "!");
+            if next_is_bang {
+                out.push(finding(
+                    Lint::PrintInLib,
+                    rel,
+                    scanned,
+                    t,
+                    format!(
+                        "`{}!` in library code writes to a stream the caller \
+                         cannot capture or redirect",
+                        t.text
+                    ),
+                ));
+            }
         }
     }
 }
@@ -583,6 +619,48 @@ mod tests {
 }
 ";
         assert!(run(src, &[Lint::PanicInLib]).is_empty());
+    }
+
+    // --- print-in-lib ---
+
+    #[test]
+    fn print_in_lib_flags_the_println_family() {
+        let src = "
+fn f() {
+    println!(\"progress: {pct}%\");
+    eprintln!(\"warning: {w}\");
+    print!(\"partial\");
+    eprint!(\"partial err\");
+}
+";
+        let f = run(src, &[Lint::PrintInLib]);
+        assert_eq!(f.len(), 4);
+        assert!(f.iter().all(|x| x.lint == Lint::PrintInLib));
+    }
+
+    #[test]
+    fn print_in_lib_exempts_tests_and_lookalikes() {
+        let src = "
+fn f(w: &mut impl std::fmt::Write) {
+    writeln!(w, \"captured output\").ok();
+    let println = 3; // an ident without `!` is not a macro call
+    log.println;
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { println!(\"fine in tests\"); }
+}
+";
+        assert!(run(src, &[Lint::PrintInLib]).is_empty());
+    }
+
+    #[test]
+    fn print_in_lib_respects_allow_with_reason() {
+        let src = "fn f() { println!(\"x\"); } // simlint: allow(print-in-lib): CLI-facing table renderer\n";
+        let f = run(src, &[Lint::PrintInLib]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].allowed);
     }
 
     // --- nondeterminism ---

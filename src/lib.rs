@@ -7,8 +7,10 @@
 pub use apples;
 pub use apples_apps;
 pub use apples_bench;
+pub use apples_grid;
 pub use metasim;
 pub use nws;
+pub use obsv;
 
 /// One-line import for the common workflow: build a system, watch it,
 /// schedule on it.

@@ -11,12 +11,11 @@ fn s(x: f64) -> SimTime {
     SimTime::from_secs_f64(x)
 }
 
-/// Short stream for the quick tier-1 suite: the previous 1800 s window
-/// admitted ~36 jobs and stalled the default `cargo test -q` run for
-/// about a minute; 300 s keeps the same coverage shape (multiple jobs,
-/// both regimes, contention) at a fraction of the cost. The original
-/// long stream lives on in `long_soak_stream_stays_deterministic`
-/// behind `#[ignore]`.
+/// Short stream for the quick tier-1 suite: 300 s of the default mix
+/// covers multiple jobs, both regimes and contention at a fraction of
+/// the original 1800 s window's cost. The many-job population lives in
+/// `long_soak_stream_stays_deterministic`, which trades job size for
+/// job count.
 fn stream_workload() -> WorkloadConfig {
     WorkloadConfig {
         arrivals: ArrivalProcess::Poisson { rate_hz: 0.02 },
@@ -108,15 +107,39 @@ fn aware_probe_observes_earlier_tenants_load() {
     );
 }
 
-/// The original 1800 s soak stream, kept for manual long-haul runs:
-/// `cargo test --test grid_stream -- --ignored`.
+/// The soak stream: what the original 1800 s / default-mix version
+/// (≈ 61 s of wall clock, hidden behind `#[ignore]`) actually tested
+/// was *many* jobs flowing through one service instance — enough
+/// arrivals that queues form, tenants overlap and the RNG streams are
+/// consumed far past the first few draws. A 10× arrival rate over a
+/// downsized job mix admits the same ≥ 20-job population in a couple
+/// of wall-clock seconds, so the test now runs in the tier-1 suite.
 #[test]
-#[ignore = "long soak; the quick suite covers the same path with a 300 s stream"]
 fn long_soak_stream_stays_deterministic() {
+    let mix = JobMix {
+        entries: vec![
+            (
+                JobKind::Jacobi {
+                    n: 200,
+                    iterations: 10,
+                },
+                4.0,
+            ),
+            (
+                JobKind::Jacobi {
+                    n: 300,
+                    iterations: 30,
+                },
+                2.0,
+            ),
+            (JobKind::ReactPipeline { units: 4 }, 1.0),
+            (JobKind::NileFarm { events: 500 }, 1.0),
+        ],
+    };
     let workload = WorkloadConfig {
-        arrivals: ArrivalProcess::Poisson { rate_hz: 0.02 },
-        mix: JobMix::default_mix(),
-        duration: s(1800.0),
+        arrivals: ArrivalProcess::Poisson { rate_hz: 0.5 },
+        mix,
+        duration: s(60.0),
         seed: 7,
         ..WorkloadConfig::default()
     };

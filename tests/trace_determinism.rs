@@ -5,8 +5,11 @@
 
 use apples_grid::workload::{ArrivalProcess, JobMix, WorkloadConfig};
 use apples_grid::{run, run_with_sink, GridConfig};
-use metasim::simtrace::{first_divergence, TraceSummary, VecSink, WriterSink};
-use metasim::SimTime;
+use metasim::simtrace::{
+    decision_latency_seconds, first_divergence, host_busy_seconds, host_utilization_timeline,
+    queue_depth_timeline, TraceEvent, TraceSummary, VecSink, WriterSink,
+};
+use metasim::{HostId, SimTime};
 
 fn s(x: f64) -> SimTime {
     SimTime::from_secs_f64(x)
@@ -99,4 +102,121 @@ fn traced_grid_run_spans_the_stack_and_matches_untraced() {
     assert_eq!(reparsed.by_kind, summary.by_kind);
     assert_eq!(reparsed.first_at, summary.first_at);
     assert_eq!(reparsed.last_at, summary.last_at);
+}
+
+/// The derived timelines on a hand-built trace, where every value can
+/// be checked against arithmetic done by eye.
+#[test]
+fn derived_timelines_match_hand_computed_values() {
+    let events = vec![
+        TraceEvent::JobSubmitted {
+            job: 0,
+            kind: "spmd".into(),
+            at: s(1.0),
+        },
+        TraceEvent::JobSubmitted {
+            job: 1,
+            kind: "pipe".into(),
+            at: s(2.0),
+        },
+        TraceEvent::JobDispatched {
+            job: 0,
+            at: s(3.0),
+            attempt: 1,
+        },
+        // Host 2 computes over [6, 10]: spans buckets [5,10) and [10,15).
+        TraceEvent::ComputeFinish {
+            host: HostId(2),
+            at: s(10.0),
+            elapsed_seconds: 4.0,
+        },
+        TraceEvent::JobRetried {
+            job: 0,
+            at: s(11.0),
+            attempt: 1,
+        },
+        TraceEvent::JobDispatched {
+            job: 0,
+            at: s(12.0),
+            attempt: 2,
+        },
+        TraceEvent::JobDispatched {
+            job: 1,
+            at: s(14.0),
+            attempt: 1,
+        },
+    ];
+
+    let busy = host_busy_seconds(&events);
+    assert_eq!(busy.len(), 1);
+    assert!((busy[&HostId(2)] - 4.0).abs() < 1e-9);
+
+    let util = host_utilization_timeline(&events, 5.0);
+    // Events end at t=14 → ceil(14/5) = 3 buckets of 5 s.
+    let lane = &util[&HostId(2)];
+    assert_eq!(lane.len(), 3);
+    assert!((lane[0] - 0.0).abs() < 1e-9, "no compute before t=5");
+    assert!((lane[1] - 0.8).abs() < 1e-9, "4 of [5,10) busy");
+    assert!((lane[2] - 0.0).abs() < 1e-9, "interval closed at t=10");
+
+    // submit(+1) submit(+1) dispatch(-1) retry(+1) dispatch(-1) dispatch(-1)
+    let depth = queue_depth_timeline(&events);
+    let depths: Vec<usize> = depth.iter().map(|&(_, d)| d).collect();
+    assert_eq!(depths, vec![1, 2, 1, 2, 1, 0]);
+    assert_eq!(depth[3].0, s(11.0), "retry re-enters the queue at t=11");
+
+    // Decision latency is submit → *first* dispatch; retries don't reset it.
+    let latency = decision_latency_seconds(&events);
+    assert!((latency[&0] - 2.0).abs() < 1e-9);
+    assert!((latency[&1] - 12.0).abs() < 1e-9);
+}
+
+/// The same derived timelines on a real traced run: cross-check them
+/// against each other and against the stream's own invariants.
+#[test]
+fn derived_timelines_are_consistent_on_a_real_trace() {
+    let mut sink = VecSink::new();
+    run_with_sink(&GridConfig::default(), &workload(), &mut sink).expect("traced stream");
+    let events = &sink.events;
+
+    // Busy seconds and the utilization timeline are two renderings of
+    // the same ComputeFinish intervals clipped to t >= 0, so each
+    // host's bucket-sum must equal its busy total.
+    let busy = host_busy_seconds(events);
+    let util = host_utilization_timeline(events, 10.0);
+    assert!(!busy.is_empty(), "no compute events in the stream");
+    assert_eq!(
+        busy.keys().collect::<Vec<_>>(),
+        util.keys().collect::<Vec<_>>()
+    );
+    for (host, lane) in &util {
+        let bucketed: f64 = lane.iter().sum::<f64>() * 10.0;
+        assert!(
+            (bucketed - busy[host]).abs() < 1e-6,
+            "host {host:?}: timeline sums to {bucketed} s, busy says {} s",
+            busy[host]
+        );
+    }
+
+    // Queue depth never goes negative (saturating) and ends at zero:
+    // the 300 s stream drains completely.
+    let depth = queue_depth_timeline(events);
+    assert!(!depth.is_empty());
+    assert_eq!(depth.last().map(|&(_, d)| d), Some(0), "queue must drain");
+    for w in depth.windows(2) {
+        assert!(w[0].0 <= w[1].0, "change points must be time-ordered");
+    }
+
+    // Every dispatched job has a non-negative decision latency, and
+    // the count matches the dispatched-job population of the trace.
+    let latency = decision_latency_seconds(events);
+    let dispatched: std::collections::BTreeSet<usize> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::JobDispatched { job, .. } => Some(*job),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(latency.len(), dispatched.len());
+    assert!(latency.values().all(|&l| l >= 0.0));
 }
