@@ -1,0 +1,125 @@
+//! T-SCALE: events/sec trajectory of the simulation core.
+//!
+//! ```text
+//! event_engine [--hosts N[,N...]] [--jobs N[,N...]] [--seed N]
+//!              [--out FILE] [--json] [--check FILE]
+//! ```
+//!
+//! With no flags, runs the default decade sweep (10/10², 10²/10³,
+//! 10³/10⁴ hosts/jobs), prints the table, and writes
+//! `BENCH_event_engine.json` to the current directory. `--hosts` and
+//! `--jobs` take comma-separated lists zipped into sweep points (a
+//! single `--jobs` value is reused for every host count). `--json`
+//! prints the JSON document to stdout instead of the table. `--check`
+//! validates an existing results file and exits non-zero if it is
+//! missing or malformed — the CI artifact gate.
+
+use apples_bench::event_engine::{parse_results, run_sweep, to_json, to_table, DEFAULT_SWEEP};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: event_engine [--hosts N[,N...]] [--jobs N[,N...]] [--seed N]\n\
+         \x20                   [--out FILE] [--json] [--check FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_list(s: &str, what: &str) -> Vec<usize> {
+    s.split(',')
+        .map(|p| {
+            p.trim().parse().unwrap_or_else(|_| {
+                eprintln!("bad {what} value: {p:?}");
+                usage()
+            })
+        })
+        .collect()
+}
+
+fn main() {
+    let mut hosts: Vec<usize> = Vec::new();
+    let mut jobs: Vec<usize> = Vec::new();
+    let mut seed: u64 = 42;
+    let mut out = String::from("BENCH_event_engine.json");
+    let mut json = false;
+    let mut check: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--hosts" => hosts = parse_list(&take("--hosts"), "host"),
+            "--jobs" => jobs = parse_list(&take("--jobs"), "job"),
+            "--seed" => {
+                seed = take("--seed").parse().unwrap_or_else(|_| {
+                    eprintln!("bad seed");
+                    usage()
+                })
+            }
+            "--out" => out = take("--out"),
+            "--json" => json = true,
+            "--check" => check = Some(take("--check")),
+            _ => usage(),
+        }
+    }
+
+    if let Some(path) = check {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("check failed: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match parse_results(&text) {
+            Ok(points) => {
+                eprintln!("{path}: {} valid sweep point(s)", points.len());
+                return;
+            }
+            Err(e) => {
+                eprintln!("check failed: {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let sweep: Vec<(usize, usize)> = if hosts.is_empty() {
+        DEFAULT_SWEEP.to_vec()
+    } else {
+        let jobs = if jobs.is_empty() {
+            vec![1000; hosts.len()]
+        } else if jobs.len() == 1 {
+            vec![jobs[0]; hosts.len()]
+        } else if jobs.len() == hosts.len() {
+            jobs
+        } else {
+            eprintln!("--jobs must have 1 value or as many as --hosts");
+            usage()
+        };
+        hosts.into_iter().zip(jobs).collect()
+    };
+
+    let points = match run_sweep(&sweep, seed) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let doc = to_json(&points);
+    if json {
+        print!("{doc}");
+    } else {
+        print!("{}", to_table(&points));
+    }
+    if let Err(e) = std::fs::write(&out, &doc) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out}");
+}

@@ -1,0 +1,387 @@
+//! T-SCALE: events/sec of the simulation core — the incremental
+//! dirty-set engine (`simulate_transfers_counting`) against the naive
+//! full-recompute baseline (`simulate_transfers_reference`) on a seeded
+//! synthetic fleet, swept over host and job counts.
+//!
+//! The scenario is a star of shared Ethernet-class segments (~8 hosts
+//! each) hung off a backbone segment, every link carrying a periodic
+//! background load so availability-change events fire throughout the
+//! run. Transfers are mostly segment-local (the locality that makes
+//! dirty sets small) with a cross-segment minority that exercises
+//! multi-hop routes. Both engines consume the identical request batch
+//! and their delivered times are cross-checked before any timing is
+//! reported — a benchmark of a wrong answer is worthless.
+//!
+//! `run_sweep` produces the `BENCH_event_engine.json` trajectory file
+//! at the repo root; `parse_results` validates it (the CI gate and
+//! `apples-cli bench --check` both call it).
+
+use metasim::host::HostSpec;
+use metasim::load::LoadModel;
+use metasim::net::{simulate_transfers_counting, simulate_transfers_reference, TransferReq};
+use metasim::net::{LinkSpec, Topology, TopologyBuilder};
+use metasim::simtrace::NoopSink;
+use metasim::{HostId, SimTime};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Hosts attached to each shared segment.
+const HOSTS_PER_SEGMENT: usize = 8;
+/// Fraction of transfers whose endpoints share a segment.
+const LOCALITY: f64 = 0.85;
+
+/// One (hosts, jobs) sweep point's measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnginePoint {
+    /// Host count of the synthetic fleet.
+    pub hosts: usize,
+    /// Transfer (job) count pushed through it.
+    pub jobs: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Events processed and wall-clock seconds, incremental engine.
+    pub inc_events: u64,
+    /// Wall-clock seconds of the incremental run.
+    pub inc_secs: f64,
+    /// Events processed by the full-recompute baseline.
+    pub ref_events: u64,
+    /// Wall-clock seconds of the baseline run.
+    pub ref_secs: f64,
+}
+
+impl EnginePoint {
+    /// Incremental events per second.
+    pub fn inc_events_per_sec(&self) -> f64 {
+        per_sec(self.inc_events as f64, self.inc_secs)
+    }
+
+    /// Baseline events per second.
+    pub fn ref_events_per_sec(&self) -> f64 {
+        per_sec(self.ref_events as f64, self.ref_secs)
+    }
+
+    /// Incremental jobs (transfers) per second.
+    pub fn inc_jobs_per_sec(&self) -> f64 {
+        per_sec(self.jobs as f64, self.inc_secs)
+    }
+
+    /// events/sec advantage of the incremental engine over the baseline.
+    pub fn speedup(&self) -> f64 {
+        let r = self.ref_events_per_sec();
+        if r > 0.0 {
+            self.inc_events_per_sec() / r
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+fn per_sec(n: f64, secs: f64) -> f64 {
+    if secs > 0.0 {
+        n / secs
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Build the synthetic fleet: `ceil(hosts/8)` shared segments in a star
+/// around a backbone segment, periodic background load everywhere.
+pub fn build_fleet(hosts: usize, horizon: SimTime, seed: u64) -> Topology {
+    let hosts = hosts.max(2);
+    let n_seg = hosts.div_ceil(HOSTS_PER_SEGMENT);
+    let mut b = TopologyBuilder::new();
+    let backbone = b.add_segment(LinkSpec::shared(
+        "backbone",
+        120.0,
+        SimTime::from_millis(2),
+        LoadModel::Periodic {
+            high: 1.0,
+            low: 0.7,
+            half_period: SimTime::from_secs(30),
+            phase: SimTime::ZERO,
+        },
+    ));
+    let mut segs = Vec::with_capacity(n_seg);
+    for i in 0..n_seg {
+        let seg = b.add_segment(LinkSpec::shared(
+            &format!("seg{i}"),
+            12.5,
+            SimTime::from_millis(1),
+            LoadModel::Periodic {
+                high: 1.0,
+                low: 0.6,
+                // Staggered phases so segment events don't all
+                // coincide at the same timestamps.
+                half_period: SimTime::from_secs(20),
+                phase: SimTime::from_millis(1700 * i as u64 % 20_000),
+            },
+        ));
+        b.connect(
+            backbone,
+            seg,
+            LinkSpec::dedicated(&format!("up{i}"), 40.0, SimTime::from_millis(1)),
+        );
+        segs.push(seg);
+    }
+    for h in 0..hosts {
+        b.add_host(HostSpec::dedicated(
+            &format!("h{h}"),
+            10.0,
+            256.0,
+            segs[h / HOSTS_PER_SEGMENT],
+        ));
+    }
+    b.instantiate(horizon, seed)
+        // simlint does not police bench crates, but stay graceful: the
+        // builder only fails on invalid specs, which are constants here.
+        .unwrap_or_else(|e| panic!("fleet build failed: {e}"))
+}
+
+/// Generate the seeded transfer batch: `LOCALITY` of the flows stay on
+/// their source segment, the rest cross the backbone.
+pub fn build_workload(topo: &Topology, jobs: usize, seed: u64) -> Vec<TransferReq> {
+    let hosts = topo.hosts().len();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xBE7C_11E5);
+    // Submission window scales with per-host pressure so concurrency
+    // stays in a realistic band across the sweep.
+    let window_secs = (jobs as f64 / hosts as f64 * 12.0).max(60.0);
+    let mut reqs = Vec::with_capacity(jobs);
+    for tag in 0..jobs {
+        let from = rng.gen_range(0..hosts);
+        let seg_base = from / HOSTS_PER_SEGMENT * HOSTS_PER_SEGMENT;
+        let seg_len = HOSTS_PER_SEGMENT.min(hosts - seg_base);
+        let local = rng.gen_range(0.0..1.0) < LOCALITY && seg_len > 1;
+        let to = if local {
+            let mut t = seg_base + rng.gen_range(0..seg_len);
+            if t == from {
+                t = seg_base + (from - seg_base + 1) % seg_len;
+            }
+            t
+        } else {
+            let mut t = rng.gen_range(0..hosts);
+            if t == from {
+                t = (t + 1) % hosts;
+            }
+            t
+        };
+        reqs.push(TransferReq {
+            from: HostId(from),
+            to: HostId(to),
+            mb: 0.5 + rng.gen_range(0.0..7.5),
+            start: SimTime::from_secs_f64(rng.gen_range(0.0..window_secs)),
+            tag,
+        });
+    }
+    reqs
+}
+
+/// Run both engines on one sweep point and time them. The engines'
+/// delivered times are cross-checked (±2 µs, the lazy-integration
+/// quantization slack) before timings are accepted.
+pub fn run_point(hosts: usize, jobs: usize, seed: u64) -> Result<EnginePoint, String> {
+    let window_secs = (jobs as f64 / hosts.max(2) as f64 * 12.0).max(60.0);
+    // Generous horizon: the window plus room for the slowest flows.
+    let horizon = SimTime::from_secs_f64(window_secs * 4.0 + 3600.0);
+    let topo = build_fleet(hosts, horizon, seed);
+    let reqs = build_workload(&topo, jobs, seed);
+
+    let t0 = std::time::Instant::now();
+    let (inc_results, inc_events) = simulate_transfers_counting(&topo, &reqs, &mut NoopSink)
+        .map_err(|e| format!("incremental engine failed: {e}"))?;
+    let inc_secs = t0.elapsed().as_secs_f64();
+
+    let t1 = std::time::Instant::now();
+    let (ref_results, ref_events) = simulate_transfers_reference(&topo, &reqs, &mut NoopSink)
+        .map_err(|e| format!("reference engine failed: {e}"))?;
+    let ref_secs = t1.elapsed().as_secs_f64();
+
+    for (a, b) in inc_results.iter().zip(&ref_results) {
+        let (x, y) = (a.delivered.as_micros(), b.delivered.as_micros());
+        if a.tag != b.tag || x.abs_diff(y) > 2 {
+            return Err(format!(
+                "engines disagree on tag {}: incremental {:?} vs reference {:?}",
+                a.tag, a.delivered, b.delivered
+            ));
+        }
+    }
+
+    Ok(EnginePoint {
+        hosts,
+        jobs,
+        seed,
+        inc_events,
+        inc_secs,
+        ref_events,
+        ref_secs,
+    })
+}
+
+/// Run the full sweep. Points that fail cross-checking abort the sweep:
+/// no numbers are better than wrong numbers.
+pub fn run_sweep(points: &[(usize, usize)], seed: u64) -> Result<Vec<EnginePoint>, String> {
+    points
+        .iter()
+        .map(|&(hosts, jobs)| run_point(hosts, jobs, seed))
+        .collect()
+}
+
+/// The default trajectory sweep: one decade of hosts per point.
+pub const DEFAULT_SWEEP: [(usize, usize); 3] = [(10, 100), (100, 1_000), (1_000, 10_000)];
+
+/// Render the sweep as the `BENCH_event_engine.json` document.
+pub fn to_json(points: &[EnginePoint]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"event_engine\",\n  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let sep = if i + 1 == points.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"hosts\": {}, \"jobs\": {}, \"seed\": {}, \
+             \"inc_events\": {}, \"inc_secs\": {:.6}, \
+             \"ref_events\": {}, \"ref_secs\": {:.6}, \
+             \"inc_events_per_sec\": {:.1}, \"ref_events_per_sec\": {:.1}, \
+             \"inc_jobs_per_sec\": {:.1}, \"speedup\": {:.2}}}{sep}\n",
+            p.hosts,
+            p.jobs,
+            p.seed,
+            p.inc_events,
+            p.inc_secs,
+            p.ref_events,
+            p.ref_secs,
+            p.inc_events_per_sec(),
+            p.ref_events_per_sec(),
+            p.inc_jobs_per_sec(),
+            p.speedup(),
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Render the sweep as an aligned table for terminals.
+pub fn to_table(points: &[EnginePoint]) -> String {
+    let header = format!(
+        "{:>6} {:>7} {:>12} {:>12} {:>14} {:>14} {:>8}\n",
+        "hosts", "jobs", "inc ev/s", "ref ev/s", "inc jobs/s", "inc events", "speedup"
+    );
+    let mut out = header;
+    for p in points {
+        out.push_str(&format!(
+            "{:>6} {:>7} {:>12.0} {:>12.0} {:>14.0} {:>14} {:>7.2}x\n",
+            p.hosts,
+            p.jobs,
+            p.inc_events_per_sec(),
+            p.ref_events_per_sec(),
+            p.inc_jobs_per_sec(),
+            p.inc_events,
+            p.speedup(),
+        ));
+    }
+    out
+}
+
+fn field_f64(obj: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = obj.find(&pat)? + pat.len();
+    let rest = &obj[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parse and validate a `BENCH_event_engine.json` document, returning
+/// its sweep points. Errors describe what is malformed or missing —
+/// this is the CI artifact gate.
+pub fn parse_results(text: &str) -> Result<Vec<EnginePoint>, String> {
+    if !text.contains("\"bench\": \"event_engine\"") {
+        return Err("not an event_engine bench document".into());
+    }
+    let arr_start = text
+        .find("\"points\": [")
+        .ok_or_else(|| "missing points array".to_string())?;
+    let body = &text[arr_start..];
+    let mut points = Vec::new();
+    for obj in body.split('{').skip(1) {
+        let obj = obj.split('}').next().unwrap_or("");
+        let want = |key: &str| {
+            field_f64(obj, key).ok_or_else(|| format!("point missing numeric field {key:?}"))
+        };
+        points.push(EnginePoint {
+            hosts: want("hosts")? as usize,
+            jobs: want("jobs")? as usize,
+            seed: want("seed")? as u64,
+            inc_events: want("inc_events")? as u64,
+            inc_secs: want("inc_secs")?,
+            ref_events: want("ref_events")? as u64,
+            ref_secs: want("ref_secs")?,
+        });
+    }
+    if points.is_empty() {
+        return Err("points array is empty".into());
+    }
+    for p in &points {
+        if p.hosts == 0 || p.jobs == 0 {
+            return Err(format!("degenerate point: {p:?}"));
+        }
+        if !(p.inc_secs.is_finite() && p.ref_secs.is_finite()) {
+            return Err(format!("non-finite timing in point: {p:?}"));
+        }
+        if p.inc_events == 0 || p.ref_events == 0 {
+            return Err(format!("zero event count in point: {p:?}"));
+        }
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engines_agree_on_a_small_fleet() {
+        let p = run_point(10, 100, 7).expect("cross-check");
+        assert!(p.inc_events > 0 && p.ref_events > 0);
+    }
+
+    #[test]
+    fn workload_is_deterministic_per_seed() {
+        let topo = build_fleet(16, SimTime::from_secs(10_000), 3);
+        assert_eq!(build_workload(&topo, 50, 3), build_workload(&topo, 50, 3));
+        assert_ne!(build_workload(&topo, 50, 3), build_workload(&topo, 50, 4));
+    }
+
+    #[test]
+    fn json_round_trips_through_the_validator() {
+        let pts = vec![
+            EnginePoint {
+                hosts: 10,
+                jobs: 100,
+                seed: 42,
+                inc_events: 1234,
+                inc_secs: 0.0125,
+                ref_events: 1200,
+                ref_secs: 0.05,
+            },
+            EnginePoint {
+                hosts: 1000,
+                jobs: 10_000,
+                seed: 42,
+                inc_events: 60_000,
+                inc_secs: 0.5,
+                ref_events: 58_000,
+                ref_secs: 9.5,
+            },
+        ];
+        let parsed = parse_results(&to_json(&pts)).expect("valid");
+        assert_eq!(parsed, pts);
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(parse_results("").is_err());
+        assert!(parse_results("{}").is_err());
+        assert!(parse_results("{\"bench\": \"event_engine\", \"points\": []}").is_err());
+        let truncated = "{\"bench\": \"event_engine\", \"points\": [{\"hosts\": 10}]}";
+        assert!(parse_results(truncated).is_err());
+    }
+}

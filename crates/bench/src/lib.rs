@@ -9,6 +9,7 @@
 
 pub mod ablation;
 pub mod estimator_exp;
+pub mod event_engine;
 pub mod fault_exp;
 pub mod fig5;
 pub mod fig6;

@@ -778,6 +778,68 @@ pub fn metrics(p: &Parsed) -> CmdResult {
     Ok(())
 }
 
+/// `apples-cli bench` — the T-SCALE events/sec sweep: incremental
+/// dirty-set transfer engine vs the full-recompute baseline on a
+/// seeded synthetic fleet. `--check FILE` validates an existing
+/// results document instead of running the sweep.
+pub fn bench(p: &Parsed) -> CmdResult {
+    use apples_bench::event_engine::{parse_results, run_sweep, to_json, to_table, DEFAULT_SWEEP};
+
+    let check = p.get("check", "");
+    if !check.is_empty() {
+        let text =
+            std::fs::read_to_string(check).map_err(|e| format!("cannot read {check}: {e}"))?;
+        let points = parse_results(&text).map_err(|e| format!("{check}: {e}"))?;
+        println!("{check}: {} valid sweep point(s)", points.len());
+        return Ok(());
+    }
+
+    fn list(raw: &str, what: &str) -> Result<Vec<usize>, ArgError> {
+        raw.split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .map_err(|_| ArgError(format!("--{what}: cannot parse {s:?}")))
+            })
+            .collect()
+    }
+    let seed: u64 = p.get_parsed("seed", 42)?;
+    let hosts_raw = p.get("hosts", "");
+    let sweep: Vec<(usize, usize)> = if hosts_raw.is_empty() {
+        DEFAULT_SWEEP.to_vec()
+    } else {
+        let hosts = list(hosts_raw, "hosts")?;
+        let jobs_raw = p.get("jobs", "");
+        let jobs = if jobs_raw.is_empty() {
+            vec![1000; hosts.len()]
+        } else {
+            let j = list(jobs_raw, "jobs")?;
+            if j.len() == 1 {
+                vec![j[0]; hosts.len()]
+            } else if j.len() == hosts.len() {
+                j
+            } else {
+                return Err(
+                    ArgError("--jobs must have 1 value or as many as --hosts".into()).into(),
+                );
+            }
+        };
+        hosts.into_iter().zip(jobs).collect()
+    };
+
+    let points = run_sweep(&sweep, seed)?;
+    let doc = to_json(&points);
+    if p.switch("json") {
+        print!("{doc}");
+    } else {
+        print!("{}", to_table(&points));
+    }
+    let out = p.get("out", "BENCH_event_engine.json");
+    std::fs::write(out, &doc).map_err(|e| format!("cannot write {out}: {e}"))?;
+    eprintln!("wrote {out}");
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -74,6 +74,13 @@ USAGE:
   apples-cli snapshot-diff A B
       Compare two Prometheus snapshots series by series.
       Exit 0 when identical, 1 on any difference, 2 on usage errors.
+  apples-cli bench     [--hosts N[,N...]] [--jobs N[,N...]] [--seed N]
+                       [--out FILE] [--check FILE] [--json]
+      Events/sec sweep of the simulation core (T-SCALE): incremental
+      dirty-set engine vs the full-recompute baseline on a seeded
+      synthetic fleet. Writes the trajectory to --out (default
+      BENCH_event_engine.json); --check validates an existing results
+      file instead of running (nonzero exit if missing/malformed).
 
 Profiles: dedicated | light | moderate (default) | heavy
 ";
@@ -129,6 +136,9 @@ fn main() {
             "trace",
             "metrics",
             "out",
+            "hosts",
+            "jobs",
+            "check",
         ],
         &["sp2", "csv", "json", "blind"],
     ) {
@@ -152,6 +162,7 @@ fn main() {
         "grid" => commands::grid(&parsed),
         "validate" => commands::validate(&parsed),
         "metrics" => commands::metrics(&parsed),
+        "bench" => commands::bench(&parsed),
         other => {
             eprintln!("error: unknown command {other:?}\n");
             eprint!("{USAGE}");

@@ -63,8 +63,7 @@ use metasim::testbed::{pcl_sdsc, LoadProfile, TestbedConfig};
 use metasim::{apply_faults_with_sink, FaultModel, FaultSpec, SimError};
 use metasim::{HostId, SimTime, Topology};
 use nws::{WeatherService, WeatherServiceConfig};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use simcore::EventQueue;
 
 /// Information regime for the stream's agents.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -531,14 +530,14 @@ pub fn run_jobs_with_retry_sink(
     let mut shared_ws = WeatherService::for_topology(&topo, WeatherServiceConfig::default());
 
     // Finish times of admitted jobs, for the FCFS in-flight bound.
-    let mut in_flight: BinaryHeap<Reverse<SimTime>> = BinaryHeap::new();
+    let mut in_flight: EventQueue<SimTime, ()> = EventQueue::new();
     let mut records = Vec::with_capacity(ordered.len());
 
     for job in ordered {
         let submit = cfg.warmup + job.submit;
         let mut start = submit;
         while in_flight.len() >= cfg.max_in_flight {
-            let Some(Reverse(freed)) = in_flight.pop() else {
+            let Some((freed, _, ())) = in_flight.pop() else {
                 break;
             };
             start = start.max(freed);
@@ -641,25 +640,43 @@ pub fn run_jobs_with_retry_sink(
                 Ok(AttemptOutcome::Phased(report)) => {
                     reschedules += report.revocations as u32;
                     let mut used: Vec<HostId> = Vec::new();
+                    // Collect each host's per-phase impositions and
+                    // apply them in one batched series rebuild per host
+                    // instead of one per (phase, worker). Phase windows
+                    // on one host are disjoint in time, so the batched
+                    // result equals sequential application; LoadImposed
+                    // events keep the original per-phase order.
+                    let mut batched: Vec<(HostId, Vec<Imposition>)> = Vec::new();
                     for ph in &report.phases {
                         let phase_end = ph.start + SimTime::from_secs_f64(ph.elapsed_seconds);
                         for (w, &h) in ph.hosts.iter().enumerate() {
                             let busy = ph.compute_seconds.get(w).copied().unwrap_or(0.0);
                             if ph.elapsed_seconds > 0.0 {
                                 let utilization = (busy / ph.elapsed_seconds).clamp(0.0, 1.0);
-                                impose_host(
-                                    &mut topo,
-                                    h,
-                                    ph.start,
-                                    phase_end,
-                                    1.0 - utilization,
-                                    sink,
-                                )?;
+                                let factor = 1.0 - utilization;
+                                let imp = Imposition::new(ph.start, phase_end, factor);
+                                match batched.iter_mut().find(|(bh, _)| *bh == h) {
+                                    Some((_, imps)) => imps.push(imp),
+                                    None => batched.push((h, vec![imp])),
+                                }
+                                if sink.enabled() {
+                                    sink.record(TraceEvent::LoadImposed {
+                                        host: h,
+                                        at: ph.start,
+                                        until: phase_end,
+                                        factor,
+                                    });
+                                }
                             }
                             if !used.contains(&h) {
                                 used.push(h);
                             }
                         }
+                    }
+                    for (h, imps) in &batched {
+                        let hm = topo.host_mut(*h)?;
+                        let scaled = hm.availability().with_impositions(imps);
+                        hm.set_availability(scaled);
                     }
                     let hosts = host_names_of(&topo, &used)?;
                     let wait_seconds = start.saturating_sub(submit).as_secs_f64();
@@ -736,7 +753,7 @@ pub fn run_jobs_with_retry_sink(
                 }
             }
         };
-        in_flight.push(Reverse(record.finish));
+        in_flight.schedule(record.finish, ());
         records.push(record);
     }
 

@@ -17,8 +17,8 @@
 use crate::error::SimError;
 use crate::host::HostId;
 use crate::net::Topology;
-use crate::queue::EventQueue;
 use crate::time::SimTime;
+use simcore::EventQueue;
 
 /// A self-scheduled bag-of-tasks job.
 #[derive(Debug, Clone, PartialEq)]
@@ -83,9 +83,9 @@ pub fn simulate_workqueue(
         });
     }
 
-    // Worker-ready events; the queue's insertion-order tie-break keeps
+    // Worker-ready events; the queue's schedule-order tie-break keeps
     // chunk dispatch deterministic when workers free up together.
-    let mut ready: EventQueue<usize> = EventQueue::new();
+    let mut ready: EventQueue<SimTime, usize> = EventQueue::new();
     for (i, &w) in job.workers.iter().enumerate() {
         let t0 = job.start + topo.host(w)?.startup_wait();
         ready.schedule(t0, i);
@@ -96,7 +96,7 @@ pub fn simulate_workqueue(
     let mut finish = job.start;
 
     while remaining > 0 {
-        let Some((now, wi)) = ready.pop() else {
+        let Some((now, _, wi)) = ready.pop() else {
             return Err(SimError::Invalid(
                 "work queue drained while chunks remain".into(),
             ));

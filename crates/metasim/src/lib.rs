@@ -8,7 +8,9 @@
 //! It provides:
 //!
 //! * [`SimTime`] — fixed-point simulated time (microsecond resolution),
-//! * [`queue::EventQueue`] — a deterministic event queue,
+//! * [`EventQueue`] (re-exported from the `simcore` crate) — a
+//!   deterministic, indexed event queue with stable ids and O(log n)
+//!   cancel/reschedule,
 //! * [`load`] — stochastic background-load generators producing
 //!   piecewise-constant *availability* processes for CPUs and links,
 //! * [`host`] — host models with CPU speed, memory capacity, sharing
@@ -48,7 +50,6 @@ pub mod fault;
 pub mod host;
 pub mod load;
 pub mod net;
-pub mod queue;
 pub mod simtrace;
 pub mod testbed;
 pub mod time;
@@ -62,6 +63,7 @@ pub use fault::{
 };
 pub use host::{Host, HostId, HostSpec, SharingPolicy};
 pub use net::{LinkId, LinkSpec, RouteTable, SegmentId, Topology};
+pub use simcore::{DirtySet, EventId, EventQueue};
 pub use simtrace::{EventSink, NoopSink, TraceEvent, TraceSummary, VecSink, WriterSink};
 pub use time::SimTime;
 pub use validate::{validate_faults, validate_topology, ConfigIssue, ValidationReport};

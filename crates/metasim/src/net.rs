@@ -447,6 +447,32 @@ struct ActiveFlow {
     latency: SimTime,
 }
 
+/// Per-flow state for the incremental (dirty-set) engine. `remaining_mb`
+/// is *lazy*: it is settled to the current time only when the flow's
+/// rate actually changes, so untouched flows cost nothing per event.
+struct FlowState {
+    req_idx: usize,
+    route: Vec<LinkId>,
+    remaining_mb: f64,
+    rate: f64,
+    last_update: SimTime,
+    latency: SimTime,
+    done_ev: Option<simcore::EventId>,
+    active: bool,
+}
+
+/// Events of the incremental transfer engine.
+#[derive(Clone, Copy)]
+enum NetEv {
+    /// A flow's scheduled completion (index into the flow table).
+    Finish(usize),
+    /// A link's availability steps to a new value (link index).
+    Avail(usize),
+    /// A pending flow's start time is reached (index into the flow
+    /// table; flows are stored in admission order).
+    Arrive(usize),
+}
+
 /// Simulate a batch of transfers through the topology with full
 /// bandwidth contention. Returns one result per request, in request
 /// order. Same-host transfers complete instantly at their start time.
@@ -462,11 +488,296 @@ pub fn simulate_transfers(
 /// [`TraceEvent::TransferFinish`] (with its achieved-over-nominal
 /// contention share) when it is delivered. Same-host and zero-size
 /// transfers never touch the network and emit nothing.
+///
+/// [`TraceEvent::TransferStart`]: crate::simtrace::TraceEvent::TransferStart
+/// [`TraceEvent::TransferFinish`]: crate::simtrace::TraceEvent::TransferFinish
 pub fn simulate_transfers_with_sink(
     topo: &Topology,
     reqs: &[TransferReq],
     sink: &mut dyn crate::simtrace::EventSink,
 ) -> Result<Vec<TransferResult>, SimError> {
+    simulate_transfers_counting(topo, reqs, sink).map(|(results, _)| results)
+}
+
+/// The incremental fluid-flow engine: [`simulate_transfers_with_sink`]
+/// plus a count of processed simulation events (arrivals, completions,
+/// availability changes), the numerator of the events/sec benchmark.
+///
+/// Instead of recomputing every flow's share at every event (the
+/// [`simulate_transfers_reference`] baseline), this engine keeps a
+/// per-link table of crossing flows and an indexed, cancellable event
+/// queue ([`simcore::EventQueue`]): each event marks the links it
+/// touches dirty, and only flows crossing a dirty link get their
+/// progress settled, their share recomputed, and their completion event
+/// rescheduled. Per-event cost is O(affected · log n), not O(flows).
+///
+/// Determinism: events at one timestamp are processed finishes →
+/// availability changes → arrivals (each sub-sorted by index), mirroring
+/// the reference loop's retire-before-admit order, and dirty-set drains
+/// are sorted, so identical inputs give identical traces.
+pub fn simulate_transfers_counting(
+    topo: &Topology,
+    reqs: &[TransferReq],
+    sink: &mut dyn crate::simtrace::EventSink,
+) -> Result<(Vec<TransferResult>, u64), SimError> {
+    use crate::simtrace::TraceEvent;
+    use simcore::{DirtySet, EventQueue};
+    const EPS_MB: f64 = 1e-12;
+
+    let mut results: Vec<Option<TransferResult>> = vec![None; reqs.len()];
+
+    // Resolve routes up front and dispatch trivial local transfers.
+    let mut pending: Vec<(usize, Vec<LinkId>, SimTime)> = Vec::new();
+    for (i, r) in reqs.iter().enumerate() {
+        let route = topo.route(r.from, r.to)?;
+        if route.is_empty() || r.mb <= 0.0 {
+            results[i] = Some(TransferResult {
+                tag: r.tag,
+                delivered: r.start,
+            });
+            continue;
+        }
+        pending.push((i, route, r.start));
+    }
+    // Earliest arrivals first; stable on request order.
+    pending.sort_by_key(|&(i, _, start)| (start, i));
+
+    let first_start = pending.first().map(|&(_, _, s)| s).unwrap_or(SimTime::ZERO);
+
+    // Flow table in admission order.
+    let mut flows: Vec<FlowState> = Vec::with_capacity(pending.len());
+    for (i, route, start) in pending {
+        let r = &reqs[i];
+        let latency = topo.route_latency(r.from, r.to)?;
+        flows.push(FlowState {
+            req_idx: i,
+            route,
+            remaining_mb: r.mb,
+            rate: 0.0,
+            last_update: start,
+            latency,
+            done_ev: None,
+            active: false,
+        });
+    }
+
+    let mut live_flows = flows.len();
+    if live_flows == 0 {
+        return finish_results(results).map(|r| (r, 0));
+    }
+
+    let mut q: EventQueue<SimTime, NetEv> = EventQueue::with_capacity(flows.len() + 16);
+    for (fi, f) in flows.iter().enumerate() {
+        q.schedule(f.last_update, NetEv::Arrive(fi));
+    }
+
+    // One availability-change event chain per link any flow will use,
+    // started strictly after the first arrival (capacity lookups see
+    // the value in force *at* each event time directly).
+    let mut used_links: Vec<usize> = flows
+        .iter()
+        .flat_map(|f| f.route.iter().map(|l| l.0))
+        .collect();
+    used_links.sort_unstable();
+    used_links.dedup();
+    for &li in &used_links {
+        if let Some(change) = topo
+            .link(LinkId(li))?
+            .availability()
+            .next_change_after(first_start)
+        {
+            q.schedule(change, NetEv::Avail(li));
+        }
+    }
+
+    // Per-link list of active crossing flows; lengths are the share
+    // denominators.
+    let mut link_flows: Vec<Vec<usize>> = vec![Vec::new(); topo.links().len()];
+    let mut dirty = DirtySet::with_universe(topo.links().len());
+
+    let mut ev_count: u64 = 0;
+    let mut finishes: Vec<usize> = Vec::new();
+    let mut avails: Vec<usize> = Vec::new();
+    let mut arrivals: Vec<usize> = Vec::new();
+
+    while live_flows > 0 {
+        let Some(t) = q.peek_time() else {
+            // Nothing can ever happen again but flows are unfinished:
+            // they are stalled on dead links forever.
+            let stuck: f64 = flows
+                .iter()
+                .filter(|f| f.active)
+                .map(|f| f.remaining_mb)
+                .sum();
+            return Err(SimError::NeverCompletes { work: stuck });
+        };
+
+        // Drain the whole batch at this timestamp, then process in the
+        // reference order: retire finishes, apply availability steps,
+        // admit arrivals, and only then recompute dirty shares once.
+        finishes.clear();
+        avails.clear();
+        arrivals.clear();
+        while q.peek_time() == Some(t) {
+            let Some((_, _, ev)) = q.pop() else { break };
+            ev_count += 1;
+            match ev {
+                NetEv::Finish(fi) => finishes.push(fi),
+                NetEv::Avail(li) => avails.push(li),
+                NetEv::Arrive(fi) => arrivals.push(fi),
+            }
+        }
+        finishes.sort_unstable_by_key(|&fi| flows[fi].req_idx);
+        avails.sort_unstable();
+        arrivals.sort_unstable();
+
+        for &fi in &finishes {
+            live_flows -= 1;
+            flows[fi].active = false;
+            flows[fi].done_ev = None;
+            flows[fi].remaining_mb = 0.0;
+            for k in 0..flows[fi].route.len() {
+                let li = flows[fi].route[k].0;
+                if let Some(pos) = link_flows[li].iter().position(|&x| x == fi) {
+                    link_flows[li].remove(pos);
+                }
+                dirty.insert(li);
+            }
+            let latency = flows[fi].latency;
+            let delivered = t + latency;
+            let r = &reqs[flows[fi].req_idx];
+            if sink.enabled() {
+                // Mean achieved bandwidth over the nominal bottleneck:
+                // 1.0 means the flow had the route to itself for its
+                // whole lifetime.
+                let elapsed = (delivered.saturating_sub(r.start) - latency).as_secs_f64();
+                let mut nominal = f64::INFINITY;
+                for l in &flows[fi].route {
+                    nominal = nominal.min(topo.link(*l)?.spec.bandwidth_mbps);
+                }
+                let share = if elapsed > 0.0 && nominal.is_finite() && nominal > 0.0 {
+                    (r.mb / elapsed / nominal).min(1.0)
+                } else {
+                    1.0
+                };
+                sink.record(TraceEvent::TransferFinish {
+                    from: r.from,
+                    to: r.to,
+                    at: delivered,
+                    mb: r.mb,
+                    contention_share: share,
+                });
+            }
+            results[flows[fi].req_idx] = Some(TransferResult {
+                tag: r.tag,
+                delivered,
+            });
+        }
+
+        for &li in &avails {
+            dirty.insert(li);
+            if let Some(change) = topo.link(LinkId(li))?.availability().next_change_after(t) {
+                q.schedule(change, NetEv::Avail(li));
+            }
+        }
+
+        for &fi in &arrivals {
+            flows[fi].active = true;
+            flows[fi].last_update = t;
+            let r = &reqs[flows[fi].req_idx];
+            if sink.enabled() {
+                sink.record(TraceEvent::TransferStart {
+                    from: r.from,
+                    to: r.to,
+                    at: t,
+                    mb: r.mb,
+                });
+            }
+            for k in 0..flows[fi].route.len() {
+                let li = flows[fi].route[k].0;
+                link_flows[li].push(fi);
+                dirty.insert(li);
+            }
+        }
+
+        // Flows crossing any dirty link: settle progress, recompute the
+        // equal-share rate, move the completion event.
+        let touched = dirty.drain_sorted();
+        let mut affected: Vec<usize> = touched
+            .iter()
+            .flat_map(|&li| link_flows[li].iter().copied())
+            .collect();
+        affected.sort_unstable();
+        affected.dedup();
+        for &fi in &affected {
+            let dt = (t - flows[fi].last_update).as_secs_f64();
+            if dt > 0.0 && flows[fi].rate > 0.0 {
+                flows[fi].remaining_mb = (flows[fi].remaining_mb - flows[fi].rate * dt).max(0.0);
+            }
+            flows[fi].last_update = t;
+            let mut rate = f64::INFINITY;
+            for k in 0..flows[fi].route.len() {
+                let li = flows[fi].route[k].0;
+                let share = topo.link(LinkId(li))?.capacity_at(t) / link_flows[li].len() as f64;
+                rate = rate.min(share);
+            }
+            flows[fi].rate = rate;
+            let done = if rate > 0.0 {
+                let d = if flows[fi].remaining_mb <= EPS_MB {
+                    // Within tolerance of done already: finish at this
+                    // very timestamp, like the reference's EPS retire.
+                    SimTime::ZERO
+                } else {
+                    SimTime::from_secs_f64(flows[fi].remaining_mb / rate)
+                };
+                // A completion beyond the representable horizon behaves
+                // like no completion at all (rate ~ 0).
+                t.checked_add(d).filter(|&at| at < SimTime::MAX)
+            } else {
+                None
+            };
+            match (flows[fi].done_ev, done) {
+                (Some(id), Some(at)) => {
+                    if q.time_of(id) != Some(at) {
+                        q.reschedule(id, at);
+                    }
+                }
+                (Some(id), None) => {
+                    q.cancel(id);
+                    flows[fi].done_ev = None;
+                }
+                (None, Some(at)) => {
+                    flows[fi].done_ev = Some(q.schedule(at, NetEv::Finish(fi)));
+                }
+                (None, None) => {}
+            }
+        }
+    }
+
+    finish_results(results).map(|r| (r, ev_count))
+}
+
+fn finish_results(results: Vec<Option<TransferResult>>) -> Result<Vec<TransferResult>, SimError> {
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.ok_or_else(|| SimError::Invalid(format!("transfer {i} never resolved"))))
+        .collect()
+}
+
+/// The pre-`simcore` full-recompute engine, kept as the oracle and the
+/// naive baseline of the events/sec benchmark: every event rebuilds all
+/// per-link flow counts and recomputes every active flow's share.
+/// Returns results plus the number of events (loop iterations)
+/// processed. Semantically equivalent to
+/// [`simulate_transfers_counting`]; numerically equal on every testbed
+/// scenario (progress is integrated in differently-grouped chunks, so
+/// adversarial float inputs may diverge in the last ulp).
+pub fn simulate_transfers_reference(
+    topo: &Topology,
+    reqs: &[TransferReq],
+    sink: &mut dyn crate::simtrace::EventSink,
+) -> Result<(Vec<TransferResult>, u64), SimError> {
     use crate::simtrace::TraceEvent;
     let mut results: Vec<Option<TransferResult>> = vec![None; reqs.len()];
 
@@ -507,10 +818,12 @@ pub fn simulate_transfers_with_sink(
     let mut active: Vec<(usize, ActiveFlow)> = Vec::new();
     let mut next_arrival = 0usize;
     let mut now = pending.first().map(|&(_, _, s)| s).unwrap_or(SimTime::ZERO);
+    let mut ev_count: u64 = 0;
 
     const EPS_MB: f64 = 1e-12;
 
     while !active.is_empty() || next_arrival < pending.len() {
+        ev_count += 1;
         // Admit arrivals at the current time.
         while next_arrival < pending.len() && pending[next_arrival].2 <= now {
             let (i, f, start) = &pending[next_arrival];
@@ -582,50 +895,51 @@ pub fn simulate_transfers_with_sink(
         }
         now = next_event;
 
-        // Retire completed flows.
+        // Retire completed flows, in request order at equal timestamps
+        // (the same tie-break the incremental engine uses).
+        let mut finished: Vec<(usize, ActiveFlow)> = Vec::new();
         let mut i = 0;
         while i < active.len() {
             if active[i].1.remaining_mb <= EPS_MB {
-                let (idx, f) = active.swap_remove(i);
-                let delivered = now + f.latency;
-                if sink.enabled() {
-                    // Mean achieved bandwidth over the nominal
-                    // bottleneck: 1.0 means the flow had the route to
-                    // itself for its whole lifetime.
-                    let r = &reqs[idx];
-                    let elapsed = (delivered.saturating_sub(r.start) - f.latency).as_secs_f64();
-                    let mut nominal = f64::INFINITY;
-                    for l in &f.route {
-                        nominal = nominal.min(topo.link(*l)?.spec.bandwidth_mbps);
-                    }
-                    let share = if elapsed > 0.0 && nominal.is_finite() && nominal > 0.0 {
-                        (r.mb / elapsed / nominal).min(1.0)
-                    } else {
-                        1.0
-                    };
-                    sink.record(TraceEvent::TransferFinish {
-                        from: r.from,
-                        to: r.to,
-                        at: delivered,
-                        mb: r.mb,
-                        contention_share: share,
-                    });
-                }
-                results[idx] = Some(TransferResult {
-                    tag: f.tag,
-                    delivered,
-                });
+                finished.push(active.swap_remove(i));
             } else {
                 i += 1;
             }
         }
+        finished.sort_by_key(|&(idx, _)| idx);
+        for (idx, f) in finished {
+            let delivered = now + f.latency;
+            if sink.enabled() {
+                // Mean achieved bandwidth over the nominal
+                // bottleneck: 1.0 means the flow had the route to
+                // itself for its whole lifetime.
+                let r = &reqs[idx];
+                let elapsed = (delivered.saturating_sub(r.start) - f.latency).as_secs_f64();
+                let mut nominal = f64::INFINITY;
+                for l in &f.route {
+                    nominal = nominal.min(topo.link(*l)?.spec.bandwidth_mbps);
+                }
+                let share = if elapsed > 0.0 && nominal.is_finite() && nominal > 0.0 {
+                    (r.mb / elapsed / nominal).min(1.0)
+                } else {
+                    1.0
+                };
+                sink.record(TraceEvent::TransferFinish {
+                    from: r.from,
+                    to: r.to,
+                    at: delivered,
+                    mb: r.mb,
+                    contention_share: share,
+                });
+            }
+            results[idx] = Some(TransferResult {
+                tag: f.tag,
+                delivered,
+            });
+        }
     }
 
-    results
-        .into_iter()
-        .enumerate()
-        .map(|(i, r)| r.ok_or_else(|| SimError::Invalid(format!("transfer {i} never resolved"))))
-        .collect()
+    finish_results(results).map(|r| (r, ev_count))
 }
 
 #[cfg(test)]
@@ -965,6 +1279,79 @@ mod tests {
         let mut b = TopologyBuilder::new();
         b.add_segment(LinkSpec::dedicated("bad", 0.0, SimTime::ZERO));
         assert!(b.instantiate(s(1.0), 0).is_err());
+    }
+
+    /// A mixed scenario: shared segments, a gateway, background load,
+    /// staggered starts — stress for the incremental engine.
+    fn busy_topo_and_reqs() -> (Topology, Vec<TransferReq>) {
+        let mut b = TopologyBuilder::new();
+        let sa = b.add_segment(LinkSpec::shared(
+            "segA",
+            10.0,
+            SimTime::from_millis(1),
+            LoadModel::Periodic {
+                high: 1.0,
+                low: 0.4,
+                half_period: s(2.0),
+                phase: SimTime::ZERO,
+            },
+        ));
+        let sb = b.add_segment(LinkSpec::dedicated("segB", 8.0, SimTime::from_millis(2)));
+        b.connect(
+            sa,
+            sb,
+            LinkSpec::shared(
+                "gw",
+                3.0,
+                SimTime::from_millis(5),
+                LoadModel::Periodic {
+                    high: 1.0,
+                    low: 0.5,
+                    half_period: s(3.5),
+                    phase: s(1.0),
+                },
+            ),
+        );
+        for i in 0..3 {
+            b.add_host(HostSpec::dedicated(&format!("a{i}"), 10.0, 64.0, sa));
+            b.add_host(HostSpec::dedicated(&format!("b{i}"), 10.0, 64.0, sb));
+        }
+        let topo = b.instantiate(s(100_000.0), 42).unwrap();
+        let mut reqs = Vec::new();
+        for k in 0..24usize {
+            reqs.push(TransferReq {
+                from: HostId(k % 6),
+                to: HostId((k * 5 + 1) % 6),
+                mb: 3.0 + (k % 7) as f64,
+                start: s(0.5 * (k % 9) as f64),
+                tag: k,
+            });
+        }
+        (topo, reqs)
+    }
+
+    #[test]
+    fn incremental_engine_matches_reference() {
+        let (topo, reqs) = busy_topo_and_reqs();
+        let mut sink_a = crate::simtrace::VecSink::new();
+        let mut sink_b = crate::simtrace::VecSink::new();
+        let (inc, _) = simulate_transfers_counting(&topo, &reqs, &mut sink_a).unwrap();
+        let (refr, _) = simulate_transfers_reference(&topo, &reqs, &mut sink_b).unwrap();
+        assert_eq!(inc, refr);
+        // Same event stream, byte for byte: same kinds, times, payloads.
+        let a: Vec<String> = sink_a.events.iter().map(|e| e.to_json()).collect();
+        let b: Vec<String> = sink_b.events.iter().map(|e| e.to_json()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn incremental_engine_counts_fewer_or_equal_touches_than_reference() {
+        // Not a perf assertion (that's the bench); just that both count.
+        let (topo, reqs) = busy_topo_and_reqs();
+        let mut n = crate::simtrace::NoopSink;
+        let (_, ev_inc) = simulate_transfers_counting(&topo, &reqs, &mut n).unwrap();
+        let (_, ev_ref) = simulate_transfers_reference(&topo, &reqs, &mut n).unwrap();
+        assert!(ev_inc > 0 && ev_ref > 0);
     }
 
     #[test]

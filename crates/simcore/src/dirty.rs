@@ -1,0 +1,133 @@
+//! Deduplicating dirty-index bookkeeping with deterministic drain.
+//!
+//! The incremental contention engine in `metasim::net` marks the links
+//! touched by each event (a flow arriving, finishing, or a link's
+//! availability stepping) and recomputes shares only for flows crossing
+//! a marked link. [`DirtySet`] is the mark set: O(1) insert with
+//! dedup, O(k log k) sorted drain (k = marks, not universe size), and
+//! no hashing — a bitmap plus a touched-list, so iteration order is a
+//! pure function of the inserted indices and the simulation stays
+//! deterministic.
+
+/// A deduplicating set of `usize` indices over a dense universe
+/// (link ids, host ids), drained in sorted order.
+#[derive(Debug, Default)]
+pub struct DirtySet {
+    marked: Vec<bool>,
+    touched: Vec<usize>,
+}
+
+impl DirtySet {
+    /// An empty set.
+    pub fn new() -> Self {
+        DirtySet::default()
+    }
+
+    /// An empty set pre-sized for indices below `universe`.
+    pub fn with_universe(universe: usize) -> Self {
+        DirtySet {
+            marked: vec![false; universe],
+            touched: Vec::new(),
+        }
+    }
+
+    /// Mark `idx` dirty. Re-marking is a no-op. The bitmap grows to
+    /// fit indices beyond the declared universe.
+    pub fn insert(&mut self, idx: usize) {
+        if idx >= self.marked.len() {
+            self.marked.resize(idx + 1, false);
+        }
+        if !self.marked[idx] {
+            self.marked[idx] = true;
+            self.touched.push(idx);
+        }
+    }
+
+    /// Whether `idx` is currently marked.
+    pub fn is_dirty(&self, idx: usize) -> bool {
+        self.marked.get(idx).copied().unwrap_or(false)
+    }
+
+    /// Number of distinct marked indices.
+    pub fn len(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// True if nothing is marked.
+    pub fn is_empty(&self) -> bool {
+        self.touched.is_empty()
+    }
+
+    /// Unmark everything, keeping the bitmap allocation.
+    pub fn clear(&mut self) {
+        for &idx in &self.touched {
+            self.marked[idx] = false;
+        }
+        self.touched.clear();
+    }
+
+    /// Take the marked indices in ascending order, leaving the set
+    /// empty. Sorted drain keeps downstream recomputation order — and
+    /// therefore trace bytes — independent of the order marks arrived.
+    pub fn drain_sorted(&mut self) -> Vec<usize> {
+        for &idx in &self.touched {
+            self.marked[idx] = false;
+        }
+        let mut out = std::mem::take(&mut self.touched);
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_dedups_and_drains_sorted() {
+        let mut d = DirtySet::with_universe(4);
+        d.insert(3);
+        d.insert(0);
+        d.insert(3);
+        d.insert(2);
+        assert_eq!(d.len(), 3);
+        assert!(d.is_dirty(3));
+        assert!(!d.is_dirty(1));
+        assert_eq!(d.drain_sorted(), vec![0, 2, 3]);
+        assert!(d.is_empty());
+        assert!(!d.is_dirty(3));
+    }
+
+    #[test]
+    fn grows_beyond_declared_universe() {
+        let mut d = DirtySet::with_universe(2);
+        d.insert(10);
+        d.insert(1);
+        assert!(d.is_dirty(10));
+        assert_eq!(d.drain_sorted(), vec![1, 10]);
+    }
+
+    #[test]
+    fn clear_resets_without_drain() {
+        let mut d = DirtySet::new();
+        d.insert(5);
+        d.insert(7);
+        d.clear();
+        assert!(d.is_empty());
+        assert!(!d.is_dirty(5));
+        d.insert(5);
+        assert_eq!(d.drain_sorted(), vec![5]);
+    }
+
+    #[test]
+    fn reusable_across_rounds() {
+        let mut d = DirtySet::with_universe(8);
+        for round in 0..3 {
+            d.insert(round);
+            d.insert(7 - round);
+            let got = d.drain_sorted();
+            assert_eq!(got, vec![round.min(7 - round), round.max(7 - round)]);
+            assert!(d.is_empty());
+        }
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! # simcore — event-engine primitives for fleet-scale simulation
+//!
+//! The seed simulator ran every queue off a plain `BinaryHeap`: fine for
+//! the ~10-host Figure-2 testbed, fatal at the ROADMAP's 10⁴-host /
+//! 10⁶-job target, where the dominant operation is not *push/pop* but
+//! *revise* — a flow's rate changes, a placement is revoked, a forecast
+//! shifts a completion — and a heap without handles forces a full
+//! rebuild or a scan. `simcore` provides the two primitives the
+//! rearchitected stack is built on:
+//!
+//! * [`EventQueue`] — an indexed priority queue with **stable event
+//!   ids**, O(log n) amortized [`EventQueue::cancel`] /
+//!   [`EventQueue::reschedule`], and a deterministic FIFO tie-break at
+//!   equal timestamps (ties pop in schedule order, so replays are
+//!   byte-identical across runs and platforms).
+//! * [`DirtySet`] — deduplicating dirty-index bookkeeping with a
+//!   deterministic (sorted) drain order, used by `metasim`'s
+//!   incremental contention engine to recompute only the flows whose
+//!   links actually changed.
+//!
+//! The queue is generic over the timestamp type (`T: Ord + Copy`) so
+//! this crate has no dependency on `metasim`; `metasim` instantiates it
+//! with its fixed-point `SimTime` and the grid service with plain
+//! finish times. Determinism is a hard contract: nothing here reads a
+//! clock, draws entropy, or iterates a hash map — the same op sequence
+//! always yields the same pop sequence (enforced by the workspace's
+//! `simlint` sim-crate policy, which includes `simcore`).
+
+pub mod dirty;
+pub mod queue;
+
+pub use dirty::DirtySet;
+pub use queue::{EventId, EventQueue};

@@ -1,0 +1,473 @@
+//! An indexed, cancellable event queue.
+//!
+//! Three operations distinguish this from a plain `BinaryHeap`:
+//!
+//! * [`EventQueue::schedule`] returns a stable [`EventId`] handle;
+//! * [`EventQueue::cancel`] removes a pending event by handle and
+//!   returns its payload;
+//! * [`EventQueue::reschedule`] moves a pending event to a new
+//!   timestamp without touching its payload.
+//!
+//! All three are O(log n) amortized: cancellation and rescheduling are
+//! implemented by *invalidating* the event's heap entry (a slot
+//! generation/sequence check at pop time) rather than by sifting it
+//! out, and the heap is rebuilt from live entries whenever stale
+//! entries outnumber live ones — the classic lazy-deletion scheme, so
+//! no operation ever scans the heap.
+//!
+//! Ordering is `(time, schedule-sequence)`: ties in simulated time pop
+//! in the order they were scheduled, so a simulation replays
+//! identically across runs and platforms regardless of payload type.
+//! A reschedule re-enters the FIFO at its new scheduling point — an
+//! event rescheduled onto a timestamp that already has pending events
+//! pops *after* them, exactly as if it had been cancelled and
+//! scheduled afresh.
+//!
+//! Handles are generation-checked: once an event has popped or been
+//! cancelled, its id is dead forever, and a dead id passed to any
+//! operation is a no-op (`None`/`false`), never a panic and never an
+//! aliased hit on a later event that happens to reuse the slot.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Stable handle on a scheduled event: a slot index plus a generation
+/// tag, so handles never alias across slot reuse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u64);
+
+impl EventId {
+    fn new(slot: u32, generation: u32) -> Self {
+        EventId(((slot as u64) << 32) | generation as u64)
+    }
+
+    fn slot(self) -> usize {
+        (self.0 >> 32) as usize
+    }
+
+    fn generation(self) -> u32 {
+        self.0 as u32
+    }
+}
+
+/// One slot of payload storage. Freed slots keep their (bumped)
+/// generation so stale [`EventId`]s can never resurrect them.
+struct Slot<T, E> {
+    generation: u32,
+    state: SlotState<T, E>,
+}
+
+enum SlotState<T, E> {
+    /// Slot is free; `next_free` chains the free list.
+    Free { next_free: Option<u32> },
+    /// Slot holds a pending event. `seq` is the key of the (single)
+    /// live heap entry pointing at this slot; heap entries with any
+    /// other seq are stale and skipped at pop.
+    Busy { time: T, seq: u64, payload: E },
+}
+
+struct HeapEntry<T> {
+    time: T,
+    seq: u64,
+    slot: u32,
+    generation: u32,
+}
+
+impl<T: Ord> PartialEq for HeapEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T: Ord> Eq for HeapEntry<T> {}
+impl<T: Ord> PartialOrd for HeapEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T: Ord> Ord for HeapEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq)
+        // pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// An indexed priority queue of timestamped events with stable ids,
+/// O(log n) amortized cancel/reschedule, and deterministic FIFO
+/// tie-breaking at equal timestamps.
+///
+/// Generic over the timestamp type `T` (any `Ord + Copy` — `metasim`
+/// uses its fixed-point `SimTime`) and the payload type `E`.
+pub struct EventQueue<T, E> {
+    heap: BinaryHeap<HeapEntry<T>>,
+    slots: Vec<Slot<T, E>>,
+    free_head: Option<u32>,
+    /// Monotone schedule sequence: the FIFO tie-break at equal times.
+    next_seq: u64,
+    /// Number of pending (live) events.
+    live: usize,
+}
+
+impl<T: Ord + Copy, E> Default for EventQueue<T, E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Ord + Copy, E> EventQueue<T, E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            free_head: None,
+            next_seq: 0,
+            live: 0,
+        }
+    }
+
+    /// An empty queue with room for `n` pending events.
+    pub fn with_capacity(n: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(n),
+            slots: Vec::with_capacity(n),
+            free_head: None,
+            next_seq: 0,
+            live: 0,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Schedule `payload` at time `at`; the returned handle stays valid
+    /// until the event pops or is cancelled.
+    pub fn schedule(&mut self, at: T, payload: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let slot = match self.free_head {
+            Some(idx) => {
+                let s = &mut self.slots[idx as usize];
+                self.free_head = match s.state {
+                    SlotState::Free { next_free } => next_free,
+                    // Unreachable: the free list only chains Free slots.
+                    SlotState::Busy { .. } => None,
+                };
+                s.state = SlotState::Busy {
+                    time: at,
+                    seq,
+                    payload,
+                };
+                idx
+            }
+            None => {
+                let idx = self.slots.len() as u32;
+                self.slots.push(Slot {
+                    generation: 0,
+                    state: SlotState::Busy {
+                        time: at,
+                        seq,
+                        payload,
+                    },
+                });
+                idx
+            }
+        };
+        let generation = self.slots[slot as usize].generation;
+        self.heap.push(HeapEntry {
+            time: at,
+            seq,
+            slot,
+            generation,
+        });
+        self.live += 1;
+        EventId::new(slot, generation)
+    }
+
+    /// Release a busy slot onto the free list, bumping its generation
+    /// so every outstanding handle (and heap entry) for it dies.
+    /// Returns `None` (leaving the slot untouched) if it was not busy.
+    fn free_slot(&mut self, idx: usize) -> Option<E> {
+        let slot = self.slots.get_mut(idx)?;
+        let state = std::mem::replace(
+            &mut slot.state,
+            SlotState::Free {
+                next_free: self.free_head,
+            },
+        );
+        match state {
+            SlotState::Busy { payload, .. } => {
+                slot.generation = slot.generation.wrapping_add(1);
+                self.free_head = Some(idx as u32);
+                self.live -= 1;
+                Some(payload)
+            }
+            SlotState::Free { next_free } => {
+                slot.state = SlotState::Free { next_free };
+                None
+            }
+        }
+    }
+
+    /// True when `id` still names a pending event.
+    fn live_slot(&self, id: EventId) -> bool {
+        matches!(
+            self.slots.get(id.slot()),
+            Some(Slot {
+                generation,
+                state: SlotState::Busy { .. },
+            }) if *generation == id.generation()
+        )
+    }
+
+    /// Whether `id` names a still-pending event.
+    pub fn contains(&self, id: EventId) -> bool {
+        self.live_slot(id)
+    }
+
+    /// The timestamp of a pending event, or `None` if the handle is
+    /// dead.
+    pub fn time_of(&self, id: EventId) -> Option<T> {
+        match self.slots.get(id.slot()) {
+            Some(Slot {
+                generation,
+                state: SlotState::Busy { time, .. },
+            }) if *generation == id.generation() => Some(*time),
+            _ => None,
+        }
+    }
+
+    /// Cancel a pending event, returning its payload. Dead handles
+    /// (already popped, cancelled, or never issued by this queue)
+    /// return `None`.
+    pub fn cancel(&mut self, id: EventId) -> Option<E> {
+        if !self.live_slot(id) {
+            return None;
+        }
+        let payload = self.free_slot(id.slot());
+        self.maybe_compact();
+        payload
+    }
+
+    /// Move a pending event to a new timestamp, keeping its id. The
+    /// event re-enters the FIFO at its new scheduling point (it pops
+    /// after existing events at the same timestamp). Returns `false`
+    /// on a dead handle.
+    pub fn reschedule(&mut self, id: EventId, at: T) -> bool {
+        if !self.live_slot(id) {
+            return false;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let idx = id.slot();
+        if let SlotState::Busy {
+            time, seq: s_seq, ..
+        } = &mut self.slots[idx].state
+        {
+            *time = at;
+            *s_seq = seq;
+        }
+        self.heap.push(HeapEntry {
+            time: at,
+            seq,
+            slot: idx as u32,
+            generation: id.generation(),
+        });
+        self.maybe_compact();
+        true
+    }
+
+    /// Pop the earliest pending event as `(time, id, payload)`. The
+    /// returned id is dead (useful only for logging/correlation).
+    pub fn pop(&mut self) -> Option<(T, EventId, E)> {
+        loop {
+            let entry = self.heap.pop()?;
+            let idx = entry.slot as usize;
+            let valid = matches!(
+                self.slots.get(idx),
+                Some(Slot {
+                    generation,
+                    state: SlotState::Busy { seq, .. },
+                }) if *generation == entry.generation && *seq == entry.seq
+            );
+            if !valid {
+                continue; // stale: cancelled or rescheduled since push
+            }
+            let id = EventId::new(entry.slot, entry.generation);
+            let payload = self.free_slot(idx)?;
+            return Some((entry.time, id, payload));
+        }
+    }
+
+    /// The timestamp of the earliest pending event, without popping it.
+    pub fn peek_time(&mut self) -> Option<T> {
+        loop {
+            let entry = self.heap.peek()?;
+            let idx = entry.slot as usize;
+            let valid = matches!(
+                self.slots.get(idx),
+                Some(Slot {
+                    generation,
+                    state: SlotState::Busy { seq, .. },
+                }) if *generation == entry.generation && *seq == entry.seq
+            );
+            if valid {
+                return Some(entry.time);
+            }
+            self.heap.pop(); // discard stale head
+        }
+    }
+
+    /// Drop stale heap entries when they outnumber live ones: rebuild
+    /// the heap from the busy slots in O(live). Amortized against the
+    /// cancels/reschedules that created the stale entries, this keeps
+    /// every operation O(log live).
+    fn maybe_compact(&mut self) {
+        if self.heap.len() <= 2 * self.live + 16 {
+            return;
+        }
+        let mut entries = Vec::with_capacity(self.live);
+        for (idx, slot) in self.slots.iter().enumerate() {
+            if let SlotState::Busy { time, seq, .. } = slot.state {
+                entries.push(HeapEntry {
+                    time,
+                    seq,
+                    slot: idx as u32,
+                    generation: slot.generation,
+                });
+            }
+        }
+        self.heap = BinaryHeap::from(entries);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q: EventQueue<u64, &str> = EventQueue::new();
+        q.schedule(3, "c");
+        q.schedule(1, "a");
+        q.schedule(2, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, _, p)| p)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_schedule_order() {
+        let mut q: EventQueue<u64, i32> = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(5, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, _, p)| p)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_removes_and_returns_payload() {
+        let mut q: EventQueue<u64, &str> = EventQueue::new();
+        let a = q.schedule(1, "a");
+        let b = q.schedule(2, "b");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.cancel(a), Some("a"));
+        assert_eq!(q.len(), 1);
+        assert!(!q.contains(a));
+        assert!(q.contains(b));
+        // Double-cancel is a no-op.
+        assert_eq!(q.cancel(a), None);
+        assert_eq!(q.pop().map(|(t, _, p)| (t, p)), Some((2, "b")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn reschedule_moves_event() {
+        let mut q: EventQueue<u64, &str> = EventQueue::new();
+        let a = q.schedule(10, "late");
+        q.schedule(5, "early");
+        assert!(q.reschedule(a, 1));
+        assert_eq!(q.time_of(a), Some(1));
+        assert_eq!(q.pop().map(|(t, _, p)| (t, p)), Some((1, "late")));
+        assert_eq!(q.pop().map(|(t, _, p)| (t, p)), Some((5, "early")));
+        // Handle is dead after the pop.
+        assert!(!q.reschedule(a, 3));
+    }
+
+    #[test]
+    fn reschedule_reenters_fifo_behind_existing_ties() {
+        let mut q: EventQueue<u64, &str> = EventQueue::new();
+        let moved = q.schedule(1, "moved");
+        q.schedule(7, "first");
+        q.schedule(7, "second");
+        assert!(q.reschedule(moved, 7));
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, _, p)| p)).collect();
+        assert_eq!(order, vec!["first", "second", "moved"]);
+    }
+
+    #[test]
+    fn slot_reuse_does_not_alias_old_handles() {
+        let mut q: EventQueue<u64, i32> = EventQueue::new();
+        let a = q.schedule(1, 1);
+        assert_eq!(q.cancel(a), Some(1));
+        // The freed slot is reused, but the old handle stays dead.
+        let b = q.schedule(2, 2);
+        assert!(!q.contains(a));
+        assert_eq!(q.cancel(a), None);
+        assert!(!q.reschedule(a, 9));
+        assert!(q.contains(b));
+        assert_eq!(q.pop().map(|(t, _, p)| (t, p)), Some((2, 2)));
+    }
+
+    #[test]
+    fn peek_time_skips_stale_entries() {
+        let mut q: EventQueue<u64, &str> = EventQueue::new();
+        let a = q.schedule(1, "a");
+        q.schedule(5, "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(5));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn heavy_cancel_churn_stays_consistent() {
+        let mut q: EventQueue<u64, usize> = EventQueue::new();
+        let mut ids = Vec::new();
+        for round in 0..50u64 {
+            for i in 0..20usize {
+                ids.push(q.schedule(round * 100 + i as u64, i));
+            }
+            // Cancel every other outstanding event.
+            let mut kept = Vec::new();
+            for (k, id) in ids.drain(..).enumerate() {
+                if k % 2 == 0 {
+                    q.cancel(id);
+                } else if q.contains(id) {
+                    kept.push(id);
+                }
+            }
+            ids = kept;
+        }
+        let mut last = None;
+        let mut n = 0;
+        while let Some((t, _, _)) = q.pop() {
+            if let Some(prev) = last {
+                assert!(t >= prev, "pop order regressed: {t} after {prev}");
+            }
+            last = Some(t);
+            n += 1;
+        }
+        assert!(n > 0);
+        assert!(q.is_empty());
+    }
+}

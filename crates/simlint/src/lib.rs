@@ -8,8 +8,8 @@
 //! invariants statically, before anything runs:
 //!
 //! * `nondeterminism` — no wall-clock, OS entropy, or hash-order
-//!   iteration in the simulation crates (`metasim`, `core`, `nws`,
-//!   `grid`, `obsv`).
+//!   iteration in the simulation crates (`simcore`, `metasim`, `core`,
+//!   `nws`, `grid`, `obsv`).
 //! * `nan-unsafe-cmp` — comparator chains must use `total_cmp`, never
 //!   `partial_cmp(..).unwrap()/expect()/unwrap_or(..)`.
 //! * `panic-in-lib` — library code in the simulation crates returns
@@ -40,7 +40,7 @@ use std::path::{Path, PathBuf};
 pub use lints::{Finding, Lint, ALL_LINTS};
 
 /// Crates whose library code must be deterministic and panic-free.
-pub const SIM_CRATES: [&str; 5] = ["metasim", "core", "nws", "grid", "obsv"];
+pub const SIM_CRATES: [&str; 6] = ["simcore", "metasim", "core", "nws", "grid", "obsv"];
 
 /// Directories never scanned (vendored shims, build output, VCS).
 const SKIP_DIRS: [&str; 5] = ["vendor", "target", ".git", ".github", "node_modules"];
@@ -48,7 +48,8 @@ const SKIP_DIRS: [&str; 5] = ["vendor", "target", ".git", ".github", "node_modul
 /// Which lints apply to a workspace-relative path, per the policy table
 /// in DESIGN.md:
 ///
-/// * simulation crates (`crates/{metasim,core,nws,grid}`): all lints;
+/// * simulation crates (`crates/{simcore,metasim,core,nws,grid,obsv}`):
+///   all lints;
 /// * everything else (apps, cli, bench, simlint itself, the umbrella
 ///   `src/` and `tests/`): `nan-unsafe-cmp` + `float-keyed-map` only —
 ///   binaries may panic on bad input and read the wall clock, but

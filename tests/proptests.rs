@@ -317,3 +317,53 @@ proptest! {
         prop_assert_eq!(seq.data(), assembled.as_slice());
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The one-pass imposition sweep in `StepSeries::with_impositions`
+    /// reproduces the per-time scan — evaluate every change point by
+    /// filtering the full imposition list — bit for bit, on arbitrary
+    /// base series and arbitrary (overlapping, abutting, empty,
+    /// negative-factor) window sets.
+    #[test]
+    fn imposition_sweep_matches_per_time_scan(
+        base in prop::collection::vec((0u64..200_000, 0.0f64..1.0), 1..8),
+        windows in prop::collection::vec(
+            (0u64..200_000, 0u64..200_000, -0.5f64..1.5), 0..6),
+    ) {
+        let ss = StepSeries::from_points(
+            base.iter().map(|&(t, v)| (SimTime::from_millis(t), v)).collect(),
+        );
+        let imps: Vec<Imposition> = windows
+            .iter()
+            .map(|&(a, b, f)| {
+                Imposition::new(SimTime::from_millis(a), SimTime::from_millis(b), f)
+            })
+            .collect();
+
+        // Oracle: the pre-simcore per-time scan.
+        let live: Vec<&Imposition> = imps.iter().filter(|i| i.to > i.from).collect();
+        let mut times: Vec<SimTime> = ss.points().iter().map(|&(t, _)| t).collect();
+        for imp in &live {
+            times.push(imp.from);
+            times.push(imp.to);
+        }
+        times.sort_unstable();
+        times.dedup();
+        let oracle = StepSeries::from_points(
+            times
+                .into_iter()
+                .map(|t| {
+                    let combined: f64 = live
+                        .iter()
+                        .filter(|i| i.active_at(t))
+                        .map(|i| i.factor.max(0.0))
+                        .product();
+                    (t, ss.value_at(t) * combined)
+                })
+                .collect(),
+        );
+        prop_assert_eq!(ss.with_impositions(&imps), oracle);
+    }
+}

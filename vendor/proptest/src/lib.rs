@@ -1,7 +1,7 @@
 //! Offline shim implementing the subset of `proptest` this workspace
 //! uses: the [`proptest!`] macro, range and tuple strategies,
-//! `prop::collection::vec`, `prop_map`, and the `prop_assert*` /
-//! `prop_assume!` macros. The build container has no crates.io
+//! `prop::collection::vec`, `prop_map`, weighted [`prop_oneof!`]
+//! unions, and the `prop_assert*` / `prop_assume!` macros. The build container has no crates.io
 //! access, so the workspace vendors this minimal replacement.
 //!
 //! Differences from real proptest, deliberate for size:
@@ -157,6 +157,41 @@ pub mod strategy {
     tuple_strategy!(A, B, C, D);
     tuple_strategy!(A, B, C, D, E);
     tuple_strategy!(A, B, C, D, E, F);
+
+    /// One weighted arm of a [`Union`]: `(weight, sampler)`.
+    pub type UnionArm<T> = (u32, Box<dyn Fn(&mut TestRng) -> T>);
+
+    /// Weighted choice over heterogeneous strategies sharing a value
+    /// type; built by the [`prop_oneof!`](crate::prop_oneof) macro.
+    pub struct Union<T> {
+        arms: Vec<UnionArm<T>>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        /// A union of `(weight, sampler)` arms; weights need not sum to
+        /// anything in particular but must not all be zero.
+        pub fn new(arms: Vec<UnionArm<T>>) -> Self {
+            let total: u64 = arms.iter().map(|&(w, _)| w as u64).sum();
+            assert!(total > 0, "prop_oneof! needs a nonzero total weight");
+            Union { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total);
+            for (w, f) in &self.arms {
+                if pick < *w as u64 {
+                    return f(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("pick < total by construction")
+        }
+    }
 }
 
 /// Collection strategies (`prop::collection`).
@@ -254,7 +289,32 @@ pub mod prelude {
     pub use crate as prop;
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Weighted choice between strategies: `prop_oneof![3 => a, 1 => b]`
+/// picks `a` three times as often as `b`; arms without weights are
+/// equally likely. All arms must produce the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $({
+                let __s = $strat;
+                (
+                    $weight as u32,
+                    ::std::boxed::Box::new(move |__rng: &mut $crate::TestRng| {
+                        $crate::strategy::Strategy::sample(&__s, __rng)
+                    }) as ::std::boxed::Box<dyn Fn(&mut $crate::TestRng) -> _>,
+                )
+            }),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
 }
 
 /// Assert inside a property; panics (no shrinking in the shim).
@@ -365,6 +425,21 @@ mod tests {
             prop_assume!(f > 0.01);
             prop_assert_eq!(n % 2, 0);
             prop_assert_ne!(f, 2.0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_respects_weights_and_types(
+            xs in prop::collection::vec(
+                prop_oneof![3 => (0u32..10).prop_map(|n| n as u64), 1 => Just(99u64)],
+                200,
+            ),
+        ) {
+            let big = xs.iter().filter(|&&x| x == 99u64).count();
+            prop_assert!(xs.iter().all(|&x| x < 10u64 || x == 99u64));
+            // 1-in-4 odds over 200 draws: bounds loose enough to never flake.
+            prop_assert!(big > 10 && big < 120, "weighting off: {big}/200");
         }
     }
 
