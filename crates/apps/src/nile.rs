@@ -405,7 +405,7 @@ mod tests {
             SimTime::from_micros(500),
         ));
         let wan = b.add_link(LinkSpec::dedicated("wan", 0.5, SimTime::from_millis(30)));
-        b.add_route(local, remote, vec![wan]);
+        b.add_route(local, remote, vec![wan]).unwrap();
         let server = b.add_host(HostSpec::dedicated("cornell-server", 20.0, 1024.0, remote));
         let a0 = b.add_host(HostSpec::dedicated("alpha-0", 40.0, 256.0, local));
         let a1 = b.add_host(HostSpec::dedicated("alpha-1", 40.0, 256.0, local));

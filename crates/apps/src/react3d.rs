@@ -113,7 +113,7 @@ pub fn casa_testbed(seed: u64) -> Result<CasaTestbed, SimError> {
         12.0,
         SimTime::from_millis(10),
     ));
-    b.add_route(sdsc, caltech, vec![sonet]);
+    b.add_route(sdsc, caltech, vec![sonet])?;
 
     let mut c90_spec = HostSpec::dedicated("sdsc-c90", C90_MFLOPS, C90_MEM_MB, sdsc);
     c90_spec.paging_slowdown = 20.0;

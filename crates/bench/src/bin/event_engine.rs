@@ -1,25 +1,32 @@
 //! T-SCALE: events/sec trajectory of the simulation core.
 //!
 //! ```text
-//! event_engine [--hosts N[,N...]] [--jobs N[,N...]] [--seed N]
+//! event_engine [--hosts N[,N...]] [--topo SPEC]...
+//!              [--jobs N[,N...]] [--seed N]
 //!              [--out FILE] [--json] [--check FILE]
 //! ```
 //!
 //! With no flags, runs the default decade sweep (10/10², 10²/10³,
-//! 10³/10⁴ hosts/jobs), prints the table, and writes
-//! `BENCH_event_engine.json` to the current directory. `--hosts` and
-//! `--jobs` take comma-separated lists zipped into sweep points (a
-//! single `--jobs` value is reused for every host count). `--json`
-//! prints the JSON document to stdout instead of the table. `--check`
-//! validates an existing results file and exits non-zero if it is
-//! missing or malformed — the CI artifact gate.
+//! 10³/10⁴ hosts/jobs) plus a generated 1024-host fat-tree point,
+//! prints the table, and writes `BENCH_event_engine.json` to the
+//! current directory. `--hosts` and `--jobs` take comma-separated
+//! lists zipped into sweep points (a single `--jobs` value is reused
+//! for every host count). `--topo` (repeatable — spec strings contain
+//! commas) names a topology spec (`fat-tree:k=8`,
+//! `clusters:clusters=16,segs=4,hosts=8`, ...) run on a generated
+//! testbed instead of the synthetic fleet. `--json` prints the JSON
+//! document to stdout instead of the table. `--check` validates an
+//! existing results file and exits non-zero if it is missing or
+//! malformed — the CI artifact gate.
 
-use apples_bench::event_engine::{parse_results, run_sweep, to_json, to_table, DEFAULT_SWEEP};
+use apples_bench::event_engine::{
+    parse_results, run_sweep, run_topo_sweep, to_json, to_table, DEFAULT_SWEEP, DEFAULT_TOPO_SWEEP,
+};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: event_engine [--hosts N[,N...]] [--jobs N[,N...]] [--seed N]\n\
-         \x20                   [--out FILE] [--json] [--check FILE]"
+        "usage: event_engine [--hosts N[,N...]] [--topo SPEC]... [--jobs N[,N...]]\n\
+         \x20                   [--seed N] [--out FILE] [--json] [--check FILE]"
     );
     std::process::exit(2);
 }
@@ -37,6 +44,7 @@ fn parse_list(s: &str, what: &str) -> Vec<usize> {
 
 fn main() {
     let mut hosts: Vec<usize> = Vec::new();
+    let mut topos: Vec<String> = Vec::new();
     let mut jobs: Vec<usize> = Vec::new();
     let mut seed: u64 = 42;
     let mut out = String::from("BENCH_event_engine.json");
@@ -53,6 +61,9 @@ fn main() {
         };
         match arg.as_str() {
             "--hosts" => hosts = parse_list(&take("--hosts"), "host"),
+            // Repeatable: spec strings contain commas themselves
+            // (clusters:clusters=8,segs=4), so one flag per spec.
+            "--topo" => topos.push(take("--topo")),
             "--jobs" => jobs = parse_list(&take("--jobs"), "job"),
             "--seed" => {
                 seed = take("--seed").parse().unwrap_or_else(|_| {
@@ -87,8 +98,15 @@ fn main() {
         }
     }
 
-    let sweep: Vec<(usize, usize)> = if hosts.is_empty() {
+    // With no explicit selection, run the default fleet sweep plus the
+    // default generated-topology points. Explicit --hosts/--topo run
+    // exactly what was asked for.
+    let defaults = hosts.is_empty() && topos.is_empty();
+    let jobs_per_topo = jobs.first().copied().unwrap_or(10_000);
+    let sweep: Vec<(usize, usize)> = if defaults {
         DEFAULT_SWEEP.to_vec()
+    } else if hosts.is_empty() {
+        Vec::new()
     } else {
         let jobs = if jobs.is_empty() {
             vec![1000; hosts.len()]
@@ -102,14 +120,26 @@ fn main() {
         };
         hosts.into_iter().zip(jobs).collect()
     };
+    let topo_sweep: Vec<(&str, usize)> = if defaults {
+        DEFAULT_TOPO_SWEEP.to_vec()
+    } else {
+        topos.iter().map(|s| (s.as_str(), jobs_per_topo)).collect()
+    };
 
-    let points = match run_sweep(&sweep, seed) {
+    let mut points = match run_sweep(&sweep, seed) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("sweep failed: {e}");
             std::process::exit(1);
         }
     };
+    match run_topo_sweep(&topo_sweep, seed) {
+        Ok(p) => points.extend(p),
+        Err(e) => {
+            eprintln!("topology sweep failed: {e}");
+            std::process::exit(1);
+        }
+    }
 
     let doc = to_json(&points);
     if json {

@@ -12,15 +12,23 @@
 //! and their delivered times are cross-checked before any timing is
 //! reported — a benchmark of a wrong answer is worthless.
 //!
+//! Beyond the synthetic fleet, `run_topo_point` runs the same
+//! cross-checked comparison on any [`topogen`] family
+//! (`fat-tree:k=8`, `clusters:clusters=16`, ...) — the default sweep
+//! includes a 1024-host generated fat-tree.
+//!
 //! `run_sweep` produces the `BENCH_event_engine.json` trajectory file
 //! at the repo root; `parse_results` validates it (the CI gate and
-//! `apples-cli bench --check` both call it).
+//! `apples-cli bench --check` both call it): event counts must agree
+//! within [`EVENT_COUNT_TOLERANCE`] and the incremental engine must be
+//! faster at or above [`SPEEDUP_CROSSOVER_HOSTS`] hosts.
 
 use metasim::host::HostSpec;
 use metasim::load::LoadModel;
 use metasim::net::{simulate_transfers_counting, simulate_transfers_reference, TransferReq};
 use metasim::net::{LinkSpec, Topology, TopologyBuilder};
 use metasim::simtrace::NoopSink;
+use metasim::topogen::{self, TopoGenConfig, TopoSpec};
 use metasim::{HostId, SimTime};
 use rand::Rng;
 use rand::SeedableRng;
@@ -31,9 +39,25 @@ const HOSTS_PER_SEGMENT: usize = 8;
 /// Fraction of transfers whose endpoints share a segment.
 const LOCALITY: f64 = 0.85;
 
+/// Both engines implement the same event metric (arrivals + finishes +
+/// availability changes on loaded links), but a change landing on the
+/// exact microsecond a flow starts or finishes can be attributed
+/// differently by the two schedulers. The residual disagreement is a
+/// few events at most; anything larger is a real counting bug.
+pub const EVENT_COUNT_TOLERANCE: u64 = 8;
+
+/// Below ~this many hosts the incremental engine's dirty-set
+/// bookkeeping costs more than the recompute it avoids; speedup < 1 is
+/// expected and recorded, not an error (see EXPERIMENTS.md T-SCALE).
+/// At or above it the incremental engine must win.
+pub const SPEEDUP_CROSSOVER_HOSTS: usize = 100;
+
 /// One (hosts, jobs) sweep point's measurements.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EnginePoint {
+    /// Topology the point ran on: `"fleet"` for the synthetic star, or
+    /// a [`TopoSpec`] label like `fat-tree:l2=8,l1=128,hosts=8`.
+    pub topo: String,
     /// Host count of the synthetic fleet.
     pub hosts: usize,
     /// Transfer (job) count pushed through it.
@@ -74,6 +98,11 @@ impl EnginePoint {
         } else {
             f64::INFINITY
         }
+    }
+
+    /// Absolute difference between the engines' event counts.
+    pub fn events_delta(&self) -> u64 {
+        self.inc_events.abs_diff(self.ref_events)
     }
 }
 
@@ -139,9 +168,22 @@ pub fn build_fleet(hosts: usize, horizon: SimTime, seed: u64) -> Topology {
 }
 
 /// Generate the seeded transfer batch: `LOCALITY` of the flows stay on
-/// their source segment, the rest cross the backbone.
+/// their source segment, the rest cross the wider topology. Locality
+/// groups come from each host's actual segment, so the same generator
+/// drives the synthetic fleet and any [`topogen`] family.
 pub fn build_workload(topo: &Topology, jobs: usize, seed: u64) -> Vec<TransferReq> {
     let hosts = topo.hosts().len();
+    // Hosts sharing a segment, in host-id order, and each host's index
+    // within its group.
+    let mut seg_hosts: Vec<Vec<usize>> = vec![Vec::new(); topo.segment_count()];
+    let mut seg_of = Vec::with_capacity(hosts);
+    let mut pos_in_seg = Vec::with_capacity(hosts);
+    for h in topo.hosts() {
+        let s = h.spec.segment.0;
+        seg_of.push(s);
+        pos_in_seg.push(seg_hosts[s].len());
+        seg_hosts[s].push(h.id.0);
+    }
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xBE7C_11E5);
     // Submission window scales with per-host pressure so concurrency
     // stays in a realistic band across the sweep.
@@ -149,13 +191,12 @@ pub fn build_workload(topo: &Topology, jobs: usize, seed: u64) -> Vec<TransferRe
     let mut reqs = Vec::with_capacity(jobs);
     for tag in 0..jobs {
         let from = rng.gen_range(0..hosts);
-        let seg_base = from / HOSTS_PER_SEGMENT * HOSTS_PER_SEGMENT;
-        let seg_len = HOSTS_PER_SEGMENT.min(hosts - seg_base);
-        let local = rng.gen_range(0.0..1.0) < LOCALITY && seg_len > 1;
+        let peers = &seg_hosts[seg_of[from]];
+        let local = rng.gen_range(0.0..1.0) < LOCALITY && peers.len() > 1;
         let to = if local {
-            let mut t = seg_base + rng.gen_range(0..seg_len);
+            let mut t = peers[rng.gen_range(0..peers.len())];
             if t == from {
-                t = seg_base + (from - seg_base + 1) % seg_len;
+                t = peers[(pos_in_seg[from] + 1) % peers.len()];
             }
             t
         } else {
@@ -176,23 +217,31 @@ pub fn build_workload(topo: &Topology, jobs: usize, seed: u64) -> Vec<TransferRe
     reqs
 }
 
-/// Run both engines on one sweep point and time them. The engines'
-/// delivered times are cross-checked (±2 µs, the lazy-integration
-/// quantization slack) before timings are accepted.
-pub fn run_point(hosts: usize, jobs: usize, seed: u64) -> Result<EnginePoint, String> {
-    let window_secs = (jobs as f64 / hosts.max(2) as f64 * 12.0).max(60.0);
-    // Generous horizon: the window plus room for the slowest flows.
-    let horizon = SimTime::from_secs_f64(window_secs * 4.0 + 3600.0);
-    let topo = build_fleet(hosts, horizon, seed);
-    let reqs = build_workload(&topo, jobs, seed);
+fn submission_window_secs(hosts: usize, jobs: usize) -> f64 {
+    (jobs as f64 / hosts.max(2) as f64 * 12.0).max(60.0)
+}
+
+/// Run both engines over `jobs` seeded transfers on an already-built
+/// topology and time them. The engines' delivered times are
+/// cross-checked (±2 µs, the lazy-integration quantization slack) and
+/// their event counts must agree within [`EVENT_COUNT_TOLERANCE`]
+/// before timings are accepted.
+pub fn run_point_on(
+    topo_label: &str,
+    topo: &Topology,
+    jobs: usize,
+    seed: u64,
+) -> Result<EnginePoint, String> {
+    let hosts = topo.hosts().len();
+    let reqs = build_workload(topo, jobs, seed);
 
     let t0 = std::time::Instant::now();
-    let (inc_results, inc_events) = simulate_transfers_counting(&topo, &reqs, &mut NoopSink)
+    let (inc_results, inc_events) = simulate_transfers_counting(topo, &reqs, &mut NoopSink)
         .map_err(|e| format!("incremental engine failed: {e}"))?;
     let inc_secs = t0.elapsed().as_secs_f64();
 
     let t1 = std::time::Instant::now();
-    let (ref_results, ref_events) = simulate_transfers_reference(&topo, &reqs, &mut NoopSink)
+    let (ref_results, ref_events) = simulate_transfers_reference(topo, &reqs, &mut NoopSink)
         .map_err(|e| format!("reference engine failed: {e}"))?;
     let ref_secs = t1.elapsed().as_secs_f64();
 
@@ -205,8 +254,16 @@ pub fn run_point(hosts: usize, jobs: usize, seed: u64) -> Result<EnginePoint, St
             ));
         }
     }
+    if inc_events.abs_diff(ref_events) > EVENT_COUNT_TOLERANCE {
+        return Err(format!(
+            "event counts diverge on {topo_label}: incremental {inc_events} vs reference \
+             {ref_events} (tolerance {EVENT_COUNT_TOLERANCE}) — the engines no longer \
+             implement the same event metric"
+        ));
+    }
 
     Ok(EnginePoint {
+        topo: topo_label.to_string(),
         hosts,
         jobs,
         seed,
@@ -217,7 +274,32 @@ pub fn run_point(hosts: usize, jobs: usize, seed: u64) -> Result<EnginePoint, St
     })
 }
 
-/// Run the full sweep. Points that fail cross-checking abort the sweep:
+/// Run one synthetic-fleet sweep point.
+pub fn run_point(hosts: usize, jobs: usize, seed: u64) -> Result<EnginePoint, String> {
+    let window_secs = submission_window_secs(hosts, jobs);
+    // Generous horizon: the window plus room for the slowest flows.
+    let horizon = SimTime::from_secs_f64(window_secs * 4.0 + 3600.0);
+    let topo = build_fleet(hosts, horizon, seed);
+    run_point_on("fleet", &topo, jobs, seed)
+}
+
+/// Run one sweep point on a generated [`topogen`] topology named by a
+/// spec string (`fat-tree:k=8`, `clusters:clusters=16`, ...).
+pub fn run_topo_point(spec: &str, jobs: usize, seed: u64) -> Result<EnginePoint, String> {
+    let spec = TopoSpec::parse(spec).map_err(|e| e.to_string())?;
+    let hosts = spec.host_count();
+    let window_secs = submission_window_secs(hosts, jobs);
+    let cfg = TopoGenConfig {
+        horizon: SimTime::from_secs_f64(window_secs * 4.0 + 3600.0),
+        seed,
+        ..TopoGenConfig::default()
+    };
+    let topo = topogen::generate(&spec, &cfg).map_err(|e| e.to_string())?;
+    run_point_on(&spec.label(), &topo, jobs, seed)
+}
+
+/// Run the full sweep: synthetic-fleet points first, then generated
+/// topology points. Points that fail cross-checking abort the sweep:
 /// no numbers are better than wrong numbers.
 pub fn run_sweep(points: &[(usize, usize)], seed: u64) -> Result<Vec<EnginePoint>, String> {
     points
@@ -226,8 +308,20 @@ pub fn run_sweep(points: &[(usize, usize)], seed: u64) -> Result<Vec<EnginePoint
         .collect()
 }
 
+/// Run a sweep of generated topologies, `(spec, jobs)` per point.
+pub fn run_topo_sweep(points: &[(&str, usize)], seed: u64) -> Result<Vec<EnginePoint>, String> {
+    points
+        .iter()
+        .map(|&(spec, jobs)| run_topo_point(spec, jobs, seed))
+        .collect()
+}
+
 /// The default trajectory sweep: one decade of hosts per point.
 pub const DEFAULT_SWEEP: [(usize, usize); 3] = [(10, 100), (100, 1_000), (1_000, 10_000)];
+
+/// The default generated-topology sweep: a 1024-host k=8 fat-tree, the
+/// fleet-scale point the hand-built testbeds could never reach.
+pub const DEFAULT_TOPO_SWEEP: [(&str, usize); 1] = [("fat-tree:k=8", 10_000)];
 
 /// Render the sweep as the `BENCH_event_engine.json` document.
 pub fn to_json(points: &[EnginePoint]) -> String {
@@ -235,11 +329,12 @@ pub fn to_json(points: &[EnginePoint]) -> String {
     for (i, p) in points.iter().enumerate() {
         let sep = if i + 1 == points.len() { "" } else { "," };
         out.push_str(&format!(
-            "    {{\"hosts\": {}, \"jobs\": {}, \"seed\": {}, \
+            "    {{\"topo\": \"{}\", \"hosts\": {}, \"jobs\": {}, \"seed\": {}, \
              \"inc_events\": {}, \"inc_secs\": {:.6}, \
-             \"ref_events\": {}, \"ref_secs\": {:.6}, \
+             \"ref_events\": {}, \"ref_secs\": {:.6}, \"events_delta\": {}, \
              \"inc_events_per_sec\": {:.1}, \"ref_events_per_sec\": {:.1}, \
              \"inc_jobs_per_sec\": {:.1}, \"speedup\": {:.2}}}{sep}\n",
+            p.topo,
             p.hosts,
             p.jobs,
             p.seed,
@@ -247,6 +342,7 @@ pub fn to_json(points: &[EnginePoint]) -> String {
             p.inc_secs,
             p.ref_events,
             p.ref_secs,
+            p.events_delta(),
             p.inc_events_per_sec(),
             p.ref_events_per_sec(),
             p.inc_jobs_per_sec(),
@@ -260,13 +356,14 @@ pub fn to_json(points: &[EnginePoint]) -> String {
 /// Render the sweep as an aligned table for terminals.
 pub fn to_table(points: &[EnginePoint]) -> String {
     let header = format!(
-        "{:>6} {:>7} {:>12} {:>12} {:>14} {:>14} {:>8}\n",
-        "hosts", "jobs", "inc ev/s", "ref ev/s", "inc jobs/s", "inc events", "speedup"
+        "{:<28} {:>6} {:>7} {:>12} {:>12} {:>14} {:>14} {:>8}\n",
+        "topo", "hosts", "jobs", "inc ev/s", "ref ev/s", "inc jobs/s", "inc events", "speedup"
     );
     let mut out = header;
     for p in points {
         out.push_str(&format!(
-            "{:>6} {:>7} {:>12.0} {:>12.0} {:>14.0} {:>14} {:>7.2}x\n",
+            "{:<28} {:>6} {:>7} {:>12.0} {:>12.0} {:>14.0} {:>14} {:>7.2}x\n",
+            p.topo,
             p.hosts,
             p.jobs,
             p.inc_events_per_sec(),
@@ -289,6 +386,13 @@ fn field_f64(obj: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+fn field_str<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": \"");
+    let start = obj.find(&pat)? + pat.len();
+    let rest = &obj[start..];
+    rest.split('"').next()
+}
+
 /// Parse and validate a `BENCH_event_engine.json` document, returning
 /// its sweep points. Errors describe what is malformed or missing —
 /// this is the CI artifact gate.
@@ -307,6 +411,7 @@ pub fn parse_results(text: &str) -> Result<Vec<EnginePoint>, String> {
             field_f64(obj, key).ok_or_else(|| format!("point missing numeric field {key:?}"))
         };
         points.push(EnginePoint {
+            topo: field_str(obj, "topo").unwrap_or("fleet").to_string(),
             hosts: want("hosts")? as usize,
             jobs: want("jobs")? as usize,
             seed: want("seed")? as u64,
@@ -329,6 +434,20 @@ pub fn parse_results(text: &str) -> Result<Vec<EnginePoint>, String> {
         if p.inc_events == 0 || p.ref_events == 0 {
             return Err(format!("zero event count in point: {p:?}"));
         }
+        if p.events_delta() > EVENT_COUNT_TOLERANCE {
+            return Err(format!(
+                "event counts diverge beyond tolerance {EVENT_COUNT_TOLERANCE} in point: {p:?}"
+            ));
+        }
+        if p.hosts >= SPEEDUP_CROSSOVER_HOSTS && p.speedup() < 1.0 {
+            return Err(format!(
+                "incremental engine slower than baseline at {} hosts (speedup {:.2}, \
+                 crossover is {} hosts): {p:?}",
+                p.hosts,
+                p.speedup(),
+                SPEEDUP_CROSSOVER_HOSTS
+            ));
+        }
     }
     Ok(points)
 }
@@ -341,6 +460,20 @@ mod tests {
     fn engines_agree_on_a_small_fleet() {
         let p = run_point(10, 100, 7).expect("cross-check");
         assert!(p.inc_events > 0 && p.ref_events > 0);
+        assert!(p.events_delta() <= EVENT_COUNT_TOLERANCE);
+    }
+
+    #[test]
+    fn engines_agree_on_a_generated_fat_tree() {
+        let p = run_topo_point("fat-tree:l2=3,l1=8,hosts=4", 200, 7).expect("cross-check");
+        assert_eq!(p.hosts, 32);
+        assert_eq!(p.topo, "fat-tree:l2=3,l1=8,hosts=4");
+    }
+
+    #[test]
+    fn engines_agree_on_generated_clusters() {
+        let p = run_topo_point("clusters:clusters=3,segs=2,hosts=4", 200, 7).expect("cross-check");
+        assert_eq!(p.hosts, 24);
     }
 
     #[test]
@@ -354,21 +487,23 @@ mod tests {
     fn json_round_trips_through_the_validator() {
         let pts = vec![
             EnginePoint {
+                topo: "fleet".into(),
                 hosts: 10,
                 jobs: 100,
                 seed: 42,
                 inc_events: 1234,
                 inc_secs: 0.0125,
-                ref_events: 1200,
+                ref_events: 1230,
                 ref_secs: 0.05,
             },
             EnginePoint {
-                hosts: 1000,
+                topo: "fat-tree:l2=8,l1=128,hosts=8".into(),
+                hosts: 1024,
                 jobs: 10_000,
                 seed: 42,
                 inc_events: 60_000,
                 inc_secs: 0.5,
-                ref_events: 58_000,
+                ref_events: 59_995,
                 ref_secs: 9.5,
             },
         ];
@@ -383,5 +518,35 @@ mod tests {
         assert!(parse_results("{\"bench\": \"event_engine\", \"points\": []}").is_err());
         let truncated = "{\"bench\": \"event_engine\", \"points\": [{\"hosts\": 10}]}";
         assert!(parse_results(truncated).is_err());
+    }
+
+    #[test]
+    fn validator_rejects_diverged_event_counts_and_late_slowdowns() {
+        let base = EnginePoint {
+            topo: "fleet".into(),
+            hosts: 1000,
+            jobs: 10_000,
+            seed: 42,
+            inc_events: 60_000,
+            inc_secs: 0.5,
+            ref_events: 59_995,
+            ref_secs: 9.5,
+        };
+        // Event counts differing beyond the tolerance are a counting
+        // bug, not timing noise.
+        let mut diverged = base.clone();
+        diverged.ref_events = base.inc_events - EVENT_COUNT_TOLERANCE - 1;
+        assert!(parse_results(&to_json(&[diverged])).is_err());
+        // Past the crossover the incremental engine must actually win.
+        let mut slow = base.clone();
+        slow.inc_secs = 10.0;
+        slow.ref_secs = 0.5;
+        assert!(parse_results(&to_json(&[slow])).is_err());
+        // Below the crossover a slowdown is recorded, not rejected.
+        let mut small_slow = base;
+        small_slow.hosts = 10;
+        small_slow.inc_secs = 0.05;
+        small_slow.ref_secs = 0.04;
+        assert!(parse_results(&to_json(&[small_slow])).is_ok());
     }
 }

@@ -49,7 +49,8 @@ pub fn nile_testbed(seed: u64) -> NileTestbed {
             mean_busy: SimTime::from_secs(20),
         },
     ));
-    b.add_route(exp_site, analysis, vec![wan]);
+    b.add_route(exp_site, analysis, vec![wan])
+        .expect("fresh builder accepts the wan route");
 
     let server = b.add_host(HostSpec::dedicated("event-store", 25.0, 4096.0, exp_site));
     let mut compute = Vec::new();

@@ -231,7 +231,7 @@ pub fn nile(p: &Parsed) -> CmdResult {
         0.6,
         SimTime::from_millis(35),
     ));
-    b.add_route(exp, lab, vec![wan]);
+    b.add_route(exp, lab, vec![wan])?;
     let server = b.add_host(metasim::host::HostSpec::dedicated(
         "event-store",
         25.0,
@@ -462,9 +462,16 @@ fn grid_setup(
     } else {
         FaultInjection::None
     };
+    let topo_raw = p.get("topo", "");
+    let topo = if topo_raw.is_empty() {
+        None
+    } else {
+        Some(metasim::topogen::TopoSpec::parse(topo_raw)?)
+    };
     let cfg = GridConfig {
         profile: profile_of(p)?,
         with_sp2: p.switch("sp2"),
+        topo,
         seed,
         horizon: SimTime::from_secs_f64(horizon),
         regime: if p.switch("blind") {
@@ -783,7 +790,10 @@ pub fn metrics(p: &Parsed) -> CmdResult {
 /// seeded synthetic fleet. `--check FILE` validates an existing
 /// results document instead of running the sweep.
 pub fn bench(p: &Parsed) -> CmdResult {
-    use apples_bench::event_engine::{parse_results, run_sweep, to_json, to_table, DEFAULT_SWEEP};
+    use apples_bench::event_engine::{
+        parse_results, run_sweep, run_topo_sweep, to_json, to_table, DEFAULT_SWEEP,
+        DEFAULT_TOPO_SWEEP,
+    };
 
     let check = p.get("check", "");
     if !check.is_empty() {
@@ -805,8 +815,14 @@ pub fn bench(p: &Parsed) -> CmdResult {
     }
     let seed: u64 = p.get_parsed("seed", 42)?;
     let hosts_raw = p.get("hosts", "");
-    let sweep: Vec<(usize, usize)> = if hosts_raw.is_empty() {
+    let topo_raw = p.get("topo", "");
+    // With neither --hosts nor --topo, run the default fleet sweep
+    // plus the default generated-topology point.
+    let defaults = hosts_raw.is_empty() && topo_raw.is_empty();
+    let sweep: Vec<(usize, usize)> = if defaults {
         DEFAULT_SWEEP.to_vec()
+    } else if hosts_raw.is_empty() {
+        Vec::new()
     } else {
         let hosts = list(hosts_raw, "hosts")?;
         let jobs_raw = p.get("jobs", "");
@@ -826,8 +842,28 @@ pub fn bench(p: &Parsed) -> CmdResult {
         };
         hosts.into_iter().zip(jobs).collect()
     };
+    let topo_jobs: usize = p
+        .get("jobs", "")
+        .split(',')
+        .next()
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map_err(|_| ArgError(format!("--jobs: cannot parse {s:?}")))
+        })
+        .transpose()?
+        .unwrap_or(10_000);
+    let topo_sweep: Vec<(&str, usize)> = if defaults {
+        DEFAULT_TOPO_SWEEP.to_vec()
+    } else if topo_raw.is_empty() {
+        Vec::new()
+    } else {
+        vec![(topo_raw, topo_jobs)]
+    };
 
-    let points = run_sweep(&sweep, seed)?;
+    let mut points = run_sweep(&sweep, seed)?;
+    points.extend(run_topo_sweep(&topo_sweep, seed)?);
     let doc = to_json(&points);
     if p.switch("json") {
         print!("{doc}");
@@ -878,6 +914,7 @@ mod tests {
                 "backoff",
                 "horizon",
                 "trace",
+                "topo",
             ],
             &["sp2", "csv", "json", "blind"],
         )
@@ -1029,6 +1066,38 @@ mod tests {
         assert!(validate(&parsed(&["validate"])).is_ok());
         assert!(validate(&parsed(&["validate", "--sp2"])).is_ok());
         assert!(validate(&parsed(&["validate", "--fault-rate", "0.5"])).is_ok());
+    }
+
+    #[test]
+    fn validate_accepts_generated_topologies() {
+        assert!(validate(&parsed(&["validate", "--topo", "star:hosts=16,per_seg=4"])).is_ok());
+        assert!(validate(&parsed(&[
+            "validate",
+            "--topo",
+            "clusters:clusters=2,segs=2,hosts=2"
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_topo_spec() {
+        assert!(validate(&parsed(&["validate", "--topo", "ring:hosts=9"])).is_err());
+    }
+
+    #[test]
+    fn grid_runs_on_a_generated_topology() {
+        assert!(grid(&parsed(&[
+            "grid",
+            "--rate",
+            "0.003",
+            "--duration",
+            "600",
+            "--profile",
+            "light",
+            "--topo",
+            "star:hosts=12,per_seg=4",
+        ]))
+        .is_ok());
     }
 
     #[test]

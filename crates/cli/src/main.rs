@@ -43,11 +43,14 @@ USAGE:
   apples-cli whatif    [--n N] [--iterations K] [--profile P] [--seed N]
       Rank hypothetical hardware upgrades by this application's speedup.
   apples-cli grid      [--rate R] [--duration SECS] [--seed N] [--profile P]
-                       [--max-in-flight K] [--blind] [--csv] [--json]
+                       [--topo SPEC] [--max-in-flight K] [--blind] [--csv] [--json]
                        [--fault-rate C] [--link-fault-rate L] [--mean-outage SECS]
                        [--permanent F] [--max-attempts K] [--backoff SECS]
                        [--trace FILE] [--metrics FILE]
       Stream a multi-tenant job mix through the testbed; fleet metrics.
+      --topo swaps the Figure-2 testbed for a generated topology
+      (star | tree | fat-tree | clusters, e.g. --topo fat-tree:k=8 or
+      --topo clusters:clusters=8,segs=4,hosts=8).
       --fault-rate crashes hosts at C per host-hour (--permanent F of
       them for good); revoked jobs retry up to --max-attempts times
       with exponential backoff from --backoff seconds. --trace writes
@@ -74,13 +77,16 @@ USAGE:
   apples-cli snapshot-diff A B
       Compare two Prometheus snapshots series by series.
       Exit 0 when identical, 1 on any difference, 2 on usage errors.
-  apples-cli bench     [--hosts N[,N...]] [--jobs N[,N...]] [--seed N]
-                       [--out FILE] [--check FILE] [--json]
+  apples-cli bench     [--hosts N[,N...]] [--topo SPEC] [--jobs N[,N...]]
+                       [--seed N] [--out FILE] [--check FILE] [--json]
       Events/sec sweep of the simulation core (T-SCALE): incremental
       dirty-set engine vs the full-recompute baseline on a seeded
-      synthetic fleet. Writes the trajectory to --out (default
-      BENCH_event_engine.json); --check validates an existing results
-      file instead of running (nonzero exit if missing/malformed).
+      synthetic fleet. --topo adds a sweep point on a generated
+      topology instead (e.g. --topo fat-tree:k=8, 1024 hosts). The
+      default sweep includes the generated fat-tree point. Writes the
+      trajectory to --out (default BENCH_event_engine.json); --check
+      validates an existing results file instead of running (nonzero
+      exit if missing/malformed).
 
 Profiles: dedicated | light | moderate (default) | heavy
 ";
@@ -139,6 +145,7 @@ fn main() {
             "hosts",
             "jobs",
             "check",
+            "topo",
         ],
         &["sp2", "csv", "json", "blind"],
     ) {

@@ -105,7 +105,7 @@ mod tests {
         ));
         let far = b.add_segment(LinkSpec::dedicated("far", 100.0, SimTime::from_micros(100)));
         let gw = b.add_link(LinkSpec::dedicated("gw", 0.5, SimTime::from_millis(20)));
-        b.add_route(fast, far, vec![gw]);
+        b.add_route(fast, far, vec![gw]).unwrap();
         b.add_host(HostSpec::dedicated("a", 10.0, 64.0, fast));
         b.add_host(HostSpec::dedicated("b", 10.0, 64.0, fast));
         b.add_host(HostSpec::dedicated("c", 10.0, 64.0, far));

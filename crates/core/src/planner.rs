@@ -579,7 +579,7 @@ mod tests {
         let seg = b.add_segment(LinkSpec::dedicated("seg", 100.0, SimTime::from_micros(100)));
         let far = b.add_segment(LinkSpec::dedicated("far", 100.0, SimTime::from_micros(100)));
         let gw = b.add_link(LinkSpec::dedicated("gw", 1e-4, SimTime::from_secs(30)));
-        b.add_route(seg, far, vec![gw]);
+        b.add_route(seg, far, vec![gw]).unwrap();
         b.add_host(HostSpec::dedicated("a", 40.0, 4096.0, seg));
         b.add_host(HostSpec::dedicated("b", 40.0, 4096.0, seg));
         b.add_host(HostSpec::dedicated("distant", 40.0, 4096.0, far));
@@ -722,7 +722,7 @@ mod tests {
             SimTime::from_micros(100),
         ));
         let gw = b.add_link(LinkSpec::dedicated("gw", 1.0, SimTime::from_millis(5)));
-        b.add_route(sa, sb, vec![gw]);
+        b.add_route(sa, sb, vec![gw]).unwrap();
         b.add_host(HostSpec::dedicated("a0", 20.0, 4096.0, sa));
         b.add_host(HostSpec::dedicated("b0", 20.0, 4096.0, sb));
         b.add_host(HostSpec::dedicated("a1", 20.0, 4096.0, sa));

@@ -183,7 +183,7 @@ mod tests {
         ));
         let far = b.add_segment(LinkSpec::dedicated("far", 100.0, SimTime::from_micros(100)));
         let gw = b.add_link(LinkSpec::dedicated("gw", 0.1, SimTime::from_millis(50)));
-        b.add_route(near, far, vec![gw]);
+        b.add_route(near, far, vec![gw]).unwrap();
         b.add_host(HostSpec::dedicated("fast", 40.0, 256.0, near));
         b.add_host(HostSpec::dedicated("mid", 20.0, 256.0, near));
         b.add_host(HostSpec::dedicated("slow", 10.0, 256.0, near));

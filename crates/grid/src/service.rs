@@ -60,6 +60,7 @@ use apples_apps::nile::plan_farm;
 use metasim::load::Imposition;
 use metasim::simtrace::{EventSink, NoopSink, TraceEvent};
 use metasim::testbed::{pcl_sdsc, LoadProfile, TestbedConfig};
+use metasim::topogen::{self, TopoGenConfig, TopoSpec};
 use metasim::{apply_faults_with_sink, FaultModel, FaultSpec, SimError};
 use metasim::{HostId, SimTime, Topology};
 use nws::{WeatherService, WeatherServiceConfig};
@@ -103,6 +104,10 @@ pub struct GridConfig {
     pub profile: LoadProfile,
     /// Include the two SP-2 nodes.
     pub with_sp2: bool,
+    /// Run on a generated topology family instead of the Figure-2
+    /// SDSC/PCL testbed (`with_sp2` is ignored when set). The profile,
+    /// horizon and seed above drive the generation.
+    pub topo: Option<TopoSpec>,
     /// Sensor warmup before the first submission: the NWS needs
     /// history to forecast from.
     pub warmup: SimTime,
@@ -125,6 +130,7 @@ impl Default for GridConfig {
         GridConfig {
             profile: LoadProfile::Light,
             with_sp2: false,
+            topo: None,
             warmup: SimTime::from_secs(600),
             horizon: SimTime::from_secs(400_000),
             seed: 1996,
@@ -276,6 +282,31 @@ fn per_host_demand_mb(kind: &JobKind, n_hosts: usize) -> Option<(String, f64)> {
     }
 }
 
+/// Build the stream's shared topology: the Figure-2 SDSC/PCL testbed
+/// by default, or a generated [`topogen`] family when `cfg.topo` names
+/// one. The grid profile, horizon and seed drive the generation, so a
+/// `--topo fat-tree:k=8` stream is exactly as reproducible as the
+/// hand-built testbed.
+fn build_topology(cfg: &GridConfig) -> Result<Topology, SimError> {
+    match &cfg.topo {
+        Some(spec) => topogen::generate(
+            spec,
+            &TopoGenConfig {
+                profile: cfg.profile,
+                horizon: cfg.horizon,
+                seed: cfg.seed,
+            },
+        ),
+        None => Ok(pcl_sdsc(&TestbedConfig {
+            profile: cfg.profile,
+            horizon: cfg.horizon,
+            seed: cfg.seed,
+            with_sp2: cfg.with_sp2,
+        })?
+        .topo),
+    }
+}
+
 /// Statically validate a service configuration (and, when given, a
 /// workload) without running anything.
 ///
@@ -302,25 +333,19 @@ pub fn validate_config(cfg: &GridConfig, workload: Option<&WorkloadConfig>) -> V
         push("admission", "max_in_flight must be at least 1".into());
     }
 
-    let tb = pcl_sdsc(&TestbedConfig {
-        profile: cfg.profile,
-        horizon: cfg.horizon,
-        seed: cfg.seed,
-        with_sp2: cfg.with_sp2,
-    });
-    let tb = match tb {
-        Ok(tb) => tb,
+    let topo = match build_topology(cfg) {
+        Ok(t) => t,
         Err(e) => {
             push("testbed", format!("testbed failed to build: {e}"));
             return out;
         }
     };
 
-    let mut report = metasim::validate_topology(&tb.topo);
+    let mut report = metasim::validate_topology(&topo);
     match &cfg.faults {
         FaultInjection::None => {}
         FaultInjection::Spec(spec) => {
-            report.merge(metasim::validate_faults(&tb.topo, spec));
+            report.merge(metasim::validate_faults(&topo, spec));
         }
         FaultInjection::Random(model) => {
             if let Err(e) = model.validate() {
@@ -349,10 +374,10 @@ pub fn validate_config(cfg: &GridConfig, workload: Option<&WorkloadConfig>) -> V
                 message: e.to_string(),
             });
         }
-        let n_hosts = tb.topo.hosts().len();
+        let n_hosts = topo.hosts().len();
         for (kind, _) in &w.mix.entries {
             if let Some((what, needed)) = per_host_demand_mb(kind, n_hosts) {
-                if let Some(issue) = metasim::validate::memory_fit(&tb.topo, &what, needed) {
+                if let Some(issue) = metasim::validate::memory_fit(&topo, &what, needed) {
                     out.push(Diagnostic::from(&issue));
                 }
             }
@@ -493,14 +518,8 @@ pub fn run_jobs_with_retry_sink(
             "max_in_flight must be at least 1".into(),
         ));
     }
-    let tb = pcl_sdsc(&TestbedConfig {
-        profile: cfg.profile,
-        horizon: cfg.horizon,
-        seed: cfg.seed,
-        with_sp2: cfg.with_sp2,
-    })?;
-    let pristine = tb.topo.clone();
-    let mut topo = tb.topo.clone();
+    let pristine = build_topology(cfg)?;
+    let mut topo = pristine.clone();
 
     // Realize and apply the fault schedule to the live topology. The
     // `pristine` snapshot used by blind agents stays fault-free.

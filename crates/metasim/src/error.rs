@@ -48,6 +48,23 @@ pub enum SimError {
     },
     /// A schedule referenced no hosts at all.
     EmptySchedule,
+    /// A route was registered from a segment to itself. Same-segment
+    /// traffic always crosses exactly the segment's own link; a
+    /// self-route would silently shadow that invariant.
+    SelfRoute {
+        /// The segment id on both ends of the rejected route.
+        segment: usize,
+    },
+    /// A route between two segments was registered twice (in either
+    /// direction). Overwriting an existing route silently changes
+    /// every transfer estimate that crosses the pair, so the table
+    /// refuses rather than letting the last writer win.
+    DuplicateRoute {
+        /// One endpoint segment id of the rejected route.
+        a: usize,
+        /// The other endpoint segment id.
+        b: usize,
+    },
     /// A configuration constraint was violated.
     Invalid(String),
 }
@@ -74,6 +91,15 @@ impl fmt::Display for SimError {
                 write!(f, "placement on host {host} revoked at {at} (host failed)")
             }
             SimError::EmptySchedule => write!(f, "schedule assigns work to no hosts"),
+            SimError::SelfRoute { segment } => {
+                write!(f, "route from segment {segment} to itself rejected")
+            }
+            SimError::DuplicateRoute { a, b } => {
+                write!(
+                    f,
+                    "route between segment {a} and segment {b} is already registered"
+                )
+            }
             SimError::Invalid(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }

@@ -190,7 +190,7 @@ mod tests {
         let sa = b.add_segment(LinkSpec::dedicated("segA", 100.0, SimTime::ZERO));
         let sb = b.add_segment(LinkSpec::dedicated("segB", 100.0, SimTime::ZERO));
         let wan = b.add_link(LinkSpec::dedicated("wan", 10.0, SimTime::ZERO));
-        b.add_route(sa, sb, vec![wan]);
+        b.add_route(sa, sb, vec![wan]).unwrap();
         b.add_host(HostSpec::dedicated("prod", 10.0, 1024.0, sa));
         b.add_host(HostSpec::dedicated("cons", 10.0, 1024.0, sb));
         b.instantiate(s(1e7), 0).unwrap()

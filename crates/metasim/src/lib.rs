@@ -53,6 +53,7 @@ pub mod net;
 pub mod simtrace;
 pub mod testbed;
 pub mod time;
+pub mod topogen;
 pub mod trace;
 pub mod tracefile;
 pub mod validate;
@@ -62,8 +63,9 @@ pub use fault::{
     apply_faults, apply_faults_with_sink, FaultModel, FaultSpec, HostFault, LinkFault,
 };
 pub use host::{Host, HostId, HostSpec, SharingPolicy};
-pub use net::{LinkId, LinkSpec, RouteTable, SegmentId, Topology};
+pub use net::{LinkId, LinkSpec, RouteRef, RouteTable, SegmentId, Topology};
 pub use simcore::{DirtySet, EventId, EventQueue};
 pub use simtrace::{EventSink, NoopSink, TraceEvent, TraceSummary, VecSink, WriterSink};
 pub use time::SimTime;
+pub use topogen::{generate, TopoGenConfig, TopoSpec};
 pub use validate::{validate_faults, validate_topology, ConfigIssue, ValidationReport};

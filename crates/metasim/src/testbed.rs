@@ -230,9 +230,9 @@ pub fn pcl_sdsc(cfg: &TestbedConfig) -> Result<Testbed, SimError> {
     ));
 
     // Inter-segment routes.
-    b.add_route(seg_suns, seg_rs, vec![pcl_router]);
-    b.add_route(seg_suns, seg_fddi, vec![gateway]);
-    b.add_route(seg_rs, seg_fddi, vec![gateway]);
+    b.add_route(seg_suns, seg_rs, vec![pcl_router])?;
+    b.add_route(seg_suns, seg_fddi, vec![gateway])?;
+    b.add_route(seg_rs, seg_fddi, vec![gateway])?;
 
     // PCL workstations.
     let sparc2 = b.add_host(HostSpec::workstation(
@@ -288,9 +288,9 @@ pub fn pcl_sdsc(cfg: &TestbedConfig) -> Result<Testbed, SimError> {
             FDDI_MBPS,
             SimTime::from_micros(500),
         ));
-        b.add_route(seg, seg_fddi, vec![sdsc_router]);
-        b.add_route(seg, seg_suns, vec![sdsc_router, gateway]);
-        b.add_route(seg, seg_rs, vec![sdsc_router, gateway]);
+        b.add_route(seg, seg_fddi, vec![sdsc_router])?;
+        b.add_route(seg, seg_suns, vec![sdsc_router, gateway])?;
+        b.add_route(seg, seg_rs, vec![sdsc_router, gateway])?;
         let n0 = b.add_host(HostSpec::dedicated(
             "sdsc-sp2-0",
             SP2_MFLOPS,

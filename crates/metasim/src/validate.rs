@@ -21,7 +21,7 @@
 //! construction), while `cli validate` prints the full list.
 
 use crate::fault::FaultSpec;
-use crate::net::Topology;
+use crate::net::{SegmentId, Topology};
 use crate::time::SimTime;
 use std::fmt;
 
@@ -343,29 +343,43 @@ pub fn validate_topology(topo: &Topology) -> ValidationReport {
     }
 
     // Every ordered host pair must have a resolvable route whose links
-    // all exist. O(H^2) with small H; the Figure-2 testbed has 14 hosts.
+    // all exist. Hosts on the same segment always share exactly that
+    // segment's own link, so reachability is a property of *segment*
+    // pairs: checking each ordered pair of host-bearing segments once
+    // covers every host pair at O(S^2) instead of O(H^2) — on a
+    // 1000-host fleet that is ~16k lookups, not a million. The first
+    // host on each segment names the diagnostic.
     let n_links = topo.links().len();
-    for a in topo.hosts() {
-        for b in topo.hosts() {
-            if a.id == b.id {
+    let mut seg_rep: Vec<Option<&str>> = vec![None; topo.segment_count()];
+    for host in topo.hosts() {
+        let rep = &mut seg_rep[host.spec.segment.0];
+        if rep.is_none() {
+            *rep = Some(&host.spec.name);
+        }
+    }
+    for (a, from) in seg_rep.iter().enumerate() {
+        let Some(from) = from else { continue };
+        for (b, to) in seg_rep.iter().enumerate() {
+            let Some(to) = to else { continue };
+            if a == b {
                 continue;
             }
-            match topo.route(a.id, b.id) {
-                Ok(via) => {
-                    for l in via {
+            match topo.segment_route(SegmentId(a), SegmentId(b)) {
+                Ok(Some(route)) => {
+                    for l in route.iter() {
                         if l.0 >= n_links {
                             report.push(ConfigIssue::RouteViaUnknownLink {
-                                from: a.spec.name.clone(),
-                                to: b.spec.name.clone(),
+                                from: (*from).to_string(),
+                                to: (*to).to_string(),
                                 link: l.0,
                             });
                         }
                     }
                 }
-                Err(_) => {
+                Ok(None) | Err(_) => {
                     report.push(ConfigIssue::UnreachableHosts {
-                        from: a.spec.name.clone(),
-                        to: b.spec.name.clone(),
+                        from: (*from).to_string(),
+                        to: (*to).to_string(),
                     });
                 }
             }
@@ -513,7 +527,7 @@ mod tests {
         let s2 = b.add_segment(LinkSpec::dedicated("eth2", 10.0, SimTime::ZERO));
         b.add_host(HostSpec::dedicated("a", 50.0, 64.0, s1));
         b.add_host(HostSpec::dedicated("b", 50.0, 64.0, s2));
-        b.add_route(s1, s2, vec![crate::net::LinkId(99)]);
+        b.add_route(s1, s2, vec![crate::net::LinkId(99)]).unwrap();
         let topo = b.instantiate(SimTime::from_secs(100), 1).unwrap();
         let report = validate_topology(&topo);
         assert!(

@@ -35,7 +35,8 @@ fn main() {
         SimTime::from_micros(500),
     ));
     let gw = b.add_link(LinkSpec::dedicated("gateway", 0.9, SimTime::from_millis(3)));
-    b.add_route(lab, remote, vec![gw]);
+    b.add_route(lab, remote, vec![gw])
+        .expect("fresh builder accepts the gateway route");
 
     b.add_host(HostSpec::workstation(
         "lab-idle",

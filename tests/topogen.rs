@@ -1,0 +1,173 @@
+//! Property-based and regression tests for the parametric topology
+//! generators and the routing cache: generated testbeds must validate
+//! clean, the cached `route_ref` fast path must agree with the
+//! BFS-derived table it replaced, hierarchical cluster hints must not
+//! change routing, same-seed generation must be byte-identical, and
+//! fleet-scale validation must stay fast.
+
+use metasim::testbed::LoadProfile;
+use metasim::topogen::{self, TopoGenConfig, TopoSpec};
+use metasim::{validate_topology, HostId, SimTime};
+use proptest::prelude::*;
+
+fn cfg(profile: LoadProfile, seed: u64) -> TopoGenConfig {
+    TopoGenConfig {
+        profile,
+        horizon: SimTime::from_secs(20_000),
+        seed,
+    }
+}
+
+/// A strategy over small dense (unhinted) specs: every family except
+/// clusters, whose hinted route derivation is covered separately.
+fn dense_spec() -> impl Strategy<Value = TopoSpec> {
+    prop_oneof![
+        (4usize..30, 2usize..6).prop_map(|(hosts, per_seg)| TopoSpec::Star { hosts, per_seg }),
+        (4usize..30, 2usize..4, 2usize..5).prop_map(|(hosts, arity, per_seg)| TopoSpec::Tree {
+            hosts,
+            arity,
+            per_seg
+        }),
+        (2usize..4, 2usize..7, 1usize..4).prop_map(|(l2, l1, hosts_per_l1)| TopoSpec::FatTree {
+            l2,
+            l1,
+            hosts_per_l1
+        }),
+    ]
+}
+
+/// A strategy over small specs of every family.
+fn small_spec() -> impl Strategy<Value = TopoSpec> {
+    prop_oneof![
+        dense_spec(),
+        (1usize..4, 1usize..4, 1usize..4).prop_map(|(clusters, segs, hosts_per_seg)| {
+            TopoSpec::Clusters {
+                clusters,
+                segs,
+                hosts_per_seg,
+            }
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generated topology passes the full static validator: all
+    /// host pairs route, every named link exists, nothing is dead.
+    #[test]
+    fn generated_topologies_validate_clean(
+        spec in small_spec(),
+        seed in 0u64..1000,
+    ) {
+        let topo = topogen::generate(&spec, &cfg(LoadProfile::Light, seed)).expect("generate");
+        prop_assert_eq!(topo.hosts().len(), spec.host_count());
+        let report = validate_topology(&topo);
+        prop_assert!(report.is_ok(), "{} (seed {seed}): {report}", spec.label());
+    }
+
+    /// The cached `route_ref` fast path returns the same link sequence
+    /// as the uncached table walk, for every host pair. Restricted to
+    /// dense (unhinted) families where the legacy table is complete.
+    #[test]
+    fn route_ref_matches_uncached_table(
+        spec in dense_spec(),
+        seed in 0u64..1000,
+    ) {
+        let topo = topogen::generate(&spec, &cfg(LoadProfile::Dedicated, seed)).expect("generate");
+        let n = topo.hosts().len();
+        for a in 0..n {
+            for b in 0..n {
+                let fast = topo.route_ref(HostId(a), HostId(b)).expect("route_ref").to_vec();
+                let slow = topo.route_uncached(HostId(a), HostId(b)).expect("route_uncached");
+                prop_assert_eq!(&fast, &slow, "{}: {a}->{b}", spec.label());
+            }
+        }
+    }
+
+    /// Hierarchical cluster hints are a compression strategy, not a
+    /// semantic switch: the same clusters topology built with and
+    /// without hints routes identically.
+    #[test]
+    fn cluster_hints_do_not_change_routes(
+        clusters in 1usize..4,
+        segs in 1usize..4,
+        hosts_per_seg in 1usize..3,
+        seed in 0u64..1000,
+    ) {
+        let spec = TopoSpec::Clusters { clusters, segs, hosts_per_seg };
+        let c = cfg(LoadProfile::Dedicated, seed);
+        let hinted = topogen::generate(&spec, &c).expect("hinted");
+        let mut builder = topogen::build(&spec, &c).expect("builder");
+        builder.clear_cluster_hints();
+        let dense = builder.instantiate(c.horizon, c.seed).expect("dense");
+        let n = hinted.hosts().len();
+        for a in 0..n {
+            for b in 0..n {
+                let h = hinted.route_ref(HostId(a), HostId(b)).expect("hinted route").to_vec();
+                let d = dense.route_ref(HostId(a), HostId(b)).expect("dense route").to_vec();
+                prop_assert_eq!(&h, &d, "{a}->{b}");
+                let hl = hinted.route_latency(HostId(a), HostId(b)).expect("hinted latency");
+                let dl = dense.route_latency(HostId(a), HostId(b)).expect("dense latency");
+                prop_assert_eq!(hl, dl, "latency {a}->{b}");
+            }
+        }
+    }
+
+    /// Generation is a pure function of (spec, profile, horizon, seed):
+    /// two runs are byte-identical, and the seed matters.
+    #[test]
+    fn same_seed_generation_is_byte_identical(
+        spec in small_spec(),
+        seed in 0u64..1000,
+    ) {
+        let c = cfg(LoadProfile::Moderate, seed);
+        let a = topogen::generate(&spec, &c).expect("a");
+        let b = topogen::generate(&spec, &c).expect("b");
+        prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let other = topogen::generate(&spec, &cfg(LoadProfile::Moderate, seed ^ 0x5eed))
+            .expect("other");
+        prop_assert_ne!(format!("{a:?}"), format!("{other:?}"));
+    }
+}
+
+/// Satellite regression: validating a 1000-host generated testbed must
+/// be fast. The pre-rewrite validator walked all O(hosts^2) host pairs
+/// through allocating route lookups and took tens of seconds at this
+/// scale; the segment-pair walk plus the route cache keeps it well
+/// under a second.
+#[test]
+fn fleet_scale_validation_is_fast() {
+    let spec = TopoSpec::parse("fat-tree:k=8").expect("spec");
+    assert_eq!(spec.host_count(), 1024);
+    let topo = topogen::generate(&spec, &cfg(LoadProfile::Dedicated, 1996)).expect("generate");
+    let t0 = std::time::Instant::now();
+    let report = validate_topology(&topo);
+    let elapsed = t0.elapsed();
+    assert!(report.is_ok(), "unexpected issues:\n{report}");
+    assert!(
+        elapsed < std::time::Duration::from_secs(1),
+        "validate_topology took {elapsed:?} on 1024 hosts (budget 1s)"
+    );
+}
+
+/// The CLI-facing spec grammar round-trips and rejects junk — the
+/// integration-level contract `--topo` relies on.
+#[test]
+fn spec_grammar_round_trips() {
+    for s in [
+        "star:hosts=64,per_seg=8",
+        "tree:hosts=64,arity=4,per_seg=8",
+        "fat-tree:l2=8,l1=128,hosts=8",
+        "clusters:clusters=8,segs=4,hosts=8",
+    ] {
+        let spec = TopoSpec::parse(s).expect(s);
+        assert_eq!(spec.label(), s);
+    }
+    assert_eq!(
+        TopoSpec::parse("fat-tree:k=8").expect("k=8"),
+        TopoSpec::parse("fat-tree:l2=8,l1=128,hosts=8").expect("long form"),
+    );
+    assert!(TopoSpec::parse("mesh:hosts=4").is_err());
+    assert!(TopoSpec::parse("star:hosts=0").is_err());
+}
