@@ -765,6 +765,14 @@ pub fn snapshot_diff(args: &[String]) -> i32 {
     1
 }
 
+/// `apples-cli lint` — run the simlint workspace analyzer. Thin
+/// wrapper over [`simlint::driver::run`], the same driver behind the
+/// standalone `simlint` binary, so flags and exit codes are identical
+/// (0 clean, 1 unallowed/denied findings, 2 usage or I/O errors).
+pub fn lint(args: &[String]) -> i32 {
+    i32::from(simlint::driver::run(args.iter().cloned()))
+}
+
 /// `apples-cli metrics` — run a seeded grid scenario with a
 /// [`obsv::MetricsSink`] attached and dump the Prometheus exposition
 /// (to stdout, or `--out FILE`). Same scenario flags as `grid`.

@@ -77,6 +77,11 @@ USAGE:
   apples-cli snapshot-diff A B
       Compare two Prometheus snapshots series by series.
       Exit 0 when identical, 1 on any difference, 2 on usage errors.
+  apples-cli lint      [PATH ...] [--format text|json|github] [--deny LINT]
+      Run the simlint static analyzer over the workspace (defaults to
+      the current directory). --format github emits workflow-command
+      annotations; --deny fails even on allowed findings of LINT.
+      Exit 0 clean, 1 on unallowed or denied findings, 2 on usage.
   apples-cli bench     [--hosts N[,N...]] [--topo SPEC] [--jobs N[,N...]]
                        [--seed N] [--out FILE] [--check FILE] [--json]
       Events/sec sweep of the simulation core (T-SCALE): incremental
@@ -108,6 +113,9 @@ fn main() {
     }
     if raw[0] == "snapshot-diff" {
         std::process::exit(commands::snapshot_diff(&raw[1..]));
+    }
+    if raw[0] == "lint" {
+        std::process::exit(commands::lint(&raw[1..]));
     }
     let parsed = match Parsed::parse(
         &raw,

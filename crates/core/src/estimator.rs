@@ -72,11 +72,11 @@ pub fn estimate_stencil(pool: &InfoPool<'_>, sched: &StencilSchedule) -> Result<
             if from == to {
                 return Ok(0.0);
             }
-            let mut latency = 0.0;
+            let mut latency = metasim::SimTime::ZERO;
             let mut bw = f64::INFINITY;
             for l in pool.topo.route(from, to)? {
                 let link = pool.topo.link(l)?;
-                latency += link.spec.latency.as_secs_f64();
+                latency += link.spec.latency;
                 let share = *link_flows.get(&l).unwrap_or(&1) as f64;
                 bw = bw.min(link.spec.bandwidth_mbps * pool.link_availability(l) / share);
             }
@@ -85,7 +85,7 @@ pub fn estimate_stencil(pool: &InfoPool<'_>, sched: &StencilSchedule) -> Result<
                     work: border,
                 }));
             }
-            Ok(latency + border / bw)
+            Ok(latency.as_secs_f64() + border / bw)
         };
 
     let mut iter_time: f64 = 0.0;

@@ -95,8 +95,8 @@ pub fn simulate_pipeline(topo: &Topology, job: &PipelineJob) -> Result<PipelineO
     let mut prod_done = vec![SimTime::ZERO; n];
     let mut arrive = vec![SimTime::ZERO; n];
     let mut cons_done = vec![SimTime::ZERO; n];
-    let mut stall = 0.0;
-    let mut block = 0.0;
+    let mut stall = SimTime::ZERO;
+    let mut block = SimTime::ZERO;
 
     let mut prev_prod_done = t0;
     let mut prev_xfer_done = t0;
@@ -111,7 +111,7 @@ pub fn simulate_pipeline(topo: &Topology, job: &PipelineJob) -> Result<PipelineO
             t0
         };
         let p_start = prev_prod_done.max(gate);
-        block += (p_start - prev_prod_done).as_secs_f64();
+        block += p_start - prev_prod_done;
         prod_done[i] = prod.compute_finish_checked(
             p_start,
             job.producer_mflop_per_unit,
@@ -141,7 +141,7 @@ pub fn simulate_pipeline(topo: &Topology, job: &PipelineJob) -> Result<PipelineO
 
         // Consume in order.
         let c_start = arrive[i].max(prev_cons_done);
-        stall += (c_start - prev_cons_done).as_secs_f64();
+        stall += c_start - prev_cons_done;
         cons_done[i] = cons.compute_finish_checked(
             c_start,
             job.consumer_mflop_per_unit,
@@ -152,8 +152,8 @@ pub fn simulate_pipeline(topo: &Topology, job: &PipelineJob) -> Result<PipelineO
 
     Ok(PipelineOutcome {
         finish: cons_done[n - 1],
-        consumer_stall_seconds: stall,
-        producer_block_seconds: block,
+        consumer_stall_seconds: stall.as_secs_f64(),
+        producer_block_seconds: block.as_secs_f64(),
         unit_done: cons_done,
     })
 }

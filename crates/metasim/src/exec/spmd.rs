@@ -178,8 +178,8 @@ fn simulate_spmd_full(
     }
 
     let mut iteration_ends = Vec::with_capacity(job.iterations);
-    let mut compute_seconds = vec![0.0; n];
-    let mut sync_seconds = vec![0.0; n];
+    let mut compute_time = vec![SimTime::ZERO; n];
+    let mut sync_time = vec![SimTime::ZERO; n];
     let mut trace = SpmdTrace {
         compute_done: Vec::with_capacity(job.iterations),
     };
@@ -190,7 +190,7 @@ fn simulate_spmd_full(
         for (w, p) in job.placements.iter().enumerate() {
             let host = topo.host(p.host)?;
             let done = host.compute_finish_checked(barrier, p.work_mflop, p.resident_mb)?;
-            compute_seconds[w] += (done - barrier).as_secs_f64();
+            compute_time[w] += done - barrier;
             compute_done.push(done);
         }
 
@@ -215,12 +215,17 @@ fn simulate_spmd_full(
         }
 
         for (w, &done) in compute_done.iter().enumerate() {
-            sync_seconds[w] += (next_barrier - done).as_secs_f64();
+            sync_time[w] += next_barrier - done;
         }
         trace.compute_done.push(compute_done);
         barrier = next_barrier;
         iteration_ends.push(barrier);
     }
+
+    // Integer-microsecond accumulation above; one f64 conversion here
+    // at the reporting boundary.
+    let compute_seconds: Vec<f64> = compute_time.iter().map(|t| t.as_secs_f64()).collect();
+    let sync_seconds: Vec<f64> = sync_time.iter().map(|t| t.as_secs_f64()).collect();
 
     if sink.enabled() {
         for (w, p) in job.placements.iter().enumerate() {

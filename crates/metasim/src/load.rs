@@ -102,6 +102,7 @@ impl StepSeries {
                 .next_change_after(cursor)
                 .map(|n| n.min(to))
                 .unwrap_or(to);
+            // simlint: allow(sim-time-hygiene): work integral, not a time sum — the f64 load value is weighted by each interval's length
             acc += value * (next - cursor).as_secs_f64();
             if next < to {
                 value = self.value_at(next);

@@ -542,6 +542,7 @@ fn secs_to_us(secs: f64) -> u64 {
     if !secs.is_finite() || secs.total_cmp(&0.0).is_le() {
         return 0;
     }
+    // simlint: allow(sim-time-hygiene): the sanctioned seconds->micros boundary; trace events carry f64 seconds and round-to-nearest differs deliberately from SimTime::from_secs_f64's ceil
     (secs * 1_000_000.0).round() as u64
 }
 

@@ -1,0 +1,577 @@
+//! Workspace symbol index and approximate call graph.
+//!
+//! The index hangs function definitions off each file's item tree,
+//! extracts call edges by token pattern, and resolves callee names
+//! *approximately* — by path suffix for `a::b::f(..)` calls, by
+//! same-file → same-crate → global preference for bare calls, and by
+//! workspace-unique name for method calls. This is deliberately not
+//! rustc name resolution; the imprecision is bounded and documented:
+//!
+//! * method calls resolve only when the name is not a common std method
+//!   and at most two workspace functions carry it (both get an edge —
+//!   an over-approximation);
+//! * bare calls prefer same-file, then same-crate definitions, and give
+//!   up beyond 3 global candidates;
+//! * macro bodies, function pointers and trait-object dispatch produce
+//!   no edges (an under-approximation).
+//!
+//! The result is good enough for `panic-reachability`: an edge that
+//! does exist in the source is found whenever the callee name is
+//! resolvable, and every edge carries its call-site position so the
+//! pass can render real `file:line` chains.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::itemtree::ItemKind;
+use crate::lints::{self, AllowDirective, Lint};
+use crate::scanner::{ScannedFile, TokKind};
+
+/// Per-file analysis context threaded through the workspace pipeline.
+pub struct FileCtx {
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    pub scanned: ScannedFile,
+    /// Policy-enabled lints for this path.
+    pub enabled: Vec<Lint>,
+    /// Parsed allow directives; `used` is updated by the index (panic
+    /// sites sanctioned by a reasoned allow) and by `apply_allows`.
+    pub directives: Vec<AllowDirective>,
+}
+
+/// One function definition in the workspace.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Index into the `FileCtx` slice.
+    pub file: usize,
+    /// Index into that file's item tree.
+    pub item: usize,
+    pub name: String,
+    /// Module path + scope chain + name, e.g.
+    /// `["metasim", "net", "RouteCache", "lookup"]`.
+    pub qpath: Vec<String>,
+    pub is_pub: bool,
+    pub line: usize,
+    pub col: usize,
+}
+
+impl FnDef {
+    pub fn qpath_str(&self) -> String {
+        self.qpath.join("::")
+    }
+}
+
+/// A call edge: function `from` calls function `to` at `line:col` in
+/// `from`'s file.
+#[derive(Debug, Clone, Copy)]
+pub struct CallEdge {
+    pub from: usize,
+    pub to: usize,
+    pub line: usize,
+    pub col: usize,
+}
+
+/// An unsanctioned panic site inside a function body.
+#[derive(Debug, Clone)]
+pub struct Hazard {
+    /// Function (index into `Index::fns`) containing the site.
+    pub in_fn: usize,
+    pub line: usize,
+    /// Short site description, e.g. `.unwrap()` or `panic!`.
+    pub desc: String,
+}
+
+/// The workspace-wide symbol index.
+#[derive(Debug, Default)]
+pub struct Index {
+    pub fns: Vec<FnDef>,
+    pub calls: Vec<CallEdge>,
+    pub hazards: Vec<Hazard>,
+}
+
+/// Common std/core method names that must never resolve to a workspace
+/// function of the same name — `.get(..)` is almost always a map, not
+/// our `get`.
+const STD_METHODS: &[&str] = &[
+    "abs",
+    "all",
+    "and_then",
+    "any",
+    "as_mut",
+    "as_ref",
+    "as_str",
+    "binary_search",
+    "borrow",
+    "ceil",
+    "chain",
+    "checked_add",
+    "checked_sub",
+    "clamp",
+    "clear",
+    "clone",
+    "cloned",
+    "cmp",
+    "collect",
+    "contains",
+    "contains_key",
+    "copied",
+    "count",
+    "dedup",
+    "drain",
+    "entry",
+    "enumerate",
+    "eq",
+    "expect",
+    "extend",
+    "filter",
+    "filter_map",
+    "find",
+    "first",
+    "flat_map",
+    "flatten",
+    "floor",
+    "flush",
+    "fmt",
+    "fold",
+    "from",
+    "get",
+    "get_mut",
+    "hash",
+    "insert",
+    "into",
+    "into_iter",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "join",
+    "last",
+    "len",
+    "ln",
+    "log2",
+    "map",
+    "max",
+    "min",
+    "ne",
+    "next",
+    "or_insert",
+    "or_insert_with",
+    "parse",
+    "partial_cmp",
+    "peek",
+    "pop",
+    "position",
+    "powf",
+    "powi",
+    "product",
+    "push",
+    "read",
+    "remove",
+    "replace",
+    "retain",
+    "rev",
+    "round",
+    "saturating_add",
+    "saturating_sub",
+    "skip",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "split",
+    "sqrt",
+    "step_by",
+    "sum",
+    "take",
+    "to_bits",
+    "to_owned",
+    "to_string",
+    "total_cmp",
+    "trim",
+    "try_from",
+    "try_into",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "windows",
+    "wrapping_add",
+    "write",
+    "zip",
+];
+
+/// Keywords that look like calls when followed by `(`.
+const CALLISH_KEYWORDS: &[&str] = &[
+    "as", "break", "continue", "else", "fn", "for", "if", "impl", "in", "let", "loop", "match",
+    "mod", "move", "mut", "pub", "ref", "return", "struct", "trait", "unsafe", "use", "where",
+    "while",
+];
+
+/// Module path segments for a workspace-relative file path:
+/// `crates/metasim/src/exec/pipeline.rs` → `["metasim", "exec",
+/// "pipeline"]`; `src/stats.rs` → `["suite", "stats"]`. `lib.rs`,
+/// `main.rs` and `mod.rs` contribute no segment.
+pub fn module_segs(rel: &str) -> Vec<String> {
+    let mut comps: Vec<&str> = rel.split('/').collect();
+    let file = comps.pop().unwrap_or("");
+    let mut segs: Vec<String> = Vec::new();
+    if comps.first() == Some(&"crates") {
+        if let Some(krate) = comps.get(1) {
+            segs.push((*krate).to_owned());
+        }
+        comps.drain(..comps.len().min(2));
+    } else {
+        segs.push("suite".to_owned());
+    }
+    for c in comps {
+        if c != "src" {
+            segs.push(c.to_owned());
+        }
+    }
+    let stem = file.strip_suffix(".rs").unwrap_or(file);
+    if !matches!(stem, "lib" | "main" | "mod") && !stem.is_empty() {
+        segs.push(stem.to_owned());
+    }
+    segs
+}
+
+/// Crate name of a workspace-relative path (`"suite"` for the umbrella
+/// package).
+fn crate_of(rel: &str) -> &str {
+    let mut parts = rel.split('/');
+    if parts.next() == Some("crates") {
+        parts.next().unwrap_or("suite")
+    } else {
+        "suite"
+    }
+}
+
+impl Index {
+    /// Build the index over every non-test file in the workspace,
+    /// marking `panic-in-lib` allow directives `used` when they
+    /// sanction a panic site.
+    pub fn build(files: &mut [FileCtx]) -> Index {
+        let mut idx = Index::default();
+
+        // Pass 1: function definitions.
+        for (fi, ctx) in files.iter().enumerate() {
+            if crate::is_test_path(Path::new(&ctx.rel)) || ctx.scanned.tree.whole_file_test {
+                continue;
+            }
+            let mod_segs = module_segs(&ctx.rel);
+            for (ii, item) in ctx.scanned.tree.items.iter().enumerate() {
+                if item.kind != ItemKind::Fn || item.is_test || item.name.is_empty() {
+                    continue;
+                }
+                let mut qpath = mod_segs.clone();
+                qpath.extend(ctx.scanned.tree.scope_path(ii));
+                qpath.push(item.name.clone());
+                idx.fns.push(FnDef {
+                    file: fi,
+                    item: ii,
+                    name: item.name.clone(),
+                    qpath,
+                    is_pub: item.is_pub,
+                    line: item.line,
+                    col: item.col,
+                });
+            }
+        }
+
+        // Lookup tables.
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut by_loc: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+        for (id, f) in idx.fns.iter().enumerate() {
+            by_name.entry(f.name.as_str()).or_default().push(id);
+            by_loc.insert((f.file, f.item), id);
+        }
+
+        // Pass 2: call edges and panic hazards.
+        let mut edges: BTreeMap<(usize, usize), (usize, usize)> = BTreeMap::new();
+        let mut hazards = Vec::new();
+        for (fi, ctx) in files.iter_mut().enumerate() {
+            if crate::is_test_path(Path::new(&ctx.rel)) || ctx.scanned.tree.whole_file_test {
+                continue;
+            }
+            collect_calls(fi, ctx, &idx.fns, &by_name, &by_loc, &mut edges);
+            collect_hazards(fi, ctx, &by_loc, &mut hazards);
+        }
+        idx.calls = edges
+            .into_iter()
+            .map(|((from, to), (line, col))| CallEdge {
+                from,
+                to,
+                line,
+                col,
+            })
+            .collect();
+        idx.hazards = hazards;
+        idx
+    }
+}
+
+fn collect_calls(
+    fi: usize,
+    ctx: &FileCtx,
+    fns: &[FnDef],
+    by_name: &BTreeMap<&str, Vec<usize>>,
+    by_loc: &BTreeMap<(usize, usize), usize>,
+    edges: &mut BTreeMap<(usize, usize), (usize, usize)>,
+) {
+    let toks = &ctx.scanned.tokens;
+    let tree = &ctx.scanned.tree;
+    let caller_crate = crate_of(&ctx.rel);
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || t.in_test {
+            continue;
+        }
+        if CALLISH_KEYWORDS.contains(&t.text.as_str()) {
+            continue;
+        }
+        // A call: `name(` that is not a macro (`name!`) and not a
+        // definition (`fn name(`).
+        if toks.get(i + 1).is_none_or(|n| n.text != "(") {
+            continue;
+        }
+        if i > 0 && toks[i - 1].text == "fn" {
+            continue;
+        }
+        let Some(caller_item) = tree.enclosing_fn(i) else {
+            continue;
+        };
+        let Some(&from) = by_loc.get(&(fi, caller_item)) else {
+            continue;
+        };
+
+        let prev = i.checked_sub(1).map(|p| toks[p].text.as_str());
+        let targets: Vec<usize> = if prev == Some(".") {
+            // Method call: resolve only when workspace-unique-ish and
+            // not shadowing a std method name.
+            if STD_METHODS.contains(&t.text.as_str()) {
+                continue;
+            }
+            match by_name.get(t.text.as_str()) {
+                Some(ids) if ids.len() <= 2 => ids.clone(),
+                _ => continue,
+            }
+        } else if prev == Some(":") && i >= 2 && toks[i - 2].text == ":" {
+            // Path call `a::b::f(..)`: collect segments backwards,
+            // drop path-relative keywords, suffix-match qpaths.
+            let mut segs = vec![t.text.clone()];
+            let mut k = i;
+            while k >= 3 && toks[k - 1].text == ":" && toks[k - 2].text == ":" {
+                let s = &toks[k - 3];
+                if s.kind != TokKind::Ident {
+                    break;
+                }
+                segs.push(s.text.clone());
+                k -= 3;
+            }
+            segs.reverse();
+            segs.retain(|s| !matches!(s.as_str(), "crate" | "self" | "super" | "Self"));
+            let cands: Vec<usize> = by_name
+                .get(t.text.as_str())
+                .map(|ids| {
+                    ids.iter()
+                        .copied()
+                        .filter(|&id| fns[id].qpath.ends_with(&segs))
+                        .collect()
+                })
+                .unwrap_or_default();
+            if cands.is_empty() || cands.len() > 6 {
+                continue;
+            }
+            cands
+        } else {
+            // Bare call: same file, then same crate, then a small
+            // global candidate set.
+            let Some(ids) = by_name.get(t.text.as_str()) else {
+                continue;
+            };
+            let same_file: Vec<usize> = ids
+                .iter()
+                .copied()
+                .filter(|&id| fns[id].file == fi)
+                .collect();
+            if !same_file.is_empty() {
+                same_file
+            } else {
+                let same_crate: Vec<usize> = ids
+                    .iter()
+                    .copied()
+                    .filter(|&id| fns[id].qpath.first().is_some_and(|c| c == caller_crate))
+                    .collect();
+                if !same_crate.is_empty() {
+                    same_crate
+                } else if ids.len() <= 3 {
+                    ids.clone()
+                } else {
+                    continue;
+                }
+            }
+        };
+
+        for to in targets {
+            if to == from {
+                continue;
+            }
+            edges.entry((from, to)).or_insert((t.line, t.col));
+        }
+    }
+}
+
+fn collect_hazards(
+    fi: usize,
+    ctx: &mut FileCtx,
+    by_loc: &BTreeMap<(usize, usize), usize>,
+    out: &mut Vec<Hazard>,
+) {
+    let toks = &ctx.scanned.tokens;
+    let tree = &ctx.scanned.tree;
+    for (i, desc) in lints::panic_sites(toks) {
+        let line = toks[i].line;
+        // A reasoned `allow(panic-in-lib)` sanctions the site for
+        // reachability too (and counts as a use, even in crates where
+        // the per-site lint is not policy-enabled).
+        let mut sanctioned = false;
+        for d in ctx.directives.iter_mut() {
+            if d.lint == Some(Lint::PanicInLib)
+                && d.reason.is_some()
+                && (d.line == line || lints::next_code_line(&ctx.scanned, d.line) == Some(line))
+            {
+                d.used = true;
+                sanctioned = true;
+            }
+        }
+        if sanctioned {
+            continue;
+        }
+        let Some(item) = tree.enclosing_fn(i) else {
+            continue;
+        };
+        let Some(&in_fn) = by_loc.get(&(fi, item)) else {
+            continue;
+        };
+        out.push(Hazard { in_fn, line, desc });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    fn ctx(rel: &str, src: &str) -> FileCtx {
+        let scanned = scan(src, crate::is_test_path(Path::new(rel)));
+        let directives = lints::parse_allows(&scanned.comments);
+        FileCtx {
+            rel: rel.to_owned(),
+            scanned,
+            enabled: crate::lints_for_path(Path::new(rel)),
+            directives,
+        }
+    }
+
+    #[test]
+    fn module_segs_drop_lib_main_mod() {
+        assert_eq!(module_segs("crates/metasim/src/lib.rs"), vec!["metasim"]);
+        assert_eq!(
+            module_segs("crates/metasim/src/exec/pipeline.rs"),
+            vec!["metasim", "exec", "pipeline"]
+        );
+        assert_eq!(
+            module_segs("crates/metasim/src/exec/mod.rs"),
+            vec!["metasim", "exec"]
+        );
+        assert_eq!(module_segs("src/stats.rs"), vec!["suite", "stats"]);
+    }
+
+    #[test]
+    fn indexes_fns_with_scope_qpaths() {
+        let mut files = vec![ctx(
+            "crates/metasim/src/net.rs",
+            "pub struct Cache;\nimpl Cache { pub fn lookup(&self) {} }\npub fn route() {}\n",
+        )];
+        let idx = Index::build(&mut files);
+        let qpaths: Vec<String> = idx.fns.iter().map(|f| f.qpath_str()).collect();
+        assert_eq!(
+            qpaths,
+            vec!["metasim::net::Cache::lookup", "metasim::net::route"]
+        );
+        assert!(idx.fns.iter().all(|f| f.is_pub));
+    }
+
+    #[test]
+    fn bare_and_path_calls_resolve() {
+        let mut files = vec![
+            ctx(
+                "crates/grid/src/service.rs",
+                "pub fn run() { helper(); metasim::net::route(); }\nfn helper() {}\n",
+            ),
+            ctx("crates/metasim/src/net.rs", "pub fn route() {}\n"),
+        ];
+        let idx = Index::build(&mut files);
+        let edge_names: Vec<(String, String)> = idx
+            .calls
+            .iter()
+            .map(|e| (idx.fns[e.from].name.clone(), idx.fns[e.to].name.clone()))
+            .collect();
+        assert!(edge_names.contains(&("run".into(), "helper".into())));
+        assert!(edge_names.contains(&("run".into(), "route".into())));
+    }
+
+    #[test]
+    fn std_method_names_do_not_resolve_to_workspace_fns() {
+        let mut files = vec![
+            ctx(
+                "crates/grid/src/a.rs",
+                "pub fn caller(m: &std::collections::BTreeMap<u32, u32>) { m.get(&1); }\n",
+            ),
+            ctx("crates/grid/src/b.rs", "pub fn get() { x.unwrap(); }\n"),
+        ];
+        let idx = Index::build(&mut files);
+        assert!(idx.calls.is_empty(), "{:?}", idx.calls);
+    }
+
+    #[test]
+    fn unique_method_calls_resolve_cross_crate() {
+        let mut files = vec![
+            ctx(
+                "crates/grid/src/a.rs",
+                "pub fn caller(h: &Hat) { h.as_pipeline(); }\n",
+            ),
+            ctx(
+                "crates/apps/src/react3d.rs",
+                "impl Hat { pub fn as_pipeline(&self) { x.expect(\"boom\"); } }\n",
+            ),
+        ];
+        let idx = Index::build(&mut files);
+        assert_eq!(idx.calls.len(), 1);
+        assert_eq!(idx.fns[idx.calls[0].to].name, "as_pipeline");
+        assert_eq!(idx.hazards.len(), 1, "the expect is a hazard");
+    }
+
+    #[test]
+    fn allowed_panic_sites_are_not_hazards_and_mark_directives_used() {
+        let mut files = vec![ctx(
+            "crates/metasim/src/t.rs",
+            "pub fn f() {\n    // simlint: allow(panic-in-lib): checked above\n    x.unwrap();\n}\n",
+        )];
+        let idx = Index::build(&mut files);
+        assert!(idx.hazards.is_empty());
+        assert!(files[0].directives[0].used);
+    }
+
+    #[test]
+    fn test_code_produces_no_symbols_or_hazards() {
+        let mut files = vec![
+            ctx("tests/it.rs", "pub fn helper() { x.unwrap(); }\n"),
+            ctx(
+                "crates/metasim/src/m.rs",
+                "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { y.unwrap(); }\n}\n",
+            ),
+        ];
+        let idx = Index::build(&mut files);
+        assert!(idx.fns.is_empty());
+        assert!(idx.hazards.is_empty());
+    }
+}

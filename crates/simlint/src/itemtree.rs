@@ -1,0 +1,886 @@
+//! Item-tree / scope parser: the structural layer between the flat
+//! token stream and the analysis passes.
+//!
+//! A single forward walk over the tokens recovers the item skeleton of
+//! a file — `mod` / `fn` / `impl` / `trait` / `struct` / `enum`
+//! boundaries with brace-matched token and byte spans, visibility, fn
+//! parameter names and types, and `#[test]` / `#[cfg(test)]`
+//! attribution. It is still not a full parser (no expressions, no
+//! types beyond token runs), but it is enough scope structure for
+//! simlint's cross-file passes: the symbol index hangs function
+//! definitions off the tree, the rng-discipline dataflow resolves
+//! identifiers against fn parameters, and test-scope tracking lives
+//! here rather than in the lexer.
+//!
+//! Known imprecision, by design (documented in DESIGN.md): macro
+//! bodies are skipped wholesale, `impl` type names collapse to the
+//! last path segment, and generic bounds are recorded only as token
+//! runs.
+
+use crate::scanner::{TokKind, Token};
+
+/// What kind of item a tree node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    Mod,
+    Fn,
+    Struct,
+    Enum,
+    Union,
+    Trait,
+    Impl,
+    Macro,
+}
+
+/// One `fn` parameter: the pattern's identifier(s) and the type's
+/// token texts.
+#[derive(Debug, Clone, Default)]
+pub struct Param {
+    /// Identifiers bound by the pattern (`self`, `x`, or several for a
+    /// tuple pattern).
+    pub names: Vec<String>,
+    /// The type as raw token texts (empty for bare `self`).
+    pub ty: Vec<String>,
+}
+
+/// One item in the tree. Spans are token indices into the scanned
+/// file's token vector; `body_end` points at the closing `}` (or the
+/// terminating `;` for body-less items).
+#[derive(Debug, Clone)]
+pub struct Item {
+    pub kind: ItemKind,
+    /// Item name; for `impl` blocks the self-type's last path segment.
+    pub name: String,
+    pub is_pub: bool,
+    /// Carries `#[test]` / `#[cfg(test)]` directly.
+    pub has_test_attr: bool,
+    /// Test by own attribute or by any ancestor's.
+    pub is_test: bool,
+    pub parent: Option<usize>,
+    /// First token of the item (leading attributes / `pub` included).
+    pub start: usize,
+    /// Token index of the item keyword (`fn`, `mod`, ...).
+    pub kw: usize,
+    /// Token index of the opening `{`, when the item has a body.
+    pub body_start: usize,
+    /// Token index of the closing `}` / terminating `;` (inclusive).
+    pub body_end: usize,
+    pub has_body: bool,
+    /// 1-based position of the name token (diagnostics anchor here).
+    pub line: usize,
+    pub col: usize,
+    /// Byte span of the whole item, attributes included.
+    pub byte_start: usize,
+    pub byte_end: usize,
+    /// Fn only: declared parameters, in order.
+    pub params: Vec<Param>,
+    /// Fn only: generic type parameters whose bounds mention an
+    /// `Rng`-flavoured trait (`R: Rng`, `R: RngCore + ?Sized`, ...).
+    pub rng_generics: Vec<String>,
+}
+
+/// The item structure of one file: a flat pre-order arena with parent
+/// links.
+#[derive(Debug, Default)]
+pub struct ItemTree {
+    pub items: Vec<Item>,
+    /// Set by a file-level `#![cfg(test)]` inner attribute.
+    pub whole_file_test: bool,
+}
+
+impl ItemTree {
+    /// Innermost `fn` item whose span contains token index `tok`.
+    pub fn enclosing_fn(&self, tok: usize) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, it) in self.items.iter().enumerate() {
+            if it.kind == ItemKind::Fn && it.kw <= tok && tok <= it.body_end {
+                // Pre-order: a later matching item is more deeply nested.
+                best = Some(i);
+            }
+        }
+        best
+    }
+
+    /// Indices of the direct children of `idx`.
+    pub fn children(&self, idx: usize) -> Vec<usize> {
+        (0..self.items.len())
+            .filter(|&i| self.items[i].parent == Some(idx))
+            .collect()
+    }
+
+    /// All `fn` items, in source order.
+    pub fn fns(&self) -> impl Iterator<Item = (usize, &Item)> {
+        self.items
+            .iter()
+            .enumerate()
+            .filter(|(_, it)| it.kind == ItemKind::Fn)
+    }
+
+    /// The `mod` / `impl` / `trait` name chain from the file root down
+    /// to (excluding) item `idx`, e.g. `["net", "RouteCache"]`.
+    pub fn scope_path(&self, idx: usize) -> Vec<String> {
+        let mut chain = Vec::new();
+        let mut cur = self.items[idx].parent;
+        while let Some(p) = cur {
+            let it = &self.items[p];
+            if matches!(it.kind, ItemKind::Mod | ItemKind::Impl | ItemKind::Trait)
+                && !it.name.is_empty()
+            {
+                chain.push(it.name.clone());
+            }
+            cur = it.parent;
+        }
+        chain.reverse();
+        chain
+    }
+}
+
+/// Mark `in_test` on every token covered by a test item (or the whole
+/// file, for a `#![cfg(test)]` inner attribute).
+pub fn mark_tests(tree: &ItemTree, tokens: &mut [Token]) {
+    if tree.whole_file_test {
+        for t in tokens.iter_mut() {
+            t.in_test = true;
+        }
+        return;
+    }
+    for it in &tree.items {
+        if it.is_test {
+            for t in tokens
+                .iter_mut()
+                .take(it.body_end.saturating_add(1))
+                .skip(it.start)
+            {
+                t.in_test = true;
+            }
+        }
+    }
+}
+
+/// Pending per-item state gathered between items (attributes, `pub`).
+#[derive(Default)]
+struct Pending {
+    start: Option<usize>,
+    test_attr: bool,
+    is_pub: bool,
+}
+
+impl Pending {
+    fn note(&mut self, i: usize) {
+        if self.start.is_none() {
+            self.start = Some(i);
+        }
+    }
+
+    fn take(&mut self, kw: usize) -> (usize, bool, bool) {
+        let start = self.start.take().unwrap_or(kw);
+        let (test, vis) = (self.test_attr, self.is_pub);
+        self.test_attr = false;
+        self.is_pub = false;
+        (start, test, vis)
+    }
+
+    fn clear(&mut self) {
+        self.start = None;
+        self.test_attr = false;
+        self.is_pub = false;
+    }
+}
+
+/// Build the item tree for a token stream.
+pub fn build(tokens: &[Token]) -> ItemTree {
+    Builder {
+        toks: tokens,
+        tree: ItemTree::default(),
+        stack: Vec::new(),
+        depth: 0,
+        pending: Pending::default(),
+    }
+    .run()
+}
+
+struct Builder<'a> {
+    toks: &'a [Token],
+    tree: ItemTree,
+    /// Open container items: (item index, brace depth just after the
+    /// body `{` was entered).
+    stack: Vec<(usize, i64)>,
+    depth: i64,
+    pending: Pending,
+}
+
+impl<'a> Builder<'a> {
+    fn text(&self, i: usize) -> &str {
+        self.toks.get(i).map(|t| t.text.as_str()).unwrap_or("")
+    }
+
+    fn is_ident(&self, i: usize) -> bool {
+        self.toks.get(i).is_some_and(|t| t.kind == TokKind::Ident)
+    }
+
+    fn run(mut self) -> ItemTree {
+        let n = self.toks.len();
+        let mut i = 0usize;
+        while i < n {
+            match self.text(i) {
+                "#" => i = self.attr(i),
+                "pub" => {
+                    self.pending.note(i);
+                    self.pending.is_pub = true;
+                    i += 1;
+                    // `pub(crate)`, `pub(in path)`.
+                    if self.text(i) == "(" {
+                        i = skip_group(self.toks, i, "(", ")");
+                    }
+                }
+                "fn" => i = self.item_fn(i),
+                "mod" => i = self.item_mod(i),
+                "struct" | "enum" | "union" => i = self.item_adt(i),
+                "trait" => i = self.item_trait(i),
+                "impl" => i = self.item_impl(i),
+                "macro_rules" => i = self.item_macro(i),
+                "{" => {
+                    self.depth += 1;
+                    self.pending.clear();
+                    i += 1;
+                }
+                "}" => {
+                    self.depth -= 1;
+                    if let Some(&(idx, open_depth)) = self.stack.last() {
+                        if open_depth == self.depth + 1 {
+                            self.tree.items[idx].body_end = i;
+                            self.tree.items[idx].byte_end = self.toks[i].byte_end();
+                            self.stack.pop();
+                        }
+                    }
+                    self.pending.clear();
+                    i += 1;
+                }
+                ";" => {
+                    self.pending.clear();
+                    i += 1;
+                }
+                _ => {
+                    i += 1;
+                }
+            }
+        }
+        // Unterminated items (truncated input): close at EOF.
+        while let Some((idx, _)) = self.stack.pop() {
+            self.tree.items[idx].body_end = n.saturating_sub(1);
+            self.tree.items[idx].byte_end = self.toks.last().map(|t| t.byte_end()).unwrap_or(0);
+        }
+        // Resolve transitive test scope: parents precede children in
+        // the pre-order arena, so one forward pass suffices.
+        for i in 0..self.tree.items.len() {
+            let inherited = self.tree.items[i]
+                .parent
+                .is_some_and(|p| self.tree.items[p].is_test);
+            self.tree.items[i].is_test = self.tree.items[i].has_test_attr || inherited;
+        }
+        self.tree
+    }
+
+    /// Parse an attribute at `i` (`#[..]` / `#![..]`); records pending
+    /// test state for outer attrs, container/file test state for inner
+    /// ones. Returns the index just past the closing `]`.
+    fn attr(&mut self, i: usize) -> usize {
+        let mut j = i + 1;
+        let inner = self.text(j) == "!";
+        if inner {
+            j += 1;
+        }
+        if self.text(j) != "[" {
+            return i + 1;
+        }
+        let mut depth = 0i64;
+        let mut has_test = false;
+        let mut has_not = false;
+        while j < self.toks.len() {
+            match self.text(j) {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                "test" => has_test = true,
+                "not" => has_not = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        let test = has_test && !has_not;
+        if inner {
+            if test {
+                match self.stack.last() {
+                    Some(&(idx, _)) => self.tree.items[idx].has_test_attr = true,
+                    None => self.tree.whole_file_test = true,
+                }
+            }
+        } else {
+            self.pending.note(i);
+            self.pending.test_attr |= test;
+        }
+        j
+    }
+
+    fn push_item(&mut self, mut item: Item) -> usize {
+        item.parent = self.stack.last().map(|&(idx, _)| idx);
+        let idx = self.tree.items.len();
+        self.tree.items.push(item);
+        idx
+    }
+
+    fn new_item(&mut self, kind: ItemKind, kw: usize, name_tok: usize) -> Item {
+        let (start, test, is_pub) = self.pending.take(kw);
+        let name_at = self.toks.get(name_tok).unwrap_or(&self.toks[kw]);
+        Item {
+            kind,
+            name: if self.is_ident(name_tok) {
+                self.text(name_tok).to_owned()
+            } else {
+                String::new()
+            },
+            is_pub,
+            has_test_attr: test,
+            is_test: false,
+            parent: None,
+            start,
+            kw,
+            body_start: kw,
+            body_end: kw,
+            has_body: false,
+            line: name_at.line,
+            col: name_at.col,
+            byte_start: self.toks[start.min(kw)].byte,
+            byte_end: name_at.byte_end(),
+            params: Vec::new(),
+            rng_generics: Vec::new(),
+        }
+    }
+
+    /// Open `item`'s body at the `{` in position `open` and descend.
+    fn open_body(&mut self, mut item: Item, open: usize) -> usize {
+        item.has_body = true;
+        item.body_start = open;
+        item.body_end = open; // patched when the brace closes
+        let idx = self.push_item(item);
+        self.depth += 1;
+        self.stack.push((idx, self.depth));
+        open + 1
+    }
+
+    /// Close a body-less item at the terminator token `end`.
+    fn close_at(&mut self, mut item: Item, end: usize) -> usize {
+        let end = end.min(self.toks.len().saturating_sub(1));
+        item.body_end = end;
+        item.byte_end = self.toks[end].byte_end();
+        self.push_item(item);
+        end + 1
+    }
+
+    fn item_fn(&mut self, kw: usize) -> usize {
+        let name_tok = kw + 1;
+        let mut item = self.new_item(ItemKind::Fn, kw, name_tok);
+        let mut j = name_tok + 1;
+        if self.text(j) == "<" {
+            let (end, rng_generics) = scan_generics(self.toks, j);
+            item.rng_generics = rng_generics;
+            j = end;
+        }
+        if self.text(j) == "(" {
+            let (end, params) = scan_params(self.toks, j);
+            item.params = params;
+            j = end;
+        }
+        // Return type and where clause: scan to the body or terminator.
+        while j < self.toks.len() && self.text(j) != "{" && self.text(j) != ";" {
+            j += 1;
+        }
+        if self.text(j) == "{" {
+            self.open_body(item, j)
+        } else {
+            self.close_at(item, j)
+        }
+    }
+
+    fn item_mod(&mut self, kw: usize) -> usize {
+        let name_tok = kw + 1;
+        let item = self.new_item(ItemKind::Mod, kw, name_tok);
+        let j = name_tok + 1;
+        if self.text(j) == "{" {
+            self.open_body(item, j)
+        } else {
+            self.close_at(item, j)
+        }
+    }
+
+    fn item_adt(&mut self, kw: usize) -> usize {
+        let kind = match self.text(kw) {
+            "struct" => ItemKind::Struct,
+            "enum" => ItemKind::Enum,
+            _ => ItemKind::Union,
+        };
+        let name_tok = kw + 1;
+        let item = self.new_item(kind, kw, name_tok);
+        let mut j = name_tok + 1;
+        if self.text(j) == "<" {
+            j = scan_generics(self.toks, j).0;
+        }
+        // Tuple struct: `struct X(..);` — skip the parens, expect `;`.
+        if self.text(j) == "(" {
+            j = skip_group(self.toks, j, "(", ")");
+        }
+        // Where clause tokens run until the body or terminator.
+        while j < self.toks.len() && self.text(j) != "{" && self.text(j) != ";" {
+            j += 1;
+        }
+        if self.text(j) == "{" {
+            // Field/variant bodies hold no nested items; skip wholesale.
+            let end = skip_group(self.toks, j, "{", "}");
+            self.close_at(item, end.saturating_sub(1))
+        } else {
+            self.close_at(item, j)
+        }
+    }
+
+    fn item_trait(&mut self, kw: usize) -> usize {
+        let name_tok = kw + 1;
+        let item = self.new_item(ItemKind::Trait, kw, name_tok);
+        let mut j = name_tok + 1;
+        while j < self.toks.len() && self.text(j) != "{" && self.text(j) != ";" {
+            j += 1;
+        }
+        if self.text(j) == "{" {
+            self.open_body(item, j)
+        } else {
+            // Trait alias `trait X = Y;`.
+            self.close_at(item, j)
+        }
+    }
+
+    fn item_impl(&mut self, kw: usize) -> usize {
+        let mut j = kw + 1;
+        if self.text(j) == "<" {
+            j = scan_generics(self.toks, j).0;
+        }
+        // First type path (skipping `!`, `&`, `dyn`).
+        let (mut j2, mut name) = scan_type_path(self.toks, j);
+        if self.text(j2) == "for" {
+            let (j3, name2) = scan_type_path(self.toks, j2 + 1);
+            j2 = j3;
+            if !name2.is_empty() {
+                name = name2;
+            }
+        }
+        j = j2;
+        while j < self.toks.len() && self.text(j) != "{" && self.text(j) != ";" {
+            j += 1;
+        }
+        let mut item = self.new_item(ItemKind::Impl, kw, kw);
+        item.name = name;
+        if self.text(j) == "{" {
+            self.open_body(item, j)
+        } else {
+            self.close_at(item, j)
+        }
+    }
+
+    fn item_macro(&mut self, kw: usize) -> usize {
+        // `macro_rules! name { .. }`: the body is token soup; skip it.
+        let mut j = kw + 1;
+        if self.text(j) == "!" {
+            j += 1;
+        }
+        let name_tok = j;
+        let item = self.new_item(ItemKind::Macro, kw, name_tok);
+        j += 1;
+        if self.text(j) == "{" {
+            let end = skip_group(self.toks, j, "{", "}");
+            self.close_at(item, end.saturating_sub(1))
+        } else {
+            self.close_at(item, j)
+        }
+    }
+}
+
+/// Skip a balanced `open`..`close` group starting at `i` (which must
+/// hold `open`); returns the index just past the matching close.
+fn skip_group(toks: &[Token], i: usize, open: &str, close: &str) -> usize {
+    let mut depth = 0i64;
+    let mut j = i;
+    while j < toks.len() {
+        let t = toks[j].text.as_str();
+        if t == open {
+            depth += 1;
+        } else if t == close {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Scan a generic parameter list starting at `<`; returns the index
+/// just past the matching `>` plus the names of type parameters whose
+/// bounds mention an `Rng`-flavoured trait. `->` arrows inside bounds
+/// (`F: Fn(u32) -> u32`) do not close the list.
+fn scan_generics(toks: &[Token], i: usize) -> (usize, Vec<String>) {
+    let mut depth = 0i64;
+    let mut j = i;
+    let mut rng_params = Vec::new();
+    // Current parameter name at angle-depth 1 and whether its bounds
+    // mention Rng.
+    let mut cur_name: Option<String> = None;
+    let mut cur_rng = false;
+    let mut after_colon = false;
+    let flush = |name: &mut Option<String>, is_rng: &mut bool, out: &mut Vec<String>| {
+        if let Some(n) = name.take() {
+            if *is_rng {
+                out.push(n);
+            }
+        }
+        *is_rng = false;
+    };
+    while j < toks.len() {
+        let prev_arrow = j > 0 && toks[j - 1].text == "-" && toks[j - 1].byte_end() == toks[j].byte;
+        match toks[j].text.as_str() {
+            "<" => {
+                depth += 1;
+            }
+            ">" if !prev_arrow => {
+                depth -= 1;
+                if depth == 0 {
+                    flush(&mut cur_name, &mut cur_rng, &mut rng_params);
+                    return (j + 1, rng_params);
+                }
+            }
+            "," if depth == 1 => {
+                flush(&mut cur_name, &mut cur_rng, &mut rng_params);
+                after_colon = false;
+            }
+            ":" if depth == 1 => after_colon = true,
+            t if depth == 1 && toks[j].kind == TokKind::Ident => {
+                if after_colon {
+                    if t.contains("Rng") {
+                        cur_rng = true;
+                    }
+                } else if cur_name.is_none() && t != "const" {
+                    cur_name = Some(t.to_owned());
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    (j, rng_params)
+}
+
+/// Scan a `fn` parameter list starting at `(`; returns the index just
+/// past the matching `)` plus the parsed parameters.
+fn scan_params(toks: &[Token], i: usize) -> (usize, Vec<Param>) {
+    let end = skip_group(toks, i, "(", ")");
+    let inner = &toks[i + 1..end.saturating_sub(1).max(i + 1)];
+    let mut params = Vec::new();
+    // Split on commas at depth 0 relative to the param list (nested
+    // parens/brackets/angles keep tuple types together). Angle depth
+    // ignores `->` arrows.
+    let mut depth = 0i64;
+    let mut start = 0usize;
+    let mut k = 0usize;
+    let mut flush = |range: &[Token]| {
+        if range.is_empty() {
+            return;
+        }
+        params.push(parse_param(range));
+    };
+    while k < inner.len() {
+        let prev_arrow =
+            k > 0 && inner[k - 1].text == "-" && inner[k - 1].byte_end() == inner[k].byte;
+        match inner[k].text.as_str() {
+            "(" | "[" | "{" | "<" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            ">" if !prev_arrow => depth -= 1,
+            "," if depth == 0 => {
+                flush(&inner[start..k]);
+                start = k + 1;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    flush(&inner[start..]);
+    (end, params)
+}
+
+fn parse_param(range: &[Token]) -> Param {
+    // Split at the first `:` at relative depth 0; identifiers on the
+    // left are the bound names, tokens on the right are the type.
+    let mut depth = 0i64;
+    let mut colon = None;
+    for (k, t) in range.iter().enumerate() {
+        match t.text.as_str() {
+            "(" | "[" | "<" => depth += 1,
+            ")" | "]" | ">" => depth -= 1,
+            ":" if depth == 0 => {
+                colon = Some(k);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let (pat, ty) = match colon {
+        Some(c) => (&range[..c], &range[c + 1..]),
+        None => (range, &range[range.len()..]),
+    };
+    let names: Vec<String> = pat
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.clone())
+        .filter(|t| t != "mut" && t != "ref")
+        .collect();
+    Param {
+        names,
+        ty: ty.iter().map(|t| t.text.clone()).collect(),
+    }
+}
+
+/// Scan a type path (`foo::Bar`, `&dyn baz::Qux<T>`), returning the
+/// index just past it (past any trailing generic args) and the last
+/// path segment's name.
+fn scan_type_path(toks: &[Token], mut j: usize) -> (usize, String) {
+    // Skip leading punctuation and modifiers.
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "&" | "!" | "*" => j += 1,
+            "dyn" | "mut" | "const" => j += 1,
+            _ => break,
+        }
+    }
+    let mut name = String::new();
+    while j < toks.len() {
+        if toks[j].kind == TokKind::Ident && toks[j].text != "for" && toks[j].text != "where" {
+            name = toks[j].text.clone();
+            j += 1;
+            if j + 1 < toks.len() && toks[j].text == ":" && toks[j + 1].text == ":" {
+                j += 2;
+                continue;
+            }
+            break;
+        }
+        break;
+    }
+    if j < toks.len() && toks[j].text == "<" {
+        j = scan_generics(toks, j).0;
+    }
+    (j, name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    fn tree_of(src: &str) -> ItemTree {
+        build(&scan(src, false).tokens)
+    }
+
+    fn find<'t>(tree: &'t ItemTree, name: &str) -> &'t Item {
+        tree.items
+            .iter()
+            .find(|it| it.name == name)
+            .unwrap_or_else(|| panic!("no item named {name}: {:?}", tree.items))
+    }
+
+    #[test]
+    fn finds_nested_items_with_parents() {
+        let src = "
+mod outer {
+    pub mod inner {
+        pub fn f() { let x = 1; }
+    }
+    fn g() {}
+}
+fn top() {}
+";
+        let tree = tree_of(src);
+        let outer = find(&tree, "outer");
+        let inner = find(&tree, "inner");
+        let f = find(&tree, "f");
+        let g = find(&tree, "g");
+        let top = find(&tree, "top");
+        assert_eq!(outer.kind, ItemKind::Mod);
+        assert!(inner.is_pub && f.is_pub && !g.is_pub);
+        assert_eq!(tree.items[f.parent.unwrap()].name, "inner");
+        assert_eq!(tree.items[inner.parent.unwrap()].name, "outer");
+        assert_eq!(
+            g.parent.map(|p| tree.items[p].name.clone()),
+            Some("outer".into())
+        );
+        assert!(top.parent.is_none());
+    }
+
+    #[test]
+    fn brace_matched_spans_cover_bodies() {
+        let src = "fn f() { if x { y(); } else { z(); } }\nfn g() {}\n";
+        let tree = tree_of(src);
+        let scanned = scan(src, false);
+        let f = find(&tree, "f");
+        assert_eq!(scanned.tokens[f.body_start].text, "{");
+        assert_eq!(scanned.tokens[f.body_end].text, "}");
+        // f's span must not swallow g.
+        let g = find(&tree, "g");
+        assert!(f.body_end < g.kw);
+        // Byte spans slice back to the item's source text.
+        assert_eq!(
+            &src[f.byte_start..f.byte_end],
+            "fn f() { if x { y(); } else { z(); } }"
+        );
+    }
+
+    #[test]
+    fn impl_blocks_name_the_self_type() {
+        let src = "
+impl SimTime { pub fn as_micros(&self) -> u64 { self.0 } }
+impl fmt::Display for route::Cache { fn fmt(&self) {} }
+impl<T: Clone> From<T> for Wrapper<T> { fn from(t: T) -> Self { Wrapper(t) } }
+";
+        let tree = tree_of(src);
+        let impls: Vec<&str> = tree
+            .items
+            .iter()
+            .filter(|i| i.kind == ItemKind::Impl)
+            .map(|i| i.name.as_str())
+            .collect();
+        assert_eq!(impls, vec!["SimTime", "Cache", "Wrapper"]);
+        let m = find(&tree, "as_micros");
+        assert_eq!(
+            tree.scope_path(
+                tree.items
+                    .iter()
+                    .position(|i| i.name == "as_micros")
+                    .unwrap()
+            ),
+            vec!["SimTime".to_owned()]
+        );
+        assert!(m.is_pub);
+    }
+
+    #[test]
+    fn fn_params_are_parsed() {
+        let src = "fn f(&mut self, seed: u64, (a, b): (u32, u32), rng: &mut ChaCha8Rng) {}";
+        let tree = tree_of(src);
+        let f = find(&tree, "f");
+        let names: Vec<Vec<String>> = f.params.iter().map(|p| p.names.clone()).collect();
+        assert_eq!(
+            names,
+            vec![
+                vec!["self".to_owned()],
+                vec!["seed".to_owned()],
+                vec!["a".to_owned(), "b".to_owned()],
+                vec!["rng".to_owned()],
+            ]
+        );
+        assert!(f.params[3].ty.iter().any(|t| t.contains("Rng")));
+    }
+
+    #[test]
+    fn rng_bounded_generics_are_recorded() {
+        let src = "fn f<R: Rng + ?Sized, T: Clone>(rng: &mut R, t: T) {}";
+        let tree = tree_of(src);
+        let f = find(&tree, "f");
+        assert_eq!(f.rng_generics, vec!["R".to_owned()]);
+    }
+
+    #[test]
+    fn fn_returning_impl_fn_is_not_misparsed() {
+        let src = "fn mk<F: Fn(u32) -> u32>(f: F) -> impl Fn(u32) -> u32 { move |x| f(x) }\nfn after() {}";
+        let tree = tree_of(src);
+        assert_eq!(find(&tree, "mk").kind, ItemKind::Fn);
+        assert_eq!(find(&tree, "after").kind, ItemKind::Fn);
+        assert_eq!(
+            tree.items.iter().filter(|i| i.kind == ItemKind::Fn).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn cfg_test_marks_descend_to_children() {
+        let src = "
+fn lib() {}
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+    #[test]
+    fn t() {}
+}
+";
+        let tree = tree_of(src);
+        assert!(!find(&tree, "lib").is_test);
+        assert!(find(&tree, "tests").is_test);
+        assert!(find(&tree, "helper").is_test, "inherited from test mod");
+        assert!(find(&tree, "t").is_test);
+    }
+
+    #[test]
+    fn struct_and_enum_bodies_are_opaque() {
+        let src = "
+pub struct Host { pub speed: f64 }
+struct Tuple(u32, u32);
+enum Kind { A { x: u32 }, B }
+fn after() {}
+";
+        let tree = tree_of(src);
+        assert_eq!(find(&tree, "Host").kind, ItemKind::Struct);
+        assert!(find(&tree, "Host").is_pub);
+        assert_eq!(find(&tree, "Tuple").kind, ItemKind::Struct);
+        assert_eq!(find(&tree, "Kind").kind, ItemKind::Enum);
+        // No spurious items from field/variant bodies.
+        assert_eq!(tree.items.len(), 4);
+    }
+
+    #[test]
+    fn trait_methods_are_children_of_the_trait() {
+        let src = "trait Fc { fn advance(&mut self); fn name(&self) -> &str { \"x\" } }";
+        let tree = tree_of(src);
+        let advance = find(&tree, "advance");
+        assert!(!advance.has_body);
+        let name = find(&tree, "name");
+        assert!(name.has_body);
+        assert_eq!(tree.items[advance.parent.unwrap()].name, "Fc");
+    }
+
+    #[test]
+    fn macro_rules_bodies_are_skipped() {
+        let src = "macro_rules! m { ($x:expr) => { fn not_an_item() {} }; }\nfn real() {}";
+        let tree = tree_of(src);
+        assert!(tree.items.iter().all(|i| i.name != "not_an_item"));
+        assert_eq!(find(&tree, "real").kind, ItemKind::Fn);
+    }
+
+    #[test]
+    fn enclosing_fn_finds_innermost() {
+        let src = "fn outer() { fn inner() { x.unwrap(); } inner(); }";
+        let scanned = scan(src, false);
+        let tree = &scanned.tree;
+        let unwrap_tok = scanned
+            .tokens
+            .iter()
+            .position(|t| t.text == "unwrap")
+            .unwrap();
+        let encl = tree.enclosing_fn(unwrap_tok).unwrap();
+        assert_eq!(tree.items[encl].name, "inner");
+    }
+
+    #[test]
+    fn whole_file_inner_cfg_test() {
+        let tree = tree_of("#![cfg(test)]\nfn f() {}\n");
+        assert!(tree.whole_file_test);
+    }
+}

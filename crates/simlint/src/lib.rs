@@ -29,7 +29,11 @@
 //! No dependencies: the scanner is a hand-rolled tokenizer
 //! ([`scanner`]), and the JSON output is rendered by hand.
 
+pub mod driver;
+pub mod index;
+pub mod itemtree;
 pub mod lints;
+pub mod passes;
 pub mod scanner;
 
 use std::fmt::Write as _;
@@ -128,6 +132,9 @@ impl Report {
             let caret_pad = " ".repeat(f.col.saturating_sub(1));
             let carets = "^".repeat(f.width);
             let _ = writeln!(out, "{pad} | {caret_pad}{carets}");
+            for n in &f.notes {
+                let _ = writeln!(out, "{pad} = note: {n}");
+            }
             let _ = writeln!(out, "{pad} = help: {}", f.lint.hint());
             let _ = writeln!(out);
         }
@@ -159,6 +166,16 @@ impl Report {
             let _ = write!(out, "\"line\": {}, \"col\": {}, ", f.line, f.col);
             let _ = write!(out, "\"message\": {}, ", json_str(&f.message));
             let _ = write!(out, "\"snippet\": {}, ", json_str(&f.snippet));
+            if !f.notes.is_empty() {
+                out.push_str("\"notes\": [");
+                for (j, n) in f.notes.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&json_str(n));
+                }
+                out.push_str("], ");
+            }
             let _ = write!(out, "\"allowed\": {}", f.allowed);
             if let Some(r) = &f.allow_reason {
                 let _ = write!(out, ", \"reason\": {}", json_str(r));
@@ -171,6 +188,38 @@ impl Report {
         out.push_str("]\n}\n");
         out
     }
+
+    /// GitHub Actions workflow-command rendering: one `::error` line
+    /// per unallowed finding, so findings annotate PR diffs inline.
+    pub fn render_github(&self) -> String {
+        let mut out = String::new();
+        for f in self.unallowed() {
+            let mut message = f.message.clone();
+            for n in &f.notes {
+                message.push('\n');
+                message.push_str("note: ");
+                message.push_str(n);
+            }
+            let _ = writeln!(
+                out,
+                "::error file={},line={},col={},title=simlint({})::{}",
+                gh_escape(&f.file),
+                f.line,
+                f.col,
+                f.lint.name(),
+                gh_escape(&message)
+            );
+        }
+        out
+    }
+}
+
+/// Escape a value for a GitHub Actions workflow command (`%`, CR and LF
+/// are the command's meta-characters).
+fn gh_escape(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
 }
 
 fn json_str(s: &str) -> String {
@@ -222,9 +271,84 @@ fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
     Ok(files)
 }
 
+/// Run the full multi-pass analysis over a set of in-memory sources
+/// (`(workspace-relative path, source)` pairs).
+///
+/// Pipeline: per-file lints → workspace symbol index / call graph →
+/// cross-file passes (`panic-reachability`) → allow matching (which
+/// marks directives used) → allowlist audit (`malformed-allow`,
+/// `stale-allow`) → deterministic sort. `lint_workspace` is this plus
+/// filesystem walking; fixture tests call it directly with synthetic
+/// workspaces.
+pub fn analyze_sources(sources: &[(String, String)]) -> Report {
+    let mut report = Report::default();
+    let mut ctxs: Vec<index::FileCtx> = Vec::new();
+    for (rel, source) in sources {
+        let path = Path::new(rel);
+        let enabled = lints_for_path(path);
+        if enabled.is_empty() {
+            continue;
+        }
+        let scanned = scanner::scan(source, is_test_path(path));
+        let directives = lints::parse_allows(&scanned.comments);
+        ctxs.push(index::FileCtx {
+            rel: rel.clone(),
+            scanned,
+            enabled,
+            directives,
+        });
+        report.files_scanned += 1;
+    }
+
+    let mut findings = Vec::new();
+    for ctx in &ctxs {
+        findings.extend(lints::run_per_file_lints(
+            &ctx.rel,
+            &ctx.scanned,
+            &ctx.enabled,
+        ));
+    }
+
+    let idx = index::Index::build(&mut ctxs);
+    passes::panic_reachability(&idx, &ctxs, &mut findings);
+
+    for ctx in ctxs.iter_mut() {
+        lints::apply_allows(&ctx.rel, &ctx.scanned, &mut ctx.directives, &mut findings);
+    }
+    for ctx in &ctxs {
+        lints::directive_findings(&ctx.rel, &ctx.scanned, &ctx.directives, true, &mut findings);
+    }
+
+    report.findings = findings;
+    sort_findings(&mut report.findings);
+    report
+}
+
+/// The canonical report order: path, then line:col, then lint name,
+/// then message — total, so `render_json` is byte-stable across
+/// filesystems and hash seeds.
+fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (
+            a.file.as_str(),
+            a.line,
+            a.col,
+            a.lint.name(),
+            a.message.as_str(),
+        )
+            .cmp(&(
+                b.file.as_str(),
+                b.line,
+                b.col,
+                b.lint.name(),
+                b.message.as_str(),
+            ))
+    });
+}
+
 /// Lint every `.rs` file under `root` (a workspace checkout).
 pub fn lint_workspace(root: &Path) -> io::Result<Report> {
-    let mut report = Report::default();
+    let mut sources = Vec::new();
     for path in collect_rs_files(root)? {
         // For a single-file root the stripped prefix is empty; fall back
         // to the full path so the crate policy still applies.
@@ -234,21 +358,12 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
             .filter(|r| !r.as_os_str().is_empty())
             .unwrap_or(&path);
         let rel_str = rel.to_string_lossy().replace('\\', "/");
-        let enabled = lints_for_path(rel);
-        if enabled.is_empty() {
+        if lints_for_path(Path::new(&rel_str)).is_empty() {
             continue;
         }
-        let source = fs::read_to_string(&path)?;
-        let scanned = scanner::scan(&source, is_test_path(rel));
-        report
-            .findings
-            .extend(lints::check_file(&rel_str, &scanned, &enabled));
-        report.files_scanned += 1;
+        sources.push((rel_str, fs::read_to_string(&path)?));
     }
-    report
-        .findings
-        .sort_by(|a, b| (a.file.as_str(), a.line, a.col).cmp(&(b.file.as_str(), b.line, b.col)));
-    Ok(report)
+    Ok(analyze_sources(&sources))
 }
 
 #[cfg(test)]
@@ -258,9 +373,12 @@ mod tests {
     #[test]
     fn policy_gives_sim_crates_every_lint() {
         let l = lints_for_path(Path::new("crates/metasim/src/net.rs"));
-        assert_eq!(l.len(), 5);
+        assert_eq!(l.len(), 8);
         let l = lints_for_path(Path::new("crates/grid/src/service.rs"));
         assert!(l.contains(&Lint::PanicInLib));
+        assert!(l.contains(&Lint::PanicReachability));
+        assert!(l.contains(&Lint::RngDiscipline));
+        assert!(l.contains(&Lint::SimTimeHygiene));
         let l = lints_for_path(Path::new("crates/obsv/src/registry.rs"));
         assert!(l.contains(&Lint::PrintInLib));
     }

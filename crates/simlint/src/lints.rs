@@ -22,16 +22,29 @@ pub enum Lint {
     FloatKeyedMap,
     /// `println!`/`eprintln!`-family in non-test library code.
     PrintInLib,
+    /// A panic site is reachable from a `pub` fn via the call graph.
+    PanicReachability,
+    /// RNG constructed from entropy / ambient state instead of a seed.
+    RngDiscipline,
+    /// Lossy f64 accumulation / casts on sim-time values.
+    SimTimeHygiene,
     /// A `simlint: allow` directive that is unusable (no reason / unknown lint).
     MalformedAllow,
+    /// A well-formed allow directive that suppresses zero findings.
+    StaleAllow,
 }
 
-pub const ALL_LINTS: [Lint; 5] = [
+/// The policy-selectable lints. The two meta lints (`malformed-allow`,
+/// `stale-allow`) audit the allowlist itself and always run.
+pub const ALL_LINTS: [Lint; 8] = [
     Lint::Nondeterminism,
     Lint::NanUnsafeCmp,
     Lint::PanicInLib,
     Lint::FloatKeyedMap,
     Lint::PrintInLib,
+    Lint::PanicReachability,
+    Lint::RngDiscipline,
+    Lint::SimTimeHygiene,
 ];
 
 impl Lint {
@@ -42,7 +55,11 @@ impl Lint {
             Lint::PanicInLib => "panic-in-lib",
             Lint::FloatKeyedMap => "float-keyed-map",
             Lint::PrintInLib => "print-in-lib",
+            Lint::PanicReachability => "panic-reachability",
+            Lint::RngDiscipline => "rng-discipline",
+            Lint::SimTimeHygiene => "sim-time-hygiene",
             Lint::MalformedAllow => "malformed-allow",
+            Lint::StaleAllow => "stale-allow",
         }
     }
 
@@ -53,6 +70,11 @@ impl Lint {
             "panic-in-lib" => Some(Lint::PanicInLib),
             "float-keyed-map" => Some(Lint::FloatKeyedMap),
             "print-in-lib" => Some(Lint::PrintInLib),
+            "panic-reachability" => Some(Lint::PanicReachability),
+            "rng-discipline" => Some(Lint::RngDiscipline),
+            "sim-time-hygiene" => Some(Lint::SimTimeHygiene),
+            "malformed-allow" => Some(Lint::MalformedAllow),
+            "stale-allow" => Some(Lint::StaleAllow),
             _ => None,
         }
     }
@@ -78,9 +100,31 @@ impl Lint {
                  captured, redirected or diffed; justify with \
                  `// simlint: allow(print-in-lib): <reason>`"
             }
+            Lint::PanicReachability => {
+                "a panicking callee aborts every public entry point above it; return a \
+                 typed error along the chain, or justify the panic site itself with \
+                 `// simlint: allow(panic-in-lib): <reason>` (reachability trusts \
+                 reasoned sites)"
+            }
+            Lint::RngDiscipline => {
+                "construct RNGs as `ChaCha8Rng::seed_from_u64(seed)` from an explicit \
+                 seed parameter or constant; entropy-based construction breaks seeded \
+                 replay, and a second stream next to a caller-supplied `&mut impl Rng` \
+                 silently forks the sequence"
+            }
+            Lint::SimTimeHygiene => {
+                "keep simulated time in integer microseconds (SimTime); accumulate \
+                 SimTime and convert to f64 seconds once at the reporting boundary \
+                 instead of summing `as_secs_f64()` values or round-tripping through \
+                 casts"
+            }
             Lint::MalformedAllow => {
                 "write `// simlint: allow(<lint>): <reason>` with a known lint name \
                  and a non-empty reason"
+            }
+            Lint::StaleAllow => {
+                "this directive suppresses zero findings; delete it so the allowlist \
+                 stays exactly the intentional set"
             }
         }
     }
@@ -102,19 +146,44 @@ pub struct Finding {
     /// True when covered by a well-formed allow directive.
     pub allowed: bool,
     pub allow_reason: Option<String>,
+    /// rustc-style `note:` lines (panic-reachability renders its call
+    /// path here).
+    pub notes: Vec<String>,
 }
 
 /// A parsed `// simlint: allow(<lint>): <reason>` directive.
 #[derive(Debug, Clone)]
-struct AllowDirective {
-    line: usize,
-    lint: Option<Lint>,
-    raw_name: String,
-    reason: Option<String>,
+pub struct AllowDirective {
+    pub line: usize,
+    pub lint: Option<Lint>,
+    pub raw_name: String,
+    pub reason: Option<String>,
+    /// Set once the directive has suppressed at least one finding (or
+    /// sanctioned a panic site for reachability); audited by
+    /// `stale-allow`.
+    pub used: bool,
 }
 
 /// Run `enabled` lints over one scanned file.
+///
+/// This is the single-file entry point: per-file passes plus allow
+/// matching and `malformed-allow`. The workspace pipeline
+/// ([`crate::analyze_sources`]) runs the same per-file passes but owns
+/// the directives across passes so the cross-file lints and the
+/// `stale-allow` audit see them too.
 pub fn check_file(rel: &str, scanned: &ScannedFile, enabled: &[Lint]) -> Vec<Finding> {
+    let mut findings = run_per_file_lints(rel, scanned, enabled);
+    let mut directives = parse_allows(&scanned.comments);
+    apply_allows(rel, scanned, &mut directives, &mut findings);
+    directive_findings(rel, scanned, &directives, false, &mut findings);
+    findings.sort_by_key(|f| (f.line, f.col));
+    findings
+}
+
+/// Run the per-file (single-pass) lints; cross-file lints
+/// (`panic-reachability`) are skipped here — they need the workspace
+/// index.
+pub fn run_per_file_lints(rel: &str, scanned: &ScannedFile, enabled: &[Lint]) -> Vec<Finding> {
     let mut findings = Vec::new();
     let toks = &scanned.tokens;
 
@@ -125,16 +194,18 @@ pub fn check_file(rel: &str, scanned: &ScannedFile, enabled: &[Lint]) -> Vec<Fin
             Lint::Nondeterminism => check_nondeterminism(rel, scanned, toks, &mut findings),
             Lint::FloatKeyedMap => check_float_keyed_map(rel, scanned, toks, &mut findings),
             Lint::PrintInLib => check_print_in_lib(rel, scanned, toks, &mut findings),
-            Lint::MalformedAllow => {}
+            Lint::RngDiscipline => crate::passes::check_rng_discipline(rel, scanned, &mut findings),
+            Lint::SimTimeHygiene => {
+                crate::passes::check_sim_time_hygiene(rel, scanned, &mut findings)
+            }
+            Lint::PanicReachability | Lint::MalformedAllow | Lint::StaleAllow => {}
         }
     }
 
-    apply_allows(rel, scanned, &mut findings);
-    findings.sort_by_key(|f| (f.line, f.col));
     findings
 }
 
-fn snippet_at(scanned: &ScannedFile, line: usize) -> String {
+pub(crate) fn snippet_at(scanned: &ScannedFile, line: usize) -> String {
     scanned
         .lines
         .get(line.saturating_sub(1))
@@ -142,7 +213,13 @@ fn snippet_at(scanned: &ScannedFile, line: usize) -> String {
         .unwrap_or_default()
 }
 
-fn finding(lint: Lint, rel: &str, scanned: &ScannedFile, tok: &Token, message: String) -> Finding {
+pub(crate) fn finding(
+    lint: Lint,
+    rel: &str,
+    scanned: &ScannedFile,
+    tok: &Token,
+    message: String,
+) -> Finding {
     Finding {
         lint,
         file: rel.to_owned(),
@@ -153,12 +230,13 @@ fn finding(lint: Lint, rel: &str, scanned: &ScannedFile, tok: &Token, message: S
         message,
         allowed: false,
         allow_reason: None,
+        notes: Vec::new(),
     }
 }
 
 /// Skip a balanced `(..)` group starting at `toks[i]` (which must be
 /// `(`); returns the index just past the matching `)`.
-fn skip_parens(toks: &[Token], i: usize) -> usize {
+pub(crate) fn skip_parens(toks: &[Token], i: usize) -> usize {
     let mut depth = 0i64;
     let mut j = i;
     while j < toks.len() {
@@ -219,7 +297,11 @@ fn check_nan_unsafe_cmp(rel: &str, scanned: &ScannedFile, toks: &[Token], out: &
     }
 }
 
-fn check_panic_in_lib(rel: &str, scanned: &ScannedFile, toks: &[Token], out: &mut Vec<Finding>) {
+/// Enumerate panic sites in non-test tokens: (token index, short
+/// description). Shared by `panic-in-lib` (per-site diagnostics) and
+/// the workspace index (hazards for `panic-reachability`).
+pub(crate) fn panic_sites(toks: &[Token]) -> Vec<(usize, String)> {
+    let mut sites = Vec::new();
     for (i, t) in toks.iter().enumerate() {
         if t.kind != TokKind::Ident || t.in_test {
             continue;
@@ -229,52 +311,41 @@ fn check_panic_in_lib(rel: &str, scanned: &ScannedFile, toks: &[Token], out: &mu
                 let prev_is_dot = i > 0 && toks[i - 1].text == ".";
                 let next_is_call = toks.get(i + 1).is_some_and(|n| n.text == "(");
                 if prev_is_dot && next_is_call {
-                    out.push(finding(
-                        Lint::PanicInLib,
-                        rel,
-                        scanned,
-                        t,
-                        format!(
-                            "`.{}()` in library code can abort a simulation mid-run",
-                            t.text
-                        ),
-                    ));
+                    sites.push((i, format!(".{}()", t.text)));
                 }
             }
-            "panic" | "unreachable" | "todo" | "unimplemented" => {
-                let next_is_bang = toks.get(i + 1).is_some_and(|n| n.text == "!");
-                // `core::panic::...` paths and `#[should_panic]` don't have
-                // a trailing `!`, so this stays call-site-only.
-                if next_is_bang {
-                    out.push(finding(
-                        Lint::PanicInLib,
-                        rel,
-                        scanned,
-                        t,
-                        format!("`{}!` in library code aborts a simulation mid-run", t.text),
-                    ));
-                }
-            }
+            // `core::panic::...` paths and `#[should_panic]` don't have
+            // a trailing `!`, so this stays call-site-only.
             // `debug_assert*` is deliberately exempt: it compiles out of
             // release simulations.
-            "assert" | "assert_eq" | "assert_ne" => {
+            "panic" | "unreachable" | "todo" | "unimplemented" | "assert" | "assert_eq"
+            | "assert_ne" => {
                 let next_is_bang = toks.get(i + 1).is_some_and(|n| n.text == "!");
                 if next_is_bang {
-                    out.push(finding(
-                        Lint::PanicInLib,
-                        rel,
-                        scanned,
-                        t,
-                        format!(
-                            "`{}!` in library code panics on bad input instead of \
-                             returning an error",
-                            t.text
-                        ),
-                    ));
+                    sites.push((i, format!("{}!", t.text)));
                 }
             }
             _ => {}
         }
+    }
+    sites
+}
+
+fn check_panic_in_lib(rel: &str, scanned: &ScannedFile, toks: &[Token], out: &mut Vec<Finding>) {
+    for (i, desc) in panic_sites(toks) {
+        let t = &toks[i];
+        let message = match t.text.as_str() {
+            "unwrap" | "expect" => format!(
+                "`.{}()` in library code can abort a simulation mid-run",
+                t.text
+            ),
+            "assert" | "assert_eq" | "assert_ne" => format!(
+                "`{desc}` in library code panics on bad input instead of \
+                 returning an error"
+            ),
+            _ => format!("`{desc}` in library code aborts a simulation mid-run"),
+        };
+        out.push(finding(Lint::PanicInLib, rel, scanned, t, message));
     }
 }
 
@@ -387,7 +458,8 @@ fn check_float_keyed_map(rel: &str, scanned: &ScannedFile, toks: &[Token], out: 
     }
 }
 
-fn parse_allows(comments: &[Comment]) -> Vec<AllowDirective> {
+/// Parse every `// simlint: allow(..)` directive in a file's comments.
+pub fn parse_allows(comments: &[Comment]) -> Vec<AllowDirective> {
     let mut out = Vec::new();
     for c in comments {
         // A directive must be the whole comment: `// simlint: allow(..): ..`.
@@ -403,6 +475,7 @@ fn parse_allows(comments: &[Comment]) -> Vec<AllowDirective> {
                 lint: None,
                 raw_name: rest.split_whitespace().next().unwrap_or("").to_owned(),
                 reason: None,
+                used: false,
             });
             continue;
         };
@@ -412,6 +485,7 @@ fn parse_allows(comments: &[Comment]) -> Vec<AllowDirective> {
                 lint: None,
                 raw_name: body.to_owned(),
                 reason: None,
+                used: false,
             });
             continue;
         };
@@ -421,75 +495,106 @@ fn parse_allows(comments: &[Comment]) -> Vec<AllowDirective> {
             .strip_prefix(':')
             .map(|r| r.trim().to_owned())
             .filter(|r| !r.is_empty());
+        // The meta lints audit the allowlist itself and cannot be
+        // allowed away; treat directives naming them as unknown.
+        let lint = Lint::from_name(&name)
+            .filter(|l| !matches!(l, Lint::MalformedAllow | Lint::StaleAllow));
         out.push(AllowDirective {
             line: c.line,
-            lint: Lint::from_name(&name),
+            lint,
             raw_name: name,
             reason,
+            used: false,
         });
     }
     out
 }
 
-/// Match findings against allow directives.
+/// The next line at or after `after + 1` that holds any code token.
+pub(crate) fn next_code_line(scanned: &ScannedFile, after: usize) -> Option<usize> {
+    scanned
+        .tokens
+        .iter()
+        .map(|t| t.line)
+        .filter(|&l| l > after)
+        .min()
+}
+
+/// Match findings against allow directives, marking each directive
+/// `used` when it suppresses something.
 ///
 /// A directive on line `L` covers findings on `L` itself (trailing
 /// comment) and on the next line that holds any code (standalone comment
 /// above the offending expression).
-fn apply_allows(rel: &str, scanned: &ScannedFile, findings: &mut Vec<Finding>) {
-    let directives = parse_allows(&scanned.comments);
-    if directives.is_empty() {
-        return;
+pub fn apply_allows(
+    rel: &str,
+    scanned: &ScannedFile,
+    directives: &mut [AllowDirective],
+    findings: &mut [Finding],
+) {
+    for d in directives.iter_mut() {
+        let (Some(lint), Some(reason)) = (&d.lint, &d.reason) else {
+            continue;
+        };
+        let covered_next = next_code_line(scanned, d.line);
+        for f in findings.iter_mut() {
+            if f.file == rel
+                && f.lint == *lint
+                && (f.line == d.line || Some(f.line) == covered_next)
+                && !f.allowed
+            {
+                f.allowed = true;
+                f.allow_reason = Some(reason.clone());
+                d.used = true;
+            }
+        }
     }
+}
 
-    let next_code_line = |after: usize| -> Option<usize> {
-        scanned
-            .tokens
-            .iter()
-            .map(|t| t.line)
-            .filter(|&l| l > after)
-            .min()
-    };
-
-    for d in &directives {
+/// Emit the meta findings for a file's directives: `malformed-allow`
+/// for unusable ones and (when `audit_stale` is set — the workspace
+/// pipeline, after every pass has run) `stale-allow` for well-formed
+/// directives that suppressed nothing.
+pub fn directive_findings(
+    rel: &str,
+    scanned: &ScannedFile,
+    directives: &[AllowDirective],
+    audit_stale: bool,
+    out: &mut Vec<Finding>,
+) {
+    for d in directives {
+        let meta = |lint: Lint, message: String| Finding {
+            lint,
+            file: rel.to_owned(),
+            line: d.line,
+            col: 1,
+            width: 1,
+            snippet: snippet_at(scanned, d.line),
+            message,
+            allowed: false,
+            allow_reason: None,
+            notes: Vec::new(),
+        };
         match (&d.lint, &d.reason) {
-            (Some(lint), Some(reason)) => {
-                let covered_next = next_code_line(d.line);
-                for f in findings.iter_mut() {
-                    if f.lint == *lint
-                        && (f.line == d.line || Some(f.line) == covered_next)
-                        && !f.allowed
-                    {
-                        f.allowed = true;
-                        f.allow_reason = Some(reason.clone());
-                    }
+            (Some(_), Some(_)) => {
+                if audit_stale && !d.used {
+                    out.push(meta(
+                        Lint::StaleAllow,
+                        format!("allow({}) suppresses zero findings", d.raw_name),
+                    ));
                 }
             }
             (Some(_), None) => {
-                findings.push(Finding {
-                    lint: Lint::MalformedAllow,
-                    file: rel.to_owned(),
-                    line: d.line,
-                    col: 1,
-                    width: 1,
-                    snippet: snippet_at(scanned, d.line),
-                    message: format!("allow({}) is missing its mandatory reason", d.raw_name),
-                    allowed: false,
-                    allow_reason: None,
-                });
+                out.push(meta(
+                    Lint::MalformedAllow,
+                    format!("allow({}) is missing its mandatory reason", d.raw_name),
+                ));
             }
             (None, _) => {
-                findings.push(Finding {
-                    lint: Lint::MalformedAllow,
-                    file: rel.to_owned(),
-                    line: d.line,
-                    col: 1,
-                    width: 1,
-                    snippet: snippet_at(scanned, d.line),
-                    message: format!("allow({}) names an unknown lint", d.raw_name),
-                    allowed: false,
-                    allow_reason: None,
-                });
+                out.push(meta(
+                    Lint::MalformedAllow,
+                    format!("allow({}) names an unknown lint", d.raw_name),
+                ));
             }
         }
     }

@@ -1,80 +1,16 @@
-//! simlint CLI: lint the workspace's `.rs` files.
+//! simlint CLI: a thin wrapper over the shared lint driver (also
+//! exposed as `apples-cli lint`).
 //!
 //! Usage:
-//!   simlint [--format text|json] [PATH ...]
+//!   simlint [--format text|json|github] [--deny <lint>] [PATH ...]
 //!
 //! PATH defaults to `.` (the workspace root). Exit status is 0 when
 //! every finding is covered by a reasoned allow directive, 1 when any
-//! unallowed finding remains, 2 on usage or I/O errors.
+//! unallowed finding remains (or a denied lint fired), 2 on usage or
+//! I/O errors.
 
-use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let mut format = Format::Text;
-    let mut roots: Vec<String> = Vec::new();
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--format" => match args.next().as_deref() {
-                Some("text") => format = Format::Text,
-                Some("json") => format = Format::Json,
-                other => {
-                    eprintln!(
-                        "simlint: --format expects `text` or `json`, got {:?}",
-                        other.unwrap_or("<missing>")
-                    );
-                    return ExitCode::from(2);
-                }
-            },
-            "--help" | "-h" => {
-                println!("usage: simlint [--format text|json] [PATH ...]");
-                println!();
-                println!("Lints (see DESIGN.md for the policy table):");
-                for lint in simlint::ALL_LINTS {
-                    println!("  {:<16} {}", lint.name(), lint.hint());
-                }
-                return ExitCode::SUCCESS;
-            }
-            flag if flag.starts_with('-') => {
-                eprintln!("simlint: unknown flag {flag}");
-                return ExitCode::from(2);
-            }
-            path => roots.push(path.to_owned()),
-        }
-    }
-    if roots.is_empty() {
-        roots.push(".".to_owned());
-    }
-
-    let mut report = simlint::Report::default();
-    for root in &roots {
-        match simlint::lint_workspace(Path::new(root)) {
-            Ok(r) => {
-                report.findings.extend(r.findings);
-                report.files_scanned += r.files_scanned;
-            }
-            Err(e) => {
-                eprintln!("simlint: failed to scan {root}: {e}");
-                return ExitCode::from(2);
-            }
-        }
-    }
-
-    match format {
-        Format::Text => print!("{}", report.render_text()),
-        Format::Json => print!("{}", report.render_json()),
-    }
-
-    if report.unallowed_count() > 0 {
-        ExitCode::FAILURE
-    } else {
-        ExitCode::SUCCESS
-    }
-}
-
-#[derive(Clone, Copy)]
-enum Format {
-    Text,
-    Json,
+    ExitCode::from(simlint::driver::run(std::env::args().skip(1)))
 }

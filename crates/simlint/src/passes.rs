@@ -1,0 +1,478 @@
+//! The v2 analysis passes: `panic-reachability` (workspace-level, over
+//! the call graph), `rng-discipline` and `sim-time-hygiene` (per-file,
+//! over the item tree).
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::index::{FileCtx, Index};
+use crate::lints::{snippet_at, Finding, Lint};
+use crate::scanner::{ScannedFile, TokKind};
+
+// --- panic-reachability ------------------------------------------------
+
+/// For every `pub` fn in a reachability-enabled file, report when an
+/// unsanctioned panic site is reachable through the call graph, and
+/// render the shortest call path as rustc-style notes.
+///
+/// Multi-source reverse BFS from the hazard-carrying functions: each
+/// function's recorded `step` is its first edge on a shortest path
+/// toward a hazard, so path rendering is O(path) and deterministic
+/// (adjacency and sources are sorted by qualified name).
+pub fn panic_reachability(idx: &Index, files: &[FileCtx], out: &mut Vec<Finding>) {
+    if idx.hazards.is_empty() {
+        return;
+    }
+    let n = idx.fns.len();
+
+    // First (lowest-line) hazard per function.
+    let mut hazard_in: BTreeMap<usize, (usize, String)> = BTreeMap::new();
+    for h in &idx.hazards {
+        let e = hazard_in
+            .entry(h.in_fn)
+            .or_insert_with(|| (h.line, h.desc.clone()));
+        if h.line < e.0 {
+            *e = (h.line, h.desc.clone());
+        }
+    }
+
+    // Reverse adjacency: callee -> (caller, call line, call col).
+    let mut rev: Vec<Vec<(usize, usize, usize)>> = vec![Vec::new(); n];
+    for e in &idx.calls {
+        rev[e.to].push((e.from, e.line, e.col));
+    }
+    for v in rev.iter_mut() {
+        v.sort_by(|a, b| {
+            (idx.fns[a.0].qpath_str(), a.1, a.2).cmp(&(idx.fns[b.0].qpath_str(), b.1, b.2))
+        });
+    }
+
+    let mut dist: Vec<Option<u32>> = vec![None; n];
+    // fn -> (callee one step closer to the hazard, call line, call col).
+    let mut step: Vec<Option<(usize, usize, usize)>> = vec![None; n];
+    let mut sources: Vec<usize> = hazard_in.keys().copied().collect();
+    sources.sort_by_key(|&f| idx.fns[f].qpath_str());
+    let mut queue = VecDeque::new();
+    for s in sources {
+        dist[s] = Some(0);
+        queue.push_back(s);
+    }
+    while let Some(g) = queue.pop_front() {
+        let dg = dist[g].unwrap_or(0);
+        for &(c, line, col) in &rev[g] {
+            if dist[c].is_none() {
+                dist[c] = Some(dg + 1);
+                step[c] = Some((g, line, col));
+                queue.push_back(c);
+            }
+        }
+    }
+
+    for (id, f) in idx.fns.iter().enumerate() {
+        let Some(d) = dist[id] else { continue };
+        if !f.is_pub {
+            continue;
+        }
+        let ctx = &files[f.file];
+        if !ctx.enabled.contains(&Lint::PanicReachability) {
+            continue;
+        }
+        let mut notes = Vec::new();
+        let mut cur = id;
+        while let Some((g, line, _)) = step[cur] {
+            notes.push(format!(
+                "`{}` calls `{}` ({}:{})",
+                idx.fns[cur].qpath_str(),
+                idx.fns[g].qpath_str(),
+                files[idx.fns[cur].file].rel,
+                line
+            ));
+            cur = g;
+        }
+        let Some((hline, hdesc)) = hazard_in.get(&cur) else {
+            continue;
+        };
+        notes.push(format!(
+            "panic site: `{}` ({}:{})",
+            hdesc, files[idx.fns[cur].file].rel, hline
+        ));
+        let message = if d == 0 {
+            format!("pub fn `{}` contains a panic site", f.qpath_str())
+        } else {
+            format!(
+                "a panic site is reachable from pub fn `{}` ({} call{} deep)",
+                f.qpath_str(),
+                d,
+                if d == 1 { "" } else { "s" }
+            )
+        };
+        out.push(Finding {
+            lint: Lint::PanicReachability,
+            file: ctx.rel.clone(),
+            line: f.line,
+            col: f.col,
+            width: f.name.chars().count().max(1),
+            snippet: snippet_at(&ctx.scanned, f.line),
+            message,
+            allowed: false,
+            allow_reason: None,
+            notes,
+        });
+    }
+}
+
+// --- rng-discipline ----------------------------------------------------
+
+const RNG_CTORS: &[&str] = &["seed_from_u64", "from_seed", "from_entropy"];
+
+fn is_screaming_const(name: &str) -> bool {
+    name.len() > 1
+        && name.chars().any(|c| c.is_ascii_uppercase())
+        && name
+            .chars()
+            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+}
+
+/// Dataflow discipline for RNG construction, per-file over the item
+/// tree:
+///
+/// * `from_entropy()` never (it is `thread_rng` with extra steps);
+/// * `seed_from_u64(..)` / `from_seed(..)` arguments must carry seed
+///   evidence — a `seed`-named identifier, an enclosing-fn parameter, a
+///   `SCREAMING_CASE` constant, `self`, or a literal;
+/// * a function that already takes an `Rng`-typed parameter must not
+///   construct a second stream (it silently forks the sequence);
+/// * a `move` closure must not capture a locally-constructed RNG (the
+///   stream escapes the scope that seeded it).
+pub fn check_rng_discipline(rel: &str, scanned: &ScannedFile, out: &mut Vec<Finding>) {
+    let toks = &scanned.tokens;
+    let tree = &scanned.tree;
+
+    // Which fns carry a caller-supplied RNG.
+    let fn_has_rng_param = |item: usize| -> bool {
+        let it = &tree.items[item];
+        !it.rng_generics.is_empty()
+            || it
+                .params
+                .iter()
+                .any(|p| p.ty.iter().any(|t| t.contains("Rng")))
+    };
+
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || t.in_test {
+            continue;
+        }
+        if !RNG_CTORS.contains(&t.text.as_str()) || toks.get(i + 1).is_none_or(|n| n.text != "(") {
+            continue;
+        }
+        if i > 0 && toks[i - 1].text == "fn" {
+            continue;
+        }
+        let encl = tree.enclosing_fn(i);
+
+        if t.text == "from_entropy" {
+            out.push(crate::lints::finding(
+                Lint::RngDiscipline,
+                rel,
+                scanned,
+                t,
+                "`from_entropy()` draws OS entropy and breaks seeded replay".into(),
+            ));
+            continue;
+        }
+
+        // Second stream next to a caller-supplied RNG.
+        if let Some(item) = encl {
+            if fn_has_rng_param(item) {
+                out.push(crate::lints::finding(
+                    Lint::RngDiscipline,
+                    rel,
+                    scanned,
+                    t,
+                    format!(
+                        "fn `{}` takes a caller-supplied RNG but constructs a second \
+                         stream with `{}`",
+                        tree.items[item].name, t.text
+                    ),
+                ));
+                continue;
+            }
+        }
+
+        // Seed-evidence dataflow over the argument tokens.
+        let args_end = crate::lints::skip_parens(toks, i + 1);
+        let args = &toks[i + 2..args_end.saturating_sub(1).max(i + 2)];
+        let param_names: Vec<&str> = encl
+            .map(|item| {
+                tree.items[item]
+                    .params
+                    .iter()
+                    .flat_map(|p| p.names.iter().map(String::as_str))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let has_evidence = args.iter().any(|a| match a.kind {
+            TokKind::Number => true,
+            TokKind::Ident => {
+                a.text.to_ascii_lowercase().contains("seed")
+                    || a.text == "self"
+                    || is_screaming_const(&a.text)
+                    || param_names.contains(&a.text.as_str())
+            }
+            TokKind::Punct => false,
+        });
+        if !has_evidence {
+            out.push(crate::lints::finding(
+                Lint::RngDiscipline,
+                rel,
+                scanned,
+                t,
+                format!(
+                    "`{}(..)` has no visible seed source — seed from an explicit \
+                     parameter or constant",
+                    t.text
+                ),
+            ));
+        }
+    }
+
+    check_move_captured_rng(rel, scanned, out);
+}
+
+/// Locally-constructed RNG bindings captured by `move` closures.
+fn check_move_captured_rng(rel: &str, scanned: &ScannedFile, out: &mut Vec<Finding>) {
+    let toks = &scanned.tokens;
+
+    // `let [mut] NAME = <init containing an RNG constructor>;`
+    let mut rng_locals: Vec<(&str, usize)> = Vec::new(); // (name, let token idx)
+    for i in 0..toks.len() {
+        if toks[i].text != "let" || toks[i].in_test {
+            continue;
+        }
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|t| t.text == "mut") {
+            j += 1;
+        }
+        let Some(name_tok) = toks.get(j) else {
+            continue;
+        };
+        if name_tok.kind != TokKind::Ident {
+            continue;
+        }
+        // Scan the initializer to `;`, looking for RNG construction.
+        let mut k = j + 1;
+        let mut is_rng = false;
+        while k < toks.len() && toks[k].text != ";" {
+            if toks[k].kind == TokKind::Ident
+                && (RNG_CTORS.contains(&toks[k].text.as_str()) || toks[k].text.contains("ChaCha"))
+            {
+                is_rng = true;
+            }
+            k += 1;
+        }
+        if is_rng {
+            rng_locals.push((name_tok.text.as_str(), i));
+        }
+    }
+    if rng_locals.is_empty() {
+        return;
+    }
+
+    for i in 0..toks.len() {
+        if toks[i].text != "move" || toks[i].in_test {
+            continue;
+        }
+        if toks.get(i + 1).is_none_or(|n| n.text != "|") {
+            continue;
+        }
+        // Closure params end at the next `|`; the body is the brace
+        // block or the expression up to a depth-0 `,` / `;` / `)`.
+        let Some(params_end) = (i + 2..toks.len()).find(|&k| toks[k].text == "|") else {
+            continue;
+        };
+        let body_start = params_end + 1;
+        let body_end = if toks.get(body_start).is_some_and(|t| t.text == "{") {
+            let mut depth = 0i64;
+            let mut k = body_start;
+            loop {
+                match toks.get(k).map(|t| t.text.as_str()) {
+                    Some("{") => depth += 1,
+                    Some("}") => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break k + 1;
+                        }
+                    }
+                    None => break k,
+                    _ => {}
+                }
+                k += 1;
+            }
+        } else {
+            let mut depth = 0i64;
+            let mut k = body_start;
+            loop {
+                match toks.get(k).map(|t| t.text.as_str()) {
+                    Some("(" | "[" | "{") => depth += 1,
+                    Some(")" | "]" | "}") if depth > 0 => depth -= 1,
+                    Some(")" | "]" | "}") => break k,
+                    Some("," | ";") if depth == 0 => break k,
+                    None => break k,
+                    _ => {}
+                }
+                k += 1;
+            }
+        };
+        for &(name, let_tok) in &rng_locals {
+            // The binding must pre-date the closure.
+            if let_tok >= i {
+                continue;
+            }
+            let captured = toks[body_start..body_end.min(toks.len())]
+                .iter()
+                .any(|t| t.kind == TokKind::Ident && t.text == name);
+            if captured {
+                out.push(crate::lints::finding(
+                    Lint::RngDiscipline,
+                    rel,
+                    scanned,
+                    &toks[i],
+                    format!(
+                        "`move` closure captures RNG `{name}`; the stream outlives \
+                         the scope that seeded it"
+                    ),
+                ));
+                break;
+            }
+        }
+    }
+}
+
+// --- sim-time-hygiene --------------------------------------------------
+
+/// Micros-per-second float literals that signal a hand-rolled
+/// seconds↔micros conversion.
+fn is_micros_literal(text: &str) -> bool {
+    let t = text.replace('_', "");
+    matches!(
+        t.as_str(),
+        "1000000.0" | "1000000f64" | "1000000.0f64" | "1e6" | "1e6f64" | "1.0e6"
+    )
+}
+
+/// Integer-microsecond discipline for sim time (PR 5): simulated time
+/// lives in `SimTime` (u64 micros) and converts to f64 seconds once at
+/// the reporting boundary. Per statement (token run between `;`/`{`/
+/// `}`), flag:
+///
+/// * `+=` or `.sum()` over `as_secs_f64()` values — accumulating f64
+///   seconds compounds rounding error that integer micros avoid;
+/// * `from_secs_f64(.. as_secs_f64 ..)` — a lossy SimTime→f64→SimTime
+///   round-trip;
+/// * integer casts (`as u64`/`u32`/`usize`/`i64`) in a statement that
+///   also converts through seconds (`as_secs_f64` or a `1_000_000.0`
+///   style literal) — a hand-rolled lossy micros conversion.
+pub fn check_sim_time_hygiene(rel: &str, scanned: &ScannedFile, out: &mut Vec<Finding>) {
+    let toks = &scanned.tokens;
+    let mut start = 0usize;
+    let mut i = 0usize;
+    while i <= toks.len() {
+        let at_boundary = i == toks.len() || matches!(toks[i].text.as_str(), ";" | "{" | "}");
+        if !at_boundary {
+            i += 1;
+            continue;
+        }
+        let stmt = &toks[start..i];
+        start = i + 1;
+        i += 1;
+        if stmt.is_empty() || stmt.iter().all(|t| t.in_test) {
+            continue;
+        }
+        let has_secs = stmt
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "as_secs_f64");
+        let has_micros_lit = stmt
+            .iter()
+            .any(|t| t.kind == TokKind::Number && is_micros_literal(&t.text));
+
+        for (k, t) in stmt.iter().enumerate() {
+            if t.in_test {
+                continue;
+            }
+            // `+=` over seconds.
+            if has_secs
+                && t.text == "+"
+                && stmt
+                    .get(k + 1)
+                    .is_some_and(|n| n.text == "=" && n.byte == t.byte_end())
+            {
+                out.push(crate::lints::finding(
+                    Lint::SimTimeHygiene,
+                    rel,
+                    scanned,
+                    t,
+                    "f64 `+=` accumulation of sim-time seconds compounds rounding \
+                     error; accumulate SimTime and convert once"
+                        .into(),
+                ));
+            }
+            // `.sum()` over seconds.
+            if has_secs
+                && t.kind == TokKind::Ident
+                && t.text == "sum"
+                && k > 0
+                && stmt[k - 1].text == "."
+                && stmt.get(k + 1).is_some_and(|n| n.text == "(")
+            {
+                out.push(crate::lints::finding(
+                    Lint::SimTimeHygiene,
+                    rel,
+                    scanned,
+                    t,
+                    "`.sum()` over f64 sim-time seconds compounds rounding error; \
+                     sum SimTime and convert once"
+                        .into(),
+                ));
+            }
+            // SimTime -> f64 -> SimTime round-trip.
+            if t.kind == TokKind::Ident
+                && t.text == "from_secs_f64"
+                && stmt.get(k + 1).is_some_and(|n| n.text == "(")
+            {
+                let end = crate::lints::skip_parens(stmt, k + 1);
+                let args = &stmt[k + 1..end.min(stmt.len())];
+                if args.iter().any(|a| a.text == "as_secs_f64") {
+                    out.push(crate::lints::finding(
+                        Lint::SimTimeHygiene,
+                        rel,
+                        scanned,
+                        t,
+                        "SimTime round-trips through f64 seconds \
+                         (`from_secs_f64(.. as_secs_f64() ..)`); stay in integer \
+                         micros"
+                            .into(),
+                    ));
+                }
+            }
+            // Lossy integer cast alongside a seconds conversion.
+            if (has_secs || has_micros_lit)
+                && t.text == "as"
+                && stmt
+                    .get(k + 1)
+                    .is_some_and(|n| matches!(n.text.as_str(), "u64" | "u32" | "usize" | "i64"))
+            {
+                out.push(crate::lints::finding(
+                    Lint::SimTimeHygiene,
+                    rel,
+                    scanned,
+                    t,
+                    format!(
+                        "lossy `as {}` cast in a statement converting through f64 \
+                         seconds; use SimTime's integer micros directly",
+                        stmt[k + 1].text
+                    ),
+                ));
+            }
+        }
+    }
+}

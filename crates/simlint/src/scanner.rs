@@ -2,17 +2,22 @@
 //!
 //! This is deliberately *not* a parser. It produces a flat stream of
 //! identifier / number / punctuation tokens with 1-based line:col
-//! positions, while skipping (but recording) comments and skipping the
-//! interiors of string, raw-string, byte-string and char literals. That
-//! is exactly enough structure for the pattern-level lints simlint
-//! ships, without pulling `syn` or any other dependency into the tree.
+//! positions and byte offsets, while skipping (but recording) comments
+//! and skipping the interiors of string, raw-string, byte-string and
+//! char literals. The [`crate::itemtree`] scope parser layers item
+//! structure (mod/fn/impl boundaries, test scopes) on top of this
+//! stream; together they are exactly enough structure for simlint's
+//! passes, without pulling `syn` or any other dependency into the tree.
 //!
 //! Two extra pieces of bookkeeping ride along:
 //!
 //! * every line comment is kept (for `// simlint: allow(..)` directives),
 //! * each token is labelled `in_test` when it falls inside a
-//!   `#[cfg(test)]` / `#[test]` item body (or the whole file is test
-//!   code, e.g. anything under a `tests/` directory).
+//!   `#[cfg(test)]` / `#[test]` item (resolved by the item tree, which
+//!   owns test-scope tracking) or the whole file is test code, e.g.
+//!   anything under a `tests/` directory.
+
+use crate::itemtree::{self, ItemTree};
 
 /// Lexical class of a [`Token`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,8 +36,18 @@ pub struct Token {
     pub line: usize,
     /// 1-based column (in characters).
     pub col: usize,
+    /// Byte offset of the token's first character in the source.
+    pub byte: usize,
     /// True when the token sits inside test-only code.
     pub in_test: bool,
+}
+
+impl Token {
+    /// Byte offset just past the token's last character. Valid because
+    /// a token's text is copied verbatim from the source.
+    pub fn byte_end(&self) -> usize {
+        self.byte + self.text.len()
+    }
 }
 
 /// A line (`//`) comment, kept so allow-directives can be parsed.
@@ -49,6 +64,8 @@ pub struct ScannedFile {
     pub comments: Vec<Comment>,
     /// Source split into lines, for diagnostic snippets.
     pub lines: Vec<String>,
+    /// Item structure: mod/fn/impl boundaries with brace-matched spans.
+    pub tree: ItemTree,
 }
 
 struct Cursor<'a> {
@@ -56,6 +73,7 @@ struct Cursor<'a> {
     i: usize,
     line: usize,
     col: usize,
+    byte: usize,
 }
 
 impl<'a> Cursor<'a> {
@@ -65,6 +83,7 @@ impl<'a> Cursor<'a> {
             i: 0,
             line: 1,
             col: 1,
+            byte: 0,
         }
     }
 
@@ -75,6 +94,7 @@ impl<'a> Cursor<'a> {
     fn bump(&mut self) -> Option<char> {
         let c = self.chars.get(self.i).copied()?;
         self.i += 1;
+        self.byte += c.len_utf8();
         if c == '\n' {
             self.line += 1;
             self.col = 1;
@@ -97,7 +117,7 @@ fn is_ident_continue(c: char) -> bool {
     c.is_alphanumeric() || c == '_'
 }
 
-/// Scan `source` into tokens + comments.
+/// Scan `source` into tokens + comments and build the item tree.
 ///
 /// `whole_file_is_test` marks every token as test code regardless of
 /// attributes (used for files under `tests/`, `benches/`, `examples/`).
@@ -109,7 +129,7 @@ pub fn scan(source: &str, whole_file_is_test: bool) -> ScannedFile {
 
     while !cur.at_end() {
         let c = cur.peek(0).unwrap();
-        let (line, col) = (cur.line, cur.col);
+        let (line, col, byte) = (cur.line, cur.col, cur.byte);
 
         // Whitespace.
         if c.is_whitespace() {
@@ -203,6 +223,7 @@ pub fn scan(source: &str, whole_file_is_test: bool) -> ScannedFile {
                 text,
                 line,
                 col,
+                byte,
                 in_test: false,
             });
             continue;
@@ -236,6 +257,7 @@ pub fn scan(source: &str, whole_file_is_test: bool) -> ScannedFile {
                 text,
                 line,
                 col,
+                byte,
                 in_test: false,
             });
             continue;
@@ -248,22 +270,25 @@ pub fn scan(source: &str, whole_file_is_test: bool) -> ScannedFile {
             text: ch.to_string(),
             line,
             col,
+            byte,
             in_test: false,
         });
     }
 
+    let tree = itemtree::build(&tokens);
     if whole_file_is_test {
         for t in &mut tokens {
             t.in_test = true;
         }
     } else {
-        mark_test_regions(&mut tokens);
+        itemtree::mark_tests(&tree, &mut tokens);
     }
 
     ScannedFile {
         tokens,
         comments,
         lines: source.lines().map(str::to_owned).collect(),
+        tree,
     }
 }
 
@@ -342,84 +367,6 @@ fn skip_string_body(cur: &mut Cursor<'_>) {
     }
 }
 
-/// Mark tokens that live inside `#[cfg(test)]` / `#[test]` item bodies.
-///
-/// A brace-depth walk: when a test attribute is seen, the next `{` opens
-/// a test region that closes at its matching `}`. A `;` before any `{`
-/// cancels the pending attribute (brace-less items like `#[cfg(test)]
-/// use ...;`). `#[cfg(not(test))]` is *not* treated as test code.
-fn mark_test_regions(tokens: &mut [Token]) {
-    let n = tokens.len();
-    let mut depth: i64 = 0;
-    let mut region_stack: Vec<i64> = Vec::new();
-    let mut pending_test = false;
-    let mut i = 0usize;
-    while i < n {
-        // Attribute: `#[...]` or `#![...]`.
-        if tokens[i].text == "#" {
-            let mut j = i + 1;
-            if j < n && tokens[j].text == "!" {
-                j += 1;
-            }
-            if j < n && tokens[j].text == "[" {
-                let mut k = j + 1;
-                let mut bdepth = 1i64;
-                let mut has_test = false;
-                let mut has_not = false;
-                while k < n && bdepth > 0 {
-                    match tokens[k].text.as_str() {
-                        "[" => bdepth += 1,
-                        "]" => bdepth -= 1,
-                        "test" => has_test = true,
-                        "not" => has_not = true,
-                        _ => {}
-                    }
-                    k += 1;
-                }
-                if has_test && !has_not {
-                    pending_test = true;
-                    // The attribute tokens themselves are test-only.
-                    for t in tokens.iter_mut().take(k).skip(i) {
-                        t.in_test = true;
-                    }
-                }
-                let inside = !region_stack.is_empty();
-                for t in tokens.iter_mut().take(k).skip(i) {
-                    t.in_test = t.in_test || inside;
-                }
-                i = k;
-                continue;
-            }
-        }
-        match tokens[i].text.as_str() {
-            "{" => {
-                depth += 1;
-                if pending_test {
-                    region_stack.push(depth);
-                    pending_test = false;
-                }
-            }
-            "}" => {
-                if region_stack.last() == Some(&depth) {
-                    region_stack.pop();
-                    // The closing brace still belongs to the region.
-                    tokens[i].in_test = true;
-                    depth -= 1;
-                    i += 1;
-                    continue;
-                }
-                depth -= 1;
-            }
-            ";" => {
-                pending_test = false;
-            }
-            _ => {}
-        }
-        tokens[i].in_test = tokens[i].in_test || !region_stack.is_empty() || pending_test;
-        i += 1;
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -456,6 +403,21 @@ real_ident();
         assert_eq!(scanned.tokens[1].col, 4);
         assert_eq!(scanned.tokens[2].line, 2);
         assert_eq!(scanned.tokens[2].col, 3);
+    }
+
+    #[test]
+    fn byte_offsets_round_trip() {
+        let src = "fn héllo() { let s = \"skip ünïcode\"; x.unwrap(); }\n";
+        let scanned = scan(src, false);
+        for t in &scanned.tokens {
+            assert_eq!(
+                &src[t.byte..t.byte_end()],
+                t.text,
+                "token {:?} at byte {} does not slice back to itself",
+                t.text,
+                t.byte
+            );
+        }
     }
 
     #[test]

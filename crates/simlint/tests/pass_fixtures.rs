@@ -1,0 +1,311 @@
+//! Fixture tests for the workspace analysis pipeline: synthetic
+//! in-memory workspaces fed through [`simlint::analyze_sources`],
+//! asserting each new pass fires (and stays quiet) where it should.
+//!
+//! The fixtures deliberately mirror the shapes the passes were built
+//! for: a multi-hop panic→`pub fn` call chain spanning crates, a
+//! stale allow directive, RNG constructions with and without seed
+//! evidence, and f64 sim-time accumulation next to its integer twin.
+
+use simlint::{analyze_sources, Finding, Lint};
+
+fn ws(files: &[(&str, &str)]) -> Vec<(String, String)> {
+    files
+        .iter()
+        .map(|(p, s)| (p.to_string(), s.to_string()))
+        .collect()
+}
+
+fn of_lint(findings: &[Finding], lint: Lint) -> Vec<&Finding> {
+    findings.iter().filter(|f| f.lint == lint).collect()
+}
+
+// ---------------------------------------------------------------- panic-reachability
+
+/// The acceptance-criterion fixture: a `pub` fn in a sim crate calls a
+/// same-crate helper, which calls into another crate, which panics.
+/// The diagnostic must render the full multi-hop chain as note lines.
+#[test]
+fn panic_reachability_renders_multi_hop_chain() {
+    let report = analyze_sources(&ws(&[
+        (
+            "crates/grid/src/api.rs",
+            "pub fn submit(req: u32) -> u32 {\n    crate::inner::route(req)\n}\n",
+        ),
+        (
+            "crates/grid/src/inner.rs",
+            "pub fn route(req: u32) -> u32 {\n    deep::decode(req)\n}\n",
+        ),
+        (
+            "crates/apps/src/deep.rs",
+            "pub fn decode(req: u32) -> u32 {\n    let table: Option<u32> = None;\n    table.unwrap() + req\n}\n",
+        ),
+    ]));
+
+    let hits = of_lint(&report.findings, Lint::PanicReachability);
+    let submit = hits
+        .iter()
+        .find(|f| f.message.contains("`grid::api::submit`"))
+        .expect("reachability finding for pub fn submit");
+    assert_eq!(submit.file, "crates/grid/src/api.rs");
+    assert!(
+        submit.message.contains("2 calls deep"),
+        "expected a two-hop path, got: {}",
+        submit.message
+    );
+    // The note chain walks the actual call path, each hop anchored at
+    // its call site (caller file:line), ending at the panic site.
+    assert_eq!(
+        submit.notes,
+        vec![
+            "`grid::api::submit` calls `grid::inner::route` (crates/grid/src/api.rs:2)",
+            "`grid::inner::route` calls `apps::deep::decode` (crates/grid/src/inner.rs:2)",
+            "panic site: `.unwrap()` (crates/apps/src/deep.rs:3)",
+        ]
+    );
+
+    // The intermediate pub fn gets its own (shorter) finding too.
+    assert!(
+        hits.iter().any(
+            |f| f.message.contains("`grid::inner::route`") && f.message.contains("1 call deep")
+        ),
+        "route should be flagged one hop from the panic"
+    );
+}
+
+#[test]
+fn panic_reachability_direct_panic_is_zero_hops() {
+    let report = analyze_sources(&ws(&[(
+        "crates/core/src/direct.rs",
+        "pub fn explode() {\n    panic!(\"boom\");\n}\n",
+    )]));
+    let hits = of_lint(&report.findings, Lint::PanicReachability);
+    assert_eq!(hits.len(), 1);
+    assert!(hits[0].message.contains("contains a panic site"));
+}
+
+#[test]
+fn panic_reachability_quiet_when_callee_is_clean() {
+    let report = analyze_sources(&ws(&[
+        (
+            "crates/grid/src/api.rs",
+            "pub fn submit(req: u32) -> u32 {\n    crate::inner::route(req)\n}\n",
+        ),
+        (
+            "crates/grid/src/inner.rs",
+            "pub fn route(req: u32) -> u32 {\n    req.saturating_add(1)\n}\n",
+        ),
+    ]));
+    assert!(of_lint(&report.findings, Lint::PanicReachability).is_empty());
+}
+
+/// A reasoned `allow(panic-in-lib)` at the panic site removes it as a
+/// hazard, so nothing upstream is flagged either.
+#[test]
+fn allowed_panic_site_is_not_a_hazard() {
+    let report = analyze_sources(&ws(&[
+        (
+            "crates/grid/src/api.rs",
+            "pub fn submit(req: u32) -> u32 {\n    helper(req)\n}\n\nfn helper(req: u32) -> u32 {\n    // simlint: allow(panic-in-lib): bounds checked by the caller\n    req.checked_add(1).unwrap()\n}\n",
+        ),
+    ]));
+    assert!(of_lint(&report.findings, Lint::PanicReachability).is_empty());
+    // And the directive is not stale — it suppressed a real hazard.
+    assert!(of_lint(&report.findings, Lint::StaleAllow).is_empty());
+}
+
+/// Panic sites inside `#[cfg(test)]` code never count as hazards.
+#[test]
+fn test_code_panics_are_ignored() {
+    let report = analyze_sources(&ws(&[(
+        "crates/grid/src/api.rs",
+        "pub fn submit(req: u32) -> u32 {\n    req\n}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        super::submit(u32::MAX).checked_add(1).unwrap();\n    }\n}\n",
+    )]));
+    assert!(of_lint(&report.findings, Lint::PanicReachability).is_empty());
+}
+
+// ---------------------------------------------------------------- stale-allow
+
+#[test]
+fn stale_allow_is_reported_by_the_workspace_audit() {
+    let report = analyze_sources(&ws(&[(
+        "crates/metasim/src/clean.rs",
+        "// simlint: allow(panic-in-lib): this fn used to unwrap, now it doesn't\npub fn tidy(x: u32) -> u32 {\n    x.saturating_add(1)\n}\n",
+    )]));
+    let hits = of_lint(&report.findings, Lint::StaleAllow);
+    assert_eq!(hits.len(), 1, "findings: {:#?}", report.findings);
+    assert_eq!(hits[0].file, "crates/metasim/src/clean.rs");
+    assert_eq!(hits[0].line, 1);
+    assert!(hits[0].message.contains("panic-in-lib"));
+}
+
+#[test]
+fn used_allow_is_not_stale() {
+    let report = analyze_sources(&ws(&[(
+        "crates/metasim/src/hot.rs",
+        "pub fn pick(xs: &[u32]) -> u32 {\n    // simlint: allow(panic-in-lib): caller guarantees non-empty\n    *xs.first().unwrap()\n}\n",
+    )]));
+    assert!(of_lint(&report.findings, Lint::StaleAllow).is_empty());
+    let allowed: Vec<_> = report.findings.iter().filter(|f| f.allowed).collect();
+    assert_eq!(allowed.len(), 1);
+    assert_eq!(allowed[0].lint, Lint::PanicInLib);
+}
+
+// ---------------------------------------------------------------- rng-discipline
+
+#[test]
+fn rng_discipline_flags_from_entropy() {
+    let report = analyze_sources(&ws(&[(
+        "crates/nws/src/jitter.rs",
+        "pub fn jitter() -> u64 {\n    let mut rng = ChaCha8Rng::from_entropy();\n    rng.next_u64()\n}\n",
+    )]));
+    let hits = of_lint(&report.findings, Lint::RngDiscipline);
+    assert_eq!(hits.len(), 1, "findings: {:#?}", report.findings);
+    assert!(hits[0].message.contains("from_entropy"));
+}
+
+#[test]
+fn rng_discipline_accepts_explicit_seed_param() {
+    let report = analyze_sources(&ws(&[(
+        "crates/nws/src/jitter.rs",
+        "pub fn jitter(seed: u64) -> u64 {\n    let mut rng = ChaCha8Rng::seed_from_u64(seed);\n    rng.next_u64()\n}\n",
+    )]));
+    assert!(of_lint(&report.findings, Lint::RngDiscipline).is_empty());
+}
+
+#[test]
+fn rng_discipline_flags_second_stream_beside_rng_param() {
+    let report = analyze_sources(&ws(&[(
+        "crates/nws/src/noise.rs",
+        "pub fn perturb(rng: &mut impl Rng, x: f64) -> f64 {\n    let mut local = ChaCha8Rng::seed_from_u64(42);\n    x + local.next_u64() as f64\n}\n",
+    )]));
+    let hits = of_lint(&report.findings, Lint::RngDiscipline);
+    assert_eq!(hits.len(), 1, "findings: {:#?}", report.findings);
+}
+
+// ---------------------------------------------------------------- sim-time-hygiene
+
+#[test]
+fn sim_time_hygiene_flags_f64_accumulation() {
+    let report = analyze_sources(&ws(&[(
+        "crates/metasim/src/acc.rs",
+        "pub fn total(done: SimTime, start: SimTime, acc: &mut f64) {\n    *acc += (done - start).as_secs_f64();\n}\n",
+    )]));
+    let hits = of_lint(&report.findings, Lint::SimTimeHygiene);
+    assert_eq!(hits.len(), 1, "findings: {:#?}", report.findings);
+}
+
+#[test]
+fn sim_time_hygiene_accepts_integer_accumulation() {
+    let report = analyze_sources(&ws(&[(
+        "crates/metasim/src/acc.rs",
+        "pub fn total(done: SimTime, start: SimTime, acc: &mut SimTime) {\n    *acc += done - start;\n}\n",
+    )]));
+    assert!(of_lint(&report.findings, Lint::SimTimeHygiene).is_empty());
+}
+
+#[test]
+fn sim_time_hygiene_flags_seconds_round_trip() {
+    let report = analyze_sources(&ws(&[(
+        "crates/metasim/src/rt.rs",
+        "pub fn jitterless(t: SimTime) -> SimTime {\n    SimTime::from_secs_f64(t.as_secs_f64())\n}\n",
+    )]));
+    let hits = of_lint(&report.findings, Lint::SimTimeHygiene);
+    assert_eq!(hits.len(), 1, "findings: {:#?}", report.findings);
+}
+
+// ---------------------------------------------------------------- policy scoping
+
+/// The three new passes are sim-crate policy; a non-sim crate with the
+/// same source stays quiet.
+#[test]
+fn new_passes_are_sim_crate_scoped() {
+    let src = "pub fn jitter() -> u64 {\n    let mut rng = ChaCha8Rng::from_entropy();\n    rng.next_u64()\n}\n";
+    let sim = analyze_sources(&ws(&[("crates/nws/src/j.rs", src)]));
+    let non_sim = analyze_sources(&ws(&[("crates/cli/src/j.rs", src)]));
+    assert_eq!(of_lint(&sim.findings, Lint::RngDiscipline).len(), 1);
+    assert!(of_lint(&non_sim.findings, Lint::RngDiscipline).is_empty());
+}
+
+// ---------------------------------------------------------------- report ordering
+
+/// Findings sort by (file, line, col, lint, message) regardless of the
+/// order files were handed in, so reports diff cleanly run to run.
+#[test]
+fn report_order_is_independent_of_input_order() {
+    let files = [
+        (
+            "crates/metasim/src/b.rs",
+            "pub fn b() {\n    panic!(\"b\");\n}\n",
+        ),
+        (
+            "crates/metasim/src/a.rs",
+            "pub fn a() {\n    panic!(\"a\");\n}\n",
+        ),
+    ];
+    let fwd = analyze_sources(&ws(&files));
+    let mut rev_files = files;
+    rev_files.reverse();
+    let rev = analyze_sources(&ws(&rev_files));
+    assert_eq!(fwd.render_json(), rev.render_json());
+    let names: Vec<&str> = fwd.findings.iter().map(|f| f.file.as_str()).collect();
+    let mut sorted = names.clone();
+    sorted.sort();
+    assert_eq!(names, sorted, "findings must come out path-sorted");
+}
+
+/// Byte-stability pin: the exact JSON rendering of a fixed fixture.
+/// If this test fails, a formatting change leaked into `render_json`
+/// — CI artifacts and downstream diff tooling depend on this shape.
+#[test]
+fn render_json_is_byte_stable() {
+    let report = analyze_sources(&ws(&[(
+        "crates/core/src/direct.rs",
+        "pub fn explode() {\n    panic!(\"boom\");\n}\n",
+    )]));
+    let expected = concat!(
+        "{\n",
+        "  \"files_scanned\": 1,\n",
+        "  \"unallowed\": 2,\n",
+        "  \"allowed\": 0,\n",
+        "  \"findings\": [\n",
+        "    {\"lint\": \"panic-reachability\", \"file\": \"crates/core/src/direct.rs\", ",
+        "\"line\": 1, \"col\": 8, ",
+        "\"message\": \"pub fn `core::direct::explode` contains a panic site\", ",
+        "\"snippet\": \"pub fn explode() {\", ",
+        "\"notes\": [\"panic site: `panic!` (crates/core/src/direct.rs:2)\"], ",
+        "\"allowed\": false},\n",
+        "    {\"lint\": \"panic-in-lib\", \"file\": \"crates/core/src/direct.rs\", ",
+        "\"line\": 2, \"col\": 5, ",
+        "\"message\": \"`panic!` in library code aborts a simulation mid-run\", ",
+        "\"snippet\": \"    panic!(\\\"boom\\\");\", \"allowed\": false}\n",
+        "  ]\n",
+        "}\n",
+    );
+    assert_eq!(report.render_json(), expected);
+}
+
+// ---------------------------------------------------------------- github format
+
+#[test]
+fn github_rendering_escapes_newlines_in_notes() {
+    let report = analyze_sources(&ws(&[(
+        "crates/core/src/direct.rs",
+        "pub fn explode() {\n    panic!(\"boom\");\n}\n",
+    )]));
+    let gh = report.render_github();
+    for line in gh.lines() {
+        assert!(
+            line.starts_with("::error file="),
+            "non-annotation line in github output: {line}"
+        );
+    }
+    assert!(
+        gh.contains("title=simlint(panic-reachability)"),
+        "github output: {gh}"
+    );
+    assert!(
+        gh.contains("%0Anote: panic site:"),
+        "notes must be %0A-folded into the message: {gh}"
+    );
+}

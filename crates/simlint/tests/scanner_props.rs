@@ -1,0 +1,144 @@
+//! Property tests for the scanner and item tree: random programs are
+//! assembled from a pool of well-formed fragments (so brace balance
+//! holds by construction), then scanned, and structural invariants are
+//! checked — token byte offsets round-trip to the source, nothing
+//! inside comments or string literals leaks out as a token, and
+//! `#[cfg(test)]` span tracking matches the item tree's byte ranges.
+
+use proptest::prelude::*;
+use simlint::itemtree::ItemKind;
+use simlint::scanner;
+
+/// One well-formed source fragment. Identifiers embedded in comments
+/// and string literals all contain the marker `hidden`, which no code
+/// identifier uses — if the scanner ever tokenizes one, the leak is
+/// detectable.
+fn fragment() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (0u32..50).prop_map(|i| format!("let x{i} = {i};\n")),
+        (0u32..50).prop_map(|i| format!("// hidden{i} line comment\n")),
+        (0u32..50).prop_map(|i| format!("/* hidden{i} /* nested hidden{i}b */ tail */\n")),
+        (0u32..50).prop_map(|i| format!("let s{i} = \"hidden{i} \\\" escaped\";\n")),
+        (0u32..50).prop_map(|i| format!("let r{i} = r#\"hidden{i} \"quoted\" raw\"#;\n")),
+        (0u32..50).prop_map(|i| format!("fn f{i}(a: u32) -> u32 {{ g{i}(a) }}\n")),
+        (0u32..50).prop_map(|i| format!("let c{i} = 'x'; let y{i} = c{i};\n")),
+        (0u32..50).prop_map(|i| format!("struct S{i} {{ field: Vec<u64> }}\n")),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every token's `byte .. byte_end()` slice reproduces its text
+    /// verbatim, and its line/col agree with a recount from scratch.
+    #[test]
+    fn token_byte_offsets_round_trip(frags in prop::collection::vec(fragment(), 0..30)) {
+        let src = frags.concat();
+        let scanned = scanner::scan(&src, false);
+        for t in &scanned.tokens {
+            prop_assert_eq!(
+                &src[t.byte..t.byte_end()],
+                t.text.as_str(),
+                "byte span mismatch at {}:{}",
+                t.line,
+                t.col
+            );
+            let before = &src[..t.byte];
+            let line = before.matches('\n').count() + 1;
+            let col = t.byte - before.rfind('\n').map_or(0, |p| p + 1) + 1;
+            prop_assert_eq!(t.line, line);
+            prop_assert_eq!(t.col, col);
+        }
+    }
+
+    /// Comment and string-literal interiors never leak tokens: the
+    /// `hidden` marker appears only inside them.
+    #[test]
+    fn comments_and_strings_emit_no_tokens(frags in prop::collection::vec(fragment(), 0..30)) {
+        let src = frags.concat();
+        let scanned = scanner::scan(&src, false);
+        for t in &scanned.tokens {
+            prop_assert!(
+                !t.text.contains("hidden"),
+                "comment/string interior leaked as token {:?} at {}:{}",
+                t.text,
+                t.line,
+                t.col
+            );
+        }
+    }
+
+    /// The item tree is a well-formed forest: parents precede their
+    /// children in pre-order and child byte spans nest inside them.
+    #[test]
+    fn item_tree_nests(frags in prop::collection::vec(fragment(), 0..30)) {
+        let src = frags.concat();
+        let scanned = scanner::scan(&src, false);
+        for (idx, item) in scanned.tree.items.iter().enumerate() {
+            if let Some(p) = item.parent {
+                prop_assert!(p < idx, "parent {p} does not precede child {idx}");
+                let parent = &scanned.tree.items[p];
+                prop_assert!(
+                    parent.byte_start <= item.byte_start && item.byte_end <= parent.byte_end,
+                    "child span {}..{} escapes parent span {}..{}",
+                    item.byte_start,
+                    item.byte_end,
+                    parent.byte_start,
+                    parent.byte_end
+                );
+            }
+        }
+    }
+
+    /// `#[cfg(test)] mod tests { .. }` marks exactly the tokens inside
+    /// the mod's byte range as test code, wherever the mod lands and
+    /// whatever surrounds it. The same program with a plain (un-gated)
+    /// mod marks nothing.
+    #[test]
+    fn cfg_test_spans_match_the_mod_body(
+        before in prop::collection::vec(fragment(), 0..8),
+        inside in prop::collection::vec(fragment(), 1..8),
+        after in prop::collection::vec(fragment(), 0..8),
+    ) {
+        let body = format!(
+            "{}#[cfg(test)]\nmod tests {{\n{}}}\n{}",
+            before.concat(),
+            inside.concat(),
+            after.concat()
+        );
+        let scanned = scanner::scan(&body, false);
+        let (_, tests_mod) = scanned
+            .tree
+            .items
+            .iter()
+            .enumerate()
+            .find(|(_, it)| it.kind == ItemKind::Mod && it.name == "tests")
+            .expect("tests mod in item tree");
+        prop_assert!(tests_mod.has_test_attr);
+        for t in &scanned.tokens {
+            let in_span = t.byte >= tests_mod.byte_start && t.byte < tests_mod.byte_end;
+            prop_assert_eq!(
+                t.in_test,
+                in_span,
+                "token {:?} at {}:{} in_test={} but mod span is {}..{}",
+                t.text.clone(),
+                t.line,
+                t.col,
+                t.in_test,
+                tests_mod.byte_start,
+                tests_mod.byte_end
+            );
+        }
+
+        let ungated = format!(
+            "{}mod helpers {{\n{}}}\n{}",
+            before.concat(),
+            inside.concat(),
+            after.concat()
+        );
+        let scanned = scanner::scan(&ungated, false);
+        for t in &scanned.tokens {
+            prop_assert!(!t.in_test, "un-gated mod marked {:?} as test", t.text);
+        }
+    }
+}

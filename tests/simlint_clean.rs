@@ -35,6 +35,58 @@ fn workspace_has_no_unallowed_simlint_findings() {
     );
 }
 
+/// Two scans of the same tree must render byte-identical reports:
+/// findings sort by (path, line, col, lint, message), so the JSON
+/// artifact CI uploads diffs cleanly between runs.
+#[test]
+fn workspace_report_is_deterministic() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let a = simlint::lint_workspace(root).expect("workspace scan");
+    let b = simlint::lint_workspace(root).expect("workspace scan");
+    assert_eq!(a.render_json(), b.render_json());
+    let keys: Vec<_> = a
+        .findings
+        .iter()
+        .map(|f| {
+            (
+                f.file.clone(),
+                f.line,
+                f.col,
+                f.lint.name(),
+                f.message.clone(),
+            )
+        })
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "findings must come out sorted");
+}
+
+/// The sim crates run the full policy, including the cross-file
+/// passes; if someone trims the policy table this fails before the
+/// lint coverage silently shrinks.
+#[test]
+fn sim_crates_enable_the_cross_file_passes() {
+    for rel in [
+        "crates/metasim/src/lib.rs",
+        "crates/simcore/src/lib.rs",
+        "crates/grid/src/lib.rs",
+    ] {
+        let enabled = simlint::lints_for_path(Path::new(rel));
+        for lint in [
+            simlint::Lint::PanicReachability,
+            simlint::Lint::RngDiscipline,
+            simlint::Lint::SimTimeHygiene,
+        ] {
+            assert!(
+                enabled.contains(&lint),
+                "{rel} should enable {}",
+                lint.name()
+            );
+        }
+    }
+}
+
 #[test]
 fn every_allow_directive_carries_a_reason() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
