@@ -1,0 +1,81 @@
+//! T-RACE: selfish AppLeS agents vs centralized EASY batch vs dynamic
+//! fractional sharing, on identical seeded job streams.
+//!
+//! ```text
+//! regime_race [--arrival-rate R] [--duration SECS] [--seed N]
+//!             [--topos SPEC1,SPEC2,...] [--crash-rate C]
+//!             [--mean-outage SECS] [--max-attempts K]
+//! ```
+//!
+//! `--topos` takes comma-separated topogen specs; the empty entry (or
+//! the word `figure-2`) means the paper's Figure-2 SDSC/PCL testbed.
+//! Every regime on a row faces the same realized arrivals and the same
+//! seeded fault schedule. Same seed → same report, bit for bit.
+
+use apples_bench::regime_race::{render, run_race, split_topo_list, RaceConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: regime_race [--arrival-rate R] [--duration SECS] [--seed N]\n\
+         \x20                  [--topos SPEC1,SPEC2,...] [--crash-rate C]\n\
+         \x20                  [--mean-outage SECS] [--max-attempts K]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = RaceConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--arrival-rate" => cfg.rate_hz = parse(&take("--arrival-rate")),
+            "--duration" => cfg.duration_secs = parse(&take("--duration")),
+            "--seed" => cfg.seed = parse(&take("--seed")),
+            "--topos" => cfg.topos = split_topo_list(&take("--topos")),
+            "--crash-rate" => cfg.crash_rate = parse(&take("--crash-rate")),
+            "--mean-outage" => cfg.mean_outage_secs = parse(&take("--mean-outage")),
+            "--max-attempts" => cfg.max_attempts = parse(&take("--max-attempts")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+        }
+    }
+    if cfg.rate_hz <= 0.0
+        || cfg.duration_secs <= 0.0
+        || cfg.topos.is_empty()
+        || cfg.crash_rate < 0.0
+        || cfg.mean_outage_secs <= 0.0
+        || cfg.max_attempts == 0
+    {
+        eprintln!("arrival rate, duration, topologies, fault and retry knobs must be sane");
+        usage();
+    }
+
+    println!(
+        "T-RACE: Poisson arrivals at {}/s for {} s, seed {}, crashes {}/host-hour\n\
+         (every regime faces the same realized stream and fault schedule)\n",
+        cfg.rate_hz, cfg.duration_secs, cfg.seed, cfg.crash_rate
+    );
+    match run_race(&cfg) {
+        Ok(trials) => println!("{}", render(&trials)),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("could not parse {s:?}");
+        usage()
+    })
+}

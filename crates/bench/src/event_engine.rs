@@ -40,11 +40,12 @@ const HOSTS_PER_SEGMENT: usize = 8;
 const LOCALITY: f64 = 0.85;
 
 /// Both engines implement the same event metric (arrivals + finishes +
-/// availability changes on loaded links), but a change landing on the
-/// exact microsecond a flow starts or finishes can be attributed
-/// differently by the two schedulers. The residual disagreement is a
-/// few events at most; anything larger is a real counting bug.
-pub const EVENT_COUNT_TOLERANCE: u64 = 8;
+/// availability changes on loaded links). Since the counting was
+/// unified behind one shared walker, the two engines agree exactly at
+/// every recorded bench point, so the gate is zero: any disagreement
+/// at all is a real counting bug, and a nonzero tolerance would let a
+/// regression hide inside it.
+pub const EVENT_COUNT_TOLERANCE: u64 = 0;
 
 /// Below ~this many hosts the incremental engine's dirty-set
 /// bookkeeping costs more than the recompute it avoids; speedup < 1 is
@@ -460,7 +461,7 @@ mod tests {
     fn engines_agree_on_a_small_fleet() {
         let p = run_point(10, 100, 7).expect("cross-check");
         assert!(p.inc_events > 0 && p.ref_events > 0);
-        assert!(p.events_delta() <= EVENT_COUNT_TOLERANCE);
+        assert_eq!(p.events_delta(), EVENT_COUNT_TOLERANCE);
     }
 
     #[test]
@@ -493,7 +494,7 @@ mod tests {
                 seed: 42,
                 inc_events: 1234,
                 inc_secs: 0.0125,
-                ref_events: 1230,
+                ref_events: 1234,
                 ref_secs: 0.05,
             },
             EnginePoint {
@@ -503,7 +504,7 @@ mod tests {
                 seed: 42,
                 inc_events: 60_000,
                 inc_secs: 0.5,
-                ref_events: 59_995,
+                ref_events: 60_000,
                 ref_secs: 9.5,
             },
         ];
@@ -529,7 +530,7 @@ mod tests {
             seed: 42,
             inc_events: 60_000,
             inc_secs: 0.5,
-            ref_events: 59_995,
+            ref_events: 60_000,
             ref_secs: 9.5,
         };
         // Event counts differing beyond the tolerance are a counting

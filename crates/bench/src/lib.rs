@@ -20,4 +20,5 @@ pub mod nile_exp;
 pub mod nws_exp;
 pub mod predict_react;
 pub mod react_exp;
+pub mod regime_race;
 pub mod table;

@@ -1,0 +1,395 @@
+//! T-RACE: three scheduling regimes race on identical seeded streams.
+//!
+//! The paper argues for application-level (selfish) scheduling; the
+//! obvious rebuttals are a centralized batch queue and egalitarian
+//! processor sharing. This harness races all three —
+//! [`SchedRegime::Selfish`], [`SchedRegime::Batch`] (FCFS + EASY
+//! backfilling on the AppLeS estimator's predictions) and
+//! [`SchedRegime::Fractional`] (dynamic fractional sharing) — over
+//! the *same* realized job stream, the same topology and the same
+//! seeded fault schedule, across a set of generated topology
+//! families.
+//!
+//! Reported per (topology, regime):
+//!
+//! * **stretch** — `(finish − submit) / dedicated_exec`, where the
+//!   denominator is the job kind's execution time alone on the same
+//!   (fault-free) topology. Stretch folds queue wait *and* contention
+//!   into one application-centric number: 1.0 means "as if I had the
+//!   system to myself".
+//! * **slowdown** — the classic `(wait + exec) / exec` from the job
+//!   records.
+//! * **goodput** — completed jobs per hour under fault injection
+//!   (failed jobs don't count), plus retry and backfill counts pulled
+//!   from the `obsv` metrics families (`apples_job_retries_total`,
+//!   `apples_backfills_total`).
+//!
+//! Everything is seeded: the same [`RaceConfig`] renders a
+//! byte-identical report, which is what the CI determinism gate
+//! checks.
+
+use crate::table;
+use apples_grid::workload::{
+    ArrivalProcess, JobKind, JobMix, JobSpec, RetryPolicy, WorkloadConfig,
+};
+use apples_grid::{
+    percentile, run_regime_jobs_with_sink, FaultInjection, GridConfig, GridError, SchedRegime,
+};
+use metasim::simtrace::NoopSink;
+use metasim::topogen::TopoSpec;
+use metasim::{FaultModel, SimTime};
+
+/// Parameters of one race.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RaceConfig {
+    /// Topology specs to race on (`""` means the Figure-2 SDSC/PCL
+    /// testbed; anything else is parsed by [`TopoSpec::parse`]).
+    pub topos: Vec<String>,
+    /// Mean Poisson arrival rate, jobs per second.
+    pub rate_hz: f64,
+    /// Submission-window length, seconds.
+    pub duration_secs: f64,
+    /// Seed for workload, testbed and fault realization.
+    pub seed: u64,
+    /// Host crashes per host-hour (0 disables fault injection).
+    pub crash_rate: f64,
+    /// Mean recoverable-outage length, seconds.
+    pub mean_outage_secs: f64,
+    /// Retry budget shared by every regime.
+    pub max_attempts: u32,
+}
+
+impl Default for RaceConfig {
+    fn default() -> Self {
+        RaceConfig {
+            topos: vec![
+                String::new(),
+                "tree:hosts=16,arity=2,per_seg=4".into(),
+                "clusters:clusters=2,segs=2,hosts=4".into(),
+            ],
+            rate_hz: 0.01,
+            duration_secs: 1800.0,
+            seed: 1996,
+            crash_rate: 1.0,
+            mean_outage_secs: 600.0,
+            max_attempts: 3,
+        }
+    }
+}
+
+/// One regime's results on one topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegimeCell {
+    /// Which policy ran.
+    pub regime: SchedRegime,
+    /// Jobs submitted (identical across the row's regimes).
+    pub jobs: usize,
+    /// Jobs that finished their work.
+    pub completed: usize,
+    /// Jobs that exhausted their retry budget.
+    pub failed: usize,
+    /// Median stretch over completed jobs.
+    pub stretch_p50: f64,
+    /// 99th-percentile stretch over completed jobs.
+    pub stretch_p99: f64,
+    /// Median slowdown over completed jobs.
+    pub slowdown_p50: f64,
+    /// 99th-percentile slowdown over completed jobs.
+    pub slowdown_p99: f64,
+    /// Completed jobs per hour of submission window.
+    pub goodput_per_hour: f64,
+    /// `apples_job_retries_total` — retry events observed.
+    pub retries: u64,
+    /// `apples_backfills_total` — EASY backfills (batch regime only).
+    pub backfills: u64,
+}
+
+/// All regimes' results on one topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RaceTrial {
+    /// Topology label (`figure-2` for the default testbed).
+    pub topo: String,
+    /// One cell per regime, in [`SchedRegime::ALL`] order.
+    pub cells: Vec<RegimeCell>,
+}
+
+/// Split a comma-separated topology list into individual specs.
+///
+/// Topology specs themselves contain commas
+/// (`clusters:clusters=2,segs=2,hosts=4`), so a naive split would
+/// shred them. A comma starts a *new* spec only when the next segment
+/// is not a `key=value` parameter — i.e. it names a family
+/// (`tree:...`, `star`) or the `figure-2` testbed. `figure-2` maps to
+/// the empty string [`RaceConfig::topos`] uses for the default
+/// testbed.
+pub fn split_topo_list(raw: &str) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for seg in raw.split(',') {
+        let seg = seg.trim();
+        if seg.is_empty() {
+            continue;
+        }
+        let is_param = seg.contains('=') && !seg.contains(':');
+        match out.last_mut() {
+            Some(prev) if is_param && !prev.is_empty() => {
+                prev.push(',');
+                prev.push_str(seg);
+            }
+            _ => out.push(if seg == "figure-2" {
+                String::new()
+            } else {
+                seg.to_string()
+            }),
+        }
+    }
+    out
+}
+
+/// Dedicated-execution reference per job kind: the kind streamed alone
+/// through a fault-free copy of the topology. Shared by every regime
+/// on the row, so stretch is comparable across them.
+fn reference_execs(
+    cfg: &GridConfig,
+    jobs: &[JobSpec],
+    retry: RetryPolicy,
+) -> Result<Vec<(JobKind, f64)>, GridError> {
+    let mut refs: Vec<(JobKind, f64)> = Vec::new();
+    let quiet = GridConfig {
+        faults: FaultInjection::None,
+        ..cfg.clone()
+    };
+    for job in jobs {
+        if refs.iter().any(|(k, _)| *k == job.kind) {
+            continue;
+        }
+        let solo = [JobSpec {
+            id: 0,
+            submit: SimTime::ZERO,
+            kind: job.kind,
+        }];
+        let out = run_regime_jobs_with_sink(
+            &quiet,
+            SchedRegime::Selfish,
+            &solo,
+            SimTime::from_secs(3600),
+            retry,
+            &mut NoopSink,
+        )?;
+        let exec = out
+            .records
+            .first()
+            .map(|r| r.exec_seconds)
+            .unwrap_or(f64::NAN);
+        refs.push((job.kind, exec));
+    }
+    Ok(refs)
+}
+
+/// Race every regime over every topology in `cfg`.
+pub fn run_race(cfg: &RaceConfig) -> Result<Vec<RaceTrial>, GridError> {
+    let retry = RetryPolicy {
+        max_attempts: cfg.max_attempts,
+        ..RetryPolicy::default()
+    };
+    let duration = SimTime::from_secs_f64(cfg.duration_secs);
+    let faults = if cfg.crash_rate > 0.0 {
+        FaultInjection::Random(FaultModel {
+            host_crashes_per_hour: cfg.crash_rate,
+            link_outages_per_hour: 0.0,
+            mean_outage: SimTime::from_secs_f64(cfg.mean_outage_secs),
+            permanent_fraction: 0.25,
+        })
+    } else {
+        FaultInjection::None
+    };
+
+    let mut trials = Vec::with_capacity(cfg.topos.len());
+    for spec_raw in &cfg.topos {
+        let (label, topo) = if spec_raw.is_empty() {
+            ("figure-2".to_string(), None)
+        } else {
+            let spec = TopoSpec::parse(spec_raw).map_err(GridError::Sim)?;
+            (spec_raw.clone(), Some(spec))
+        };
+        let grid = GridConfig {
+            topo,
+            seed: cfg.seed,
+            faults: faults.clone(),
+            ..GridConfig::default()
+        };
+        let workload = WorkloadConfig {
+            arrivals: ArrivalProcess::Poisson {
+                rate_hz: cfg.rate_hz,
+            },
+            mix: JobMix::default_mix(),
+            duration,
+            seed: cfg.seed,
+            retry,
+        };
+        // One realization per topology: every regime consumes the
+        // exact same job stream and the exact same fault schedule
+        // (both keyed by cfg.seed).
+        let jobs = workload.realize();
+        let refs = reference_execs(&grid, &jobs, retry)?;
+
+        let mut cells = Vec::with_capacity(SchedRegime::ALL.len());
+        for regime in SchedRegime::ALL {
+            let mut sink = obsv::MetricsSink::new();
+            let out = run_regime_jobs_with_sink(&grid, regime, &jobs, duration, retry, &mut sink)?;
+            let reg = sink.registry();
+            let retries = reg
+                .counter_value("apples_job_retries_total", &[])
+                .unwrap_or(0.0) as u64;
+            let backfills = reg
+                .counter_value("apples_backfills_total", &[])
+                .unwrap_or(0.0) as u64;
+
+            let completed: Vec<&apples_grid::JobRecord> =
+                out.records.iter().filter(|r| r.completed).collect();
+            let mut stretches: Vec<f64> = Vec::with_capacity(completed.len());
+            for r in &completed {
+                let response = r.finish.saturating_sub(r.submit).as_secs_f64();
+                let dedicated = refs
+                    .iter()
+                    .find(|(k, _)| k.name() == r.kind)
+                    .map(|(_, e)| *e)
+                    .unwrap_or(f64::NAN);
+                if dedicated.is_finite() && dedicated > 0.0 {
+                    stretches.push((response / dedicated).max(1.0));
+                }
+            }
+            let slowdowns: Vec<f64> = completed.iter().map(|r| r.slowdown).collect();
+            cells.push(RegimeCell {
+                regime,
+                jobs: jobs.len(),
+                completed: completed.len(),
+                failed: out.records.len() - completed.len(),
+                stretch_p50: percentile(&stretches, 50.0),
+                stretch_p99: percentile(&stretches, 99.0),
+                slowdown_p50: percentile(&slowdowns, 50.0),
+                slowdown_p99: percentile(&slowdowns, 99.0),
+                goodput_per_hour: completed.len() as f64 / (cfg.duration_secs / 3600.0),
+                retries,
+                backfills,
+            });
+        }
+        trials.push(RaceTrial { topo: label, cells });
+    }
+    Ok(trials)
+}
+
+/// Render the race as one table, regimes grouped under each topology.
+pub fn render(trials: &[RaceTrial]) -> String {
+    let headers = [
+        "topology",
+        "regime",
+        "jobs",
+        "done",
+        "failed",
+        "stretch p50",
+        "stretch p99",
+        "slowdown p50",
+        "slowdown p99",
+        "goodput/h",
+        "retries",
+        "backfills",
+    ];
+    let mut rows = Vec::new();
+    for t in trials {
+        for c in &t.cells {
+            rows.push(vec![
+                t.topo.clone(),
+                c.regime.name().to_string(),
+                c.jobs.to_string(),
+                c.completed.to_string(),
+                c.failed.to_string(),
+                format!("{:.2}", c.stretch_p50),
+                format!("{:.2}", c.stretch_p99),
+                format!("{:.2}", c.slowdown_p50),
+                format!("{:.2}", c.slowdown_p99),
+                format!("{:.1}", c.goodput_per_hour),
+                c.retries.to_string(),
+                c.backfills.to_string(),
+            ]);
+        }
+    }
+    table::render(&headers, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> RaceConfig {
+        RaceConfig {
+            topos: vec![String::new()],
+            rate_hz: 0.005,
+            duration_secs: 1200.0,
+            crash_rate: 0.5,
+            ..RaceConfig::default()
+        }
+    }
+
+    #[test]
+    fn topo_list_splitting_respects_spec_internal_commas() {
+        assert_eq!(
+            split_topo_list("figure-2,clusters:clusters=2,segs=2,hosts=4,star:hosts=6,per_seg=3"),
+            vec![
+                String::new(),
+                "clusters:clusters=2,segs=2,hosts=4".to_string(),
+                "star:hosts=6,per_seg=3".to_string(),
+            ]
+        );
+        assert_eq!(split_topo_list("star"), vec!["star".to_string()]);
+        assert_eq!(split_topo_list(""), Vec::<String>::new());
+        // A stray leading parameter cannot attach to anything — it
+        // stands alone and will fail topology parsing loudly later.
+        assert_eq!(split_topo_list("hosts=4"), vec!["hosts=4".to_string()]);
+    }
+
+    #[test]
+    fn race_is_deterministic_and_loses_no_jobs() {
+        let cfg = tiny();
+        let a = run_race(&cfg).unwrap();
+        let b = run_race(&cfg).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(render(&a), render(&b));
+        for t in &a {
+            let jobs = t.cells[0].jobs;
+            for c in &t.cells {
+                assert_eq!(c.jobs, jobs, "regimes saw different streams");
+                assert_eq!(c.completed + c.failed, jobs, "{} lost jobs", c.regime);
+            }
+        }
+    }
+
+    #[test]
+    fn only_batch_backfills() {
+        let trials = run_race(&tiny()).unwrap();
+        for t in &trials {
+            for c in &t.cells {
+                if c.regime != SchedRegime::Batch {
+                    assert_eq!(c.backfills, 0, "{} reported backfills", c.regime);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generated_topologies_race_too() {
+        let cfg = RaceConfig {
+            topos: vec!["star:hosts=6".into()],
+            rate_hz: 0.004,
+            duration_secs: 1000.0,
+            crash_rate: 0.0,
+            ..RaceConfig::default()
+        };
+        let trials = run_race(&cfg).unwrap();
+        assert_eq!(trials.len(), 1);
+        assert_eq!(trials[0].topo, "star:hosts=6");
+        assert_eq!(trials[0].cells.len(), 3);
+        for c in &trials[0].cells {
+            assert!(c.completed > 0, "{} completed nothing", c.regime);
+        }
+    }
+}

@@ -518,11 +518,22 @@ pub fn validate(p: &Parsed) -> CmdResult {
     Err(format!("{} configuration issue(s) found", diags.len()).into())
 }
 
+/// Parse the `--regime` flag shared by `grid`, `metrics` and `race`.
+fn sched_regime_of(p: &Parsed) -> Result<apples_grid::SchedRegime, ArgError> {
+    let raw = p.get("regime", "selfish");
+    apples_grid::SchedRegime::parse(raw).ok_or_else(|| {
+        ArgError(format!(
+            "unknown scheduling regime {raw:?} (selfish | batch | fractional)"
+        ))
+    })
+}
+
 /// `apples-cli grid`
 pub fn grid(p: &Parsed) -> CmdResult {
     use apples_grid::workload::ArrivalProcess;
     use apples_grid::{GridService, Regime};
     let (cfg, workload) = grid_setup(p)?;
+    let sched = sched_regime_of(p)?;
     let ArrivalProcess::Poisson { rate_hz: rate } = workload.arrivals else {
         return Err(ArgError("grid streams use Poisson arrivals".into()).into());
     };
@@ -534,7 +545,7 @@ pub fn grid(p: &Parsed) -> CmdResult {
     let trace_path = p.get("trace", "");
     let metrics_path = p.get("metrics", "");
     let out = if trace_path.is_empty() && metrics_path.is_empty() {
-        service.run(&workload)?
+        service.run_regime(sched, &workload)?
     } else {
         // Fan the one event stream out to whichever consumers were
         // asked for: a JSONL writer (--trace) and/or a metrics
@@ -561,7 +572,7 @@ pub fn grid(p: &Parsed) -> CmdResult {
             if let Some(m) = metrics.as_mut() {
                 fan.push(m);
             }
-            service.run_with_sink(&workload, &mut fan)
+            service.run_regime_with_sink(sched, &workload, &mut fan)
         };
         if let Some(mut sink) = writer {
             if let Some(e) = sink.take_error() {
@@ -595,7 +606,7 @@ pub fn grid(p: &Parsed) -> CmdResult {
 
     println!(
         "job stream: Poisson {rate}/s for {duration} s, seed {seed} \
-         ({} regime, {} in-flight limit)\n",
+         ({sched} scheduling, {} info, {} in-flight limit)\n",
         if cfg.regime == Regime::Blind {
             "blind"
         } else {
@@ -625,6 +636,49 @@ pub fn grid(p: &Parsed) -> CmdResult {
     for (name, u) in &f.host_utilization {
         println!("  {name:>14}  {u:>6.3}");
     }
+    Ok(())
+}
+
+/// `apples-cli race` — T-RACE: race every scheduling regime (selfish
+/// AppLeS agents, centralized EASY batch, fractional sharing) on
+/// identical seeded streams across one or more topologies.
+pub fn race(p: &Parsed) -> CmdResult {
+    use apples_bench::regime_race::{render, run_race, split_topo_list, RaceConfig};
+    let defaults = RaceConfig::default();
+    let rate_hz: f64 = p.get_parsed("rate", defaults.rate_hz)?;
+    let duration_secs: f64 = p.get_parsed("duration", defaults.duration_secs)?;
+    let seed: u64 = p.get_parsed("seed", defaults.seed)?;
+    let crash_rate: f64 = p.get_parsed("fault-rate", defaults.crash_rate)?;
+    let mean_outage_secs: f64 = p.get_parsed("mean-outage", defaults.mean_outage_secs)?;
+    let max_attempts: u32 = p.get_parsed("max-attempts", defaults.max_attempts)?;
+    let topo_raw = p.get("topo", "");
+    let topos = if topo_raw.is_empty() {
+        defaults.topos
+    } else {
+        split_topo_list(topo_raw)
+    };
+    if rate_hz <= 0.0 || duration_secs <= 0.0 {
+        return Err(ArgError("race needs a positive rate and duration".into()).into());
+    }
+    if crash_rate < 0.0 || mean_outage_secs <= 0.0 || max_attempts == 0 {
+        return Err(ArgError("race fault and retry knobs must be sane".into()).into());
+    }
+    let cfg = RaceConfig {
+        topos,
+        rate_hz,
+        duration_secs,
+        seed,
+        crash_rate,
+        mean_outage_secs,
+        max_attempts,
+    };
+    println!(
+        "T-RACE: Poisson arrivals at {rate_hz}/s for {duration_secs} s, seed {seed}, \
+         crashes {crash_rate}/host-hour\n\
+         (every regime faces the same realized stream and fault schedule)\n"
+    );
+    let trials = run_race(&cfg)?;
+    println!("{}", render(&trials));
     Ok(())
 }
 
@@ -779,9 +833,10 @@ pub fn lint(args: &[String]) -> i32 {
 pub fn metrics(p: &Parsed) -> CmdResult {
     use apples_grid::GridService;
     let (cfg, workload) = grid_setup(p)?;
+    let sched = sched_regime_of(p)?;
     let service = GridService::new(cfg)?;
     let mut sink = obsv::MetricsSink::new();
-    service.run_with_sink(&workload, &mut sink)?;
+    service.run_regime_with_sink(sched, &workload, &mut sink)?;
     let exposition = sink.registry().expose();
     let out_path = p.get("out", "");
     if out_path.is_empty() {
@@ -923,6 +978,7 @@ mod tests {
                 "horizon",
                 "trace",
                 "topo",
+                "regime",
             ],
             &["sp2", "csv", "json", "blind"],
         )
@@ -1041,6 +1097,39 @@ mod tests {
     #[test]
     fn grid_rejects_nonpositive_rate() {
         assert!(grid(&parsed(&["grid", "--rate", "0"])).is_err());
+    }
+
+    #[test]
+    fn grid_runs_every_scheduling_regime() {
+        for regime in ["selfish", "batch", "fractional"] {
+            assert!(
+                grid(&parsed(&[
+                    "grid",
+                    "--rate",
+                    "0.005",
+                    "--duration",
+                    "900",
+                    "--profile",
+                    "light",
+                    "--regime",
+                    regime
+                ]))
+                .is_ok(),
+                "regime {regime} failed"
+            );
+        }
+    }
+
+    #[test]
+    fn grid_rejects_unknown_regime() {
+        assert!(grid(&parsed(&["grid", "--regime", "gang"])).is_err());
+    }
+
+    #[test]
+    fn race_rejects_bad_knobs() {
+        assert!(race(&parsed(&["race", "--rate", "0"])).is_err());
+        assert!(race(&parsed(&["race", "--max-attempts", "0"])).is_err());
+        assert!(race(&parsed(&["race", "--topo", "not-a-family"])).is_err());
     }
 
     #[test]

@@ -43,11 +43,16 @@ USAGE:
   apples-cli whatif    [--n N] [--iterations K] [--profile P] [--seed N]
       Rank hypothetical hardware upgrades by this application's speedup.
   apples-cli grid      [--rate R] [--duration SECS] [--seed N] [--profile P]
-                       [--topo SPEC] [--max-in-flight K] [--blind] [--csv] [--json]
+                       [--regime selfish|batch|fractional] [--topo SPEC]
+                       [--max-in-flight K] [--blind] [--csv] [--json]
                        [--fault-rate C] [--link-fault-rate L] [--mean-outage SECS]
                        [--permanent F] [--max-attempts K] [--backoff SECS]
                        [--trace FILE] [--metrics FILE]
       Stream a multi-tenant job mix through the testbed; fleet metrics.
+      --regime picks the scheduling policy: selfish first-decider-wins
+      AppLeS agents (default), a centralized batch queue (FCFS + EASY
+      backfilling on the estimator's predictions), or fractional
+      processor sharing resized on every arrival/departure.
       --topo swaps the Figure-2 testbed for a generated topology
       (star | tree | fat-tree | clusters, e.g. --topo fat-tree:k=8 or
       --topo clusters:clusters=8,segs=4,hosts=8).
@@ -56,6 +61,14 @@ USAGE:
       with exponential backoff from --backoff seconds. --trace writes
       every structured event the stack emits to FILE as JSONL;
       --metrics writes a Prometheus text-format snapshot to FILE.
+  apples-cli race      [--rate R] [--duration SECS] [--seed N]
+                       [--topo SPEC1,SPEC2,...] [--fault-rate C]
+                       [--mean-outage SECS] [--max-attempts K]
+      T-RACE: race all three scheduling regimes on identical seeded
+      streams across topologies; stretch/slowdown percentiles and
+      goodput under faults per (topology, regime). --topo takes a
+      comma-separated list (figure-2 = the default testbed). Same
+      seed, same report, bit for bit.
   apples-cli validate  [same flags as grid] [--horizon SECS]
       Statically check a grid configuration without running it: every
       problem is printed as a typed [code] diagnostic and the exit
@@ -154,6 +167,7 @@ fn main() {
             "jobs",
             "check",
             "topo",
+            "regime",
         ],
         &["sp2", "csv", "json", "blind"],
     ) {
@@ -175,6 +189,7 @@ fn main() {
         "advise" => commands::advise_cmd(&parsed),
         "whatif" => commands::whatif(&parsed),
         "grid" => commands::grid(&parsed),
+        "race" => commands::race(&parsed),
         "validate" => commands::validate(&parsed),
         "metrics" => commands::metrics(&parsed),
         "bench" => commands::bench(&parsed),

@@ -24,7 +24,11 @@
 //! 3. [`metrics`] reduces the per-job records (wait, execution,
 //!    slowdown, attempts, goodput) to fleet metrics: throughput,
 //!    latency percentiles, per-host utilization;
-//! 4. [`sweep`] repeats the whole thing across seeds in parallel.
+//! 4. [`sched`] replays the identical realized stream under rival
+//!    policies — selfish agents, a centralized FCFS + EASY batch
+//!    queue, dynamic fractional sharing ([`SchedRegime`]) — so regime
+//!    comparisons are attributable to policy alone;
+//! 5. [`sweep`] repeats the whole thing across seeds in parallel.
 //!
 //! The service is fault-tolerant: a [`service::FaultInjection`]
 //! schedule can crash hosts and cut links mid-stream; revoked
@@ -38,6 +42,7 @@
 //! trace stream into metrics, profiles and Prometheus expositions.
 
 pub mod metrics;
+pub mod sched;
 pub mod service;
 pub mod sweep;
 pub mod workload;
@@ -45,6 +50,10 @@ pub mod workload;
 pub use obsv;
 
 pub use metrics::{percentile, slowdown_of, FleetMetrics, JobRecord};
+pub use sched::{
+    run_batch_with_log, run_fractional_with_log, run_regime, run_regime_jobs_with_sink,
+    run_regime_with_sink, BackfillEntry, BatchLog, FractionalLog, SchedRegime, ShareSample,
+};
 pub use service::{
     run, run_jobs, run_jobs_with_retry, run_jobs_with_retry_sink, run_with_sink, validate_config,
     Diagnostic, FaultInjection, GridConfig, GridError, GridOutcome, GridService, Regime,

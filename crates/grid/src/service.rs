@@ -287,7 +287,7 @@ fn per_host_demand_mb(kind: &JobKind, n_hosts: usize) -> Option<(String, f64)> {
 /// one. The grid profile, horizon and seed drive the generation, so a
 /// `--topo fat-tree:k=8` stream is exactly as reproducible as the
 /// hand-built testbed.
-fn build_topology(cfg: &GridConfig) -> Result<Topology, SimError> {
+pub(crate) fn build_topology(cfg: &GridConfig) -> Result<Topology, SimError> {
     match &cfg.topo {
         Some(spec) => topogen::generate(
             spec,
@@ -481,7 +481,7 @@ enum AttemptOutcome {
 /// A failure the retry policy may absorb: the revoked/unreachable host
 /// (when the failure names one) and the simulated time the placement
 /// was lost (when known).
-fn retryable(err: &ApplesError) -> Option<(Option<HostId>, Option<SimTime>)> {
+pub(crate) fn retryable(err: &ApplesError) -> Option<(Option<HostId>, Option<SimTime>)> {
     match err {
         ApplesError::Sim(SimError::PlacementLost { host, at }) => {
             Some((Some(HostId(*host)), Some(*at)))
@@ -491,6 +491,22 @@ fn retryable(err: &ApplesError) -> Option<(Option<HostId>, Option<SimTime>)> {
         | ApplesError::PlanningFailed(_)
         | ApplesError::NoViableSchedule => Some((None, None)),
         _ => None,
+    }
+}
+
+/// Realize the configured fault injection into a concrete schedule over
+/// the submission window (deterministic per `cfg.seed`). Shared by the
+/// selfish stream loop and the centralized regimes in [`crate::sched`]
+/// so every regime faces the exact same faults.
+pub(crate) fn realize_faults(
+    cfg: &GridConfig,
+    topo: &Topology,
+    duration: SimTime,
+) -> Result<FaultSpec, SimError> {
+    match &cfg.faults {
+        FaultInjection::None => Ok(FaultSpec::none()),
+        FaultInjection::Spec(s) => Ok(s.clone()),
+        FaultInjection::Random(m) => m.realize(topo, cfg.warmup, cfg.warmup + duration, cfg.seed),
     }
 }
 
@@ -523,13 +539,7 @@ pub fn run_jobs_with_retry_sink(
 
     // Realize and apply the fault schedule to the live topology. The
     // `pristine` snapshot used by blind agents stays fault-free.
-    let fault_spec = match &cfg.faults {
-        FaultInjection::None => FaultSpec::none(),
-        FaultInjection::Spec(s) => s.clone(),
-        FaultInjection::Random(m) => {
-            m.realize(&topo, cfg.warmup, cfg.warmup + duration, cfg.seed)?
-        }
-    };
+    let fault_spec = realize_faults(cfg, &topo, duration)?;
     if !fault_spec.is_empty() {
         apply_faults_with_sink(&mut topo, &fault_spec, sink)?;
     }
@@ -657,7 +667,10 @@ pub fn run_jobs_with_retry_sink(
                     };
                 }
                 Ok(AttemptOutcome::Phased(report)) => {
-                    reschedules += report.revocations as u32;
+                    // Saturate rather than truncate: a `usize as u32`
+                    // cast would silently wrap a pathological count.
+                    reschedules = reschedules
+                        .saturating_add(u32::try_from(report.revocations).unwrap_or(u32::MAX));
                     let mut used: Vec<HostId> = Vec::new();
                     // Collect each host's per-phase impositions and
                     // apply them in one batched series rebuild per host
@@ -761,7 +774,11 @@ pub fn run_jobs_with_retry_sink(
                             completed: false,
                         };
                     }
-                    start = lost_at.unwrap_or(start).max(start) + retry.backoff(attempts);
+                    // Jittered per (seed, job): jobs revoked by the
+                    // same fault spread out instead of thundering back
+                    // in lockstep, deterministically per seed.
+                    start = lost_at.unwrap_or(start).max(start)
+                        + retry.backoff_jittered(attempts, cfg.seed ^ job.id as u64);
                     if sink.enabled() {
                         sink.record(TraceEvent::JobRetried {
                             job: job.id,
@@ -782,7 +799,7 @@ pub fn run_jobs_with_retry_sink(
 }
 
 /// Resolve host ids to their testbed names.
-fn host_names_of(topo: &Topology, hosts: &[HostId]) -> Result<Vec<String>, GridError> {
+pub(crate) fn host_names_of(topo: &Topology, hosts: &[HostId]) -> Result<Vec<String>, GridError> {
     hosts
         .iter()
         .map(|&h| {
@@ -803,6 +820,19 @@ fn decide(
     pool: &InfoPool<'_>,
     sink: &mut dyn EventSink,
 ) -> Result<Schedule, ApplesError> {
+    decide_with_prediction(kind, pool, sink).map(|(schedule, _)| schedule)
+}
+
+/// [`decide`], also surfacing the estimator's predicted runtime in
+/// seconds. The centralized batch scheduler ([`crate::sched`]) uses
+/// that prediction as its EASY-backfilling reservation oracle — the
+/// same application-level estimate the selfish agents act on, handed
+/// to a resource-level policy instead.
+pub(crate) fn decide_with_prediction(
+    kind: &JobKind,
+    pool: &InfoPool<'_>,
+    sink: &mut dyn EventSink,
+) -> Result<(Schedule, f64), ApplesError> {
     match kind {
         JobKind::NileFarm { .. } => {
             let feasible: Vec<HostId> = apples::selector::ResourceSelector::feasible_hosts(pool);
@@ -815,11 +845,15 @@ fn decide(
                     fa.total_cmp(&fb).then(b.cmp(&a))
                 })
                 .ok_or(ApplesError::NoFeasibleResources)?;
-            Ok(Schedule::Farm(plan_farm(pool, &feasible, home, home)?))
+            let plan = plan_farm(pool, &feasible, home, home)?;
+            let predicted = apples::estimator::estimate_farm(pool, &plan)?;
+            Ok((Schedule::Farm(plan), predicted))
         }
         _ => {
             let coordinator = Coordinator::new(pool.hat.clone(), pool.user.clone());
-            Ok(coordinator.decide_with_sink(pool, sink)?.schedule().clone())
+            let decision = coordinator.decide_with_sink(pool, sink)?;
+            let predicted = decision.chosen().predicted_seconds;
+            Ok((decision.schedule().clone(), predicted))
         }
     }
 }

@@ -72,15 +72,28 @@ impl ArrivalProcess {
                     "Poisson arrivals need a positive rate"
                 );
                 let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xA11E5_u64);
-                let mut t = 0.0;
+                // Accumulate in integer µs with one conversion per
+                // draw. Summing f64 seconds and converting at the end
+                // drifts: the float clock and the SimTime clock
+                // disagree after enough draws, and the boundary test
+                // below would use the wrong clock. `from_secs_f64`
+                // rounds up, so every gap is at least 1 µs and the
+                // loop always terminates.
+                let mut t = SimTime::ZERO;
                 let mut arrivals = Vec::new();
                 loop {
                     let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-                    t += -u.ln() / rate_hz;
-                    if t > duration.as_secs_f64() {
+                    let gap = SimTime::from_secs_f64(-u.ln() / rate_hz);
+                    t = match t.checked_add(gap) {
+                        Some(next) => next,
+                        None => break,
+                    };
+                    // Inclusive bound, matching the Uniform arm: an
+                    // arrival landing exactly at `duration` is kept.
+                    if t > duration {
                         break;
                     }
-                    arrivals.push(SimTime::from_secs_f64(t));
+                    arrivals.push(t);
                 }
                 arrivals
             }
@@ -313,6 +326,10 @@ impl RetryPolicy {
         }
     }
 
+    /// Largest jitter [`RetryPolicy::backoff_jittered`] adds on top of
+    /// the deterministic base delay, as a fraction of that delay.
+    pub const MAX_JITTER: f64 = 0.25;
+
     /// Delay before the next attempt after `attempts` tries have
     /// already failed (`attempts ≥ 1`). Monotone non-decreasing in
     /// `attempts` and bounded by [`RetryPolicy::MAX_BACKOFF`].
@@ -330,6 +347,28 @@ impl RetryPolicy {
         SimTime::from_secs_f64(secs).min(Self::MAX_BACKOFF)
     }
 
+    /// [`RetryPolicy::backoff`] plus seeded, deterministic jitter.
+    ///
+    /// Without jitter, every job revoked by the same host fault retries
+    /// at the same instant — a deterministic thundering herd that the
+    /// first decider then wins for no reason related to the schedule.
+    /// The jittered delay is `base × (1 + MAX_JITTER × frac)` with
+    /// `frac ∈ [0, 1)` hashed from `(salt, attempts)`, so the same
+    /// `salt` (callers pass `stream_seed ^ job_id`) always reproduces
+    /// the same schedule while distinct jobs decorrelate. Still bounded
+    /// by [`RetryPolicy::MAX_BACKOFF`] and never below the base delay.
+    pub fn backoff_jittered(&self, attempts: u32, salt: u64) -> SimTime {
+        let base = self.backoff(attempts);
+        if base >= Self::MAX_BACKOFF {
+            return Self::MAX_BACKOFF;
+        }
+        let frac = jitter_fraction(salt, attempts);
+        let secs = base.as_secs_f64() * (1.0 + Self::MAX_JITTER * frac);
+        SimTime::from_secs_f64(secs)
+            .min(Self::MAX_BACKOFF)
+            .max(base)
+    }
+
     /// Reject degenerate policies.
     pub fn validate(&self) -> Result<(), GridError> {
         if self.max_attempts == 0 {
@@ -345,6 +384,20 @@ impl RetryPolicy {
         }
         Ok(())
     }
+}
+
+/// Stateless splitmix64 finalizer over the `(salt, attempts)` pair,
+/// mapped to `[0, 1)` with 53 bits of precision. Fully determined by
+/// its inputs, so a same-seed replay reproduces the exact backoff
+/// schedule — no RNG state is threaded through the retry path.
+fn jitter_fraction(salt: u64, attempts: u32) -> f64 {
+    let mut z = salt
+        .wrapping_add(u64::from(attempts).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
 }
 
 /// A complete workload description: arrivals × mix over a duration.
@@ -416,8 +469,29 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.windows(2).all(|w| w[0] <= w[1]));
         assert!(a.iter().all(|&t| t <= s(10_000.0)));
+        assert!(
+            a.iter().all(|&t| t > SimTime::ZERO),
+            "every gap rounds up to at least 1 µs, so no arrival lands at 0"
+        );
         let c = p.realize(s(10_000.0), 8);
         assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn poisson_boundary_is_inclusive_like_uniform() {
+        // An arrival landing exactly on `duration` must be kept (the
+        // Uniform arm keeps its `t == duration` arrival too). Realize
+        // once over a long window, then truncate the window to an
+        // arrival time: the arrival on the boundary survives.
+        let p = ArrivalProcess::Poisson { rate_hz: 0.05 };
+        let long = p.realize(s(10_000.0), 7);
+        let boundary = long[long.len() / 2];
+        let short = p.realize(boundary, 7);
+        assert_eq!(
+            short.last().copied(),
+            Some(boundary),
+            "arrival exactly at duration must be included"
+        );
     }
 
     #[test]
@@ -485,6 +559,35 @@ mod tests {
             prev = b;
         }
         assert_eq!(p.backoff(60), RetryPolicy::MAX_BACKOFF);
+    }
+
+    #[test]
+    fn jittered_backoff_is_deterministic_bounded_and_decorrelated() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_backoff: s(30.0),
+            factor: 2.0,
+        };
+        for salt in [0u64, 1, 42, u64::MAX] {
+            for k in 1..20 {
+                let base = p.backoff(k);
+                let j = p.backoff_jittered(k, salt);
+                assert_eq!(j, p.backoff_jittered(k, salt), "same salt, same schedule");
+                assert!(j >= base, "jitter never shrinks the base delay");
+                assert!(j <= RetryPolicy::MAX_BACKOFF);
+                let ceiling =
+                    SimTime::from_secs_f64(base.as_secs_f64() * (1.0 + RetryPolicy::MAX_JITTER))
+                        .min(RetryPolicy::MAX_BACKOFF);
+                assert!(j <= ceiling, "jitter bounded by MAX_JITTER fraction");
+            }
+        }
+        // Distinct salts (distinct jobs) must not all retry at the same
+        // instant — that is the thundering herd the jitter breaks up.
+        let delays: std::collections::BTreeSet<SimTime> =
+            (0..16u64).map(|salt| p.backoff_jittered(1, salt)).collect();
+        assert!(delays.len() > 1, "distinct salts should decorrelate");
+        // At the cap there is no headroom left: jitter collapses to it.
+        assert_eq!(p.backoff_jittered(60, 9), RetryPolicy::MAX_BACKOFF);
     }
 
     #[test]

@@ -186,15 +186,18 @@ impl StepSeries {
     /// observer.
     ///
     /// One merged sweep over the union of change points: window edges
-    /// are walked alongside the base points with cursors, and the
-    /// combined factor is recomputed only at times where the active
-    /// window set actually changes (at most `2n` of them), so layering
-    /// `n` impositions costs `O((points + n) log (points + n) + n·k)`
-    /// for overlap depth `k` — not `O(points · n)` as with a per-time
-    /// scan, and not `n` full copies as with repeated
-    /// [`scaled_in_window`] calls. The result is exactly equal (bit for
-    /// bit) to applying the windows sequentially, because overlapping
-    /// factors are always multiplied in imposition order.
+    /// are walked alongside the base points with cursors, and a sorted
+    /// index list of the currently-open windows is maintained across
+    /// edges, so the combined factor is recomputed in `O(k)` at each of
+    /// the (at most `2n`) times the active set changes — `k` being the
+    /// overlap depth there, not the total imposition count. Layering
+    /// `n` impositions costs `O((points + n) log (points + n) + n·k)`,
+    /// not `O(points · n)` as with a per-time scan, not `O(n²)` as
+    /// with a full rescan of all windows per edge, and not `n` full
+    /// copies as with repeated [`scaled_in_window`] calls. The result
+    /// is exactly equal (bit for bit) to applying the windows
+    /// sequentially, because the index list is kept ascending and
+    /// overlapping factors are always multiplied in imposition order.
     ///
     /// Empty windows (`to <= from`) are ignored; factors are floored at
     /// zero and the resulting values clamped back into `[0, 1]`.
@@ -220,7 +223,12 @@ impl StepSeries {
         times.sort_unstable();
         times.dedup();
 
-        let mut active = vec![false; live.len()];
+        // Indices of the windows open at the sweep time, kept sorted
+        // ascending: recomputing the product over this list multiplies
+        // factors in imposition order, exactly like the sequential
+        // application, while costing only the current overlap depth
+        // instead of a rescan of every window per edge.
+        let mut active: Vec<usize> = Vec::new();
         let mut combined = 1.0f64;
         let mut bi = 0usize; // next unprocessed window edge
         let mut pi = 0usize; // base point in force at the sweep time
@@ -229,19 +237,22 @@ impl StepSeries {
             let mut changed = false;
             while bi < bounds.len() && bounds[bi].0 == t {
                 let (_, is_end, k) = bounds[bi];
-                active[k] = !is_end; // windows are [from, to)
+                match (active.binary_search(&k), is_end) {
+                    (Ok(pos), true) => {
+                        active.remove(pos); // windows are [from, to)
+                    }
+                    (Err(pos), false) => active.insert(pos, k),
+                    // A window's start strictly precedes its end
+                    // (`to > from` filtered above) and indices are
+                    // unique, so an edge never finds its window in the
+                    // opposite state.
+                    _ => {}
+                }
                 changed = true;
                 bi += 1;
             }
             if changed {
-                // Recompute in imposition order so overlapping factors
-                // multiply identically to a sequential application.
-                combined = active
-                    .iter()
-                    .enumerate()
-                    .filter(|&(_, &a)| a)
-                    .map(|(k, _)| live[k].factor.max(0.0))
-                    .product();
+                combined = active.iter().map(|&k| live[k].factor.max(0.0)).product();
             }
             while pi + 1 < self.points.len() && self.points[pi + 1].0 <= t {
                 pi += 1;

@@ -223,6 +223,17 @@ pub enum TraceEvent {
         /// The attempt that failed.
         attempt: u32,
     },
+    /// A centralized batch scheduler started a queued job ahead of
+    /// FCFS order because it fits without delaying the head-of-queue
+    /// reservation (EASY backfilling).
+    JobBackfilled {
+        /// Job index.
+        job: usize,
+        /// Backfill start time.
+        at: SimTime,
+        /// The head-of-queue reservation the backfill must not delay.
+        reservation: SimTime,
+    },
     /// A job finished its work.
     JobCompleted {
         /// Job index.
@@ -303,6 +314,7 @@ impl TraceEvent {
             TraceEvent::JobSubmitted { .. } => "job_submitted",
             TraceEvent::JobDispatched { .. } => "job_dispatched",
             TraceEvent::JobRetried { .. } => "job_retried",
+            TraceEvent::JobBackfilled { .. } => "job_backfilled",
             TraceEvent::JobCompleted { .. } => "job_completed",
             TraceEvent::JobFailed { .. } => "job_failed",
         }
@@ -329,6 +341,7 @@ impl TraceEvent {
             | TraceEvent::JobSubmitted { at, .. }
             | TraceEvent::JobDispatched { at, .. }
             | TraceEvent::JobRetried { at, .. }
+            | TraceEvent::JobBackfilled { at, .. }
             | TraceEvent::JobCompleted { at, .. }
             | TraceEvent::JobFailed { at, .. } => at,
         }
@@ -493,6 +506,14 @@ impl TraceEvent {
                 "{{\"kind\":\"{kind}\",\"at\":{},\"job\":{job},\"attempt\":{attempt}}}",
                 at.0
             ),
+            TraceEvent::JobBackfilled {
+                job,
+                at,
+                reservation,
+            } => format!(
+                "{{\"kind\":\"{kind}\",\"at\":{},\"job\":{job},\"reservation\":{}}}",
+                at.0, reservation.0
+            ),
             TraceEvent::JobCompleted {
                 job,
                 at,
@@ -620,6 +641,11 @@ impl TraceEvent {
                 job: idx("job")?,
                 at,
                 attempt: extract_json_u64(line, "attempt")? as u32,
+            },
+            "job_backfilled" => TraceEvent::JobBackfilled {
+                job: idx("job")?,
+                at,
+                reservation: SimTime(extract_json_u64(line, "reservation")?),
             },
             "job_completed" => TraceEvent::JobCompleted {
                 job: idx("job")?,
@@ -1150,6 +1176,23 @@ mod tests {
         assert_eq!(sum, sum2);
         assert!(sum.render().contains("job_completed"));
         assert!(sum.to_json().contains("\"events\":3"));
+    }
+
+    #[test]
+    fn backfill_event_round_trips_through_json() {
+        let e = TraceEvent::JobBackfilled {
+            job: 7,
+            at: s(12.5),
+            reservation: s(90.0),
+        };
+        assert_eq!(e.kind(), "job_backfilled");
+        assert_eq!(e.at(), s(12.5));
+        let j = e.to_json();
+        assert_eq!(
+            j,
+            "{\"kind\":\"job_backfilled\",\"at\":12500000,\"job\":7,\"reservation\":90000000}"
+        );
+        assert_eq!(TraceEvent::from_json(&j), Some(e));
     }
 
     #[test]

@@ -56,6 +56,10 @@ impl MetricsSink {
             "apples_job_retries_total",
             "Failed attempts that were scheduled for retry after backoff.",
         );
+        r.describe_counter(
+            "apples_backfills_total",
+            "Queued jobs started out of FCFS order by EASY backfilling.",
+        );
         r.describe_gauge(
             "apples_queue_depth",
             "Jobs submitted or awaiting retry but not yet dispatched.",
@@ -246,6 +250,11 @@ impl EventSink for MetricsSink {
             TraceEvent::JobRetried { .. } => {
                 self.registry.inc("apples_job_retries_total", &[], 1.0);
                 self.set_queue_depth(1);
+            }
+            // Queue depth is unchanged here: the matching
+            // JobDispatched event carries the dequeue.
+            TraceEvent::JobBackfilled { .. } => {
+                r.inc("apples_backfills_total", &[], 1.0);
             }
             TraceEvent::JobCompleted { exec_seconds, .. } => {
                 r.observe("apples_job_exec_seconds", &[], *exec_seconds);

@@ -1,0 +1,110 @@
+//! Property tests for the scheduling-regime layer (PR 9): whatever
+//! the seed, all three regimes must schedule exactly the same job set,
+//! EASY backfilling must never delay the head-of-queue reservation,
+//! and fractional shares must never oversubscribe a host.
+
+use apples_grid::workload::{ArrivalProcess, JobMix, RetryPolicy, WorkloadConfig};
+use apples_grid::{
+    run_batch_with_log, run_fractional_with_log, run_regime_jobs_with_sink, FaultInjection,
+    GridConfig, SchedRegime,
+};
+use metasim::simtrace::NoopSink;
+use metasim::{FaultModel, SimTime};
+use proptest::prelude::*;
+
+fn workload(seed: u64, gap_secs: u64) -> WorkloadConfig {
+    WorkloadConfig {
+        arrivals: ArrivalProcess::Uniform {
+            gap: SimTime::from_secs(gap_secs),
+        },
+        mix: JobMix::default_mix(),
+        duration: SimTime::from_secs(1500),
+        seed,
+        retry: RetryPolicy {
+            max_attempts: 2,
+            ..RetryPolicy::default()
+        },
+    }
+}
+
+fn grid(seed: u64, crash_rate: f64) -> GridConfig {
+    GridConfig {
+        seed,
+        faults: if crash_rate > 0.0 {
+            FaultInjection::Random(FaultModel {
+                host_crashes_per_hour: crash_rate,
+                link_outages_per_hour: 0.0,
+                mean_outage: SimTime::from_secs(600),
+                permanent_fraction: 0.25,
+            })
+        } else {
+            FaultInjection::None
+        },
+        ..GridConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// No regime may lose or duplicate work: every submitted job id
+    /// appears exactly once in the outcome, completed or failed.
+    #[test]
+    fn regimes_conserve_the_job_set(seed in 0u64..1000, crash_rate in 0.0f64..3.0) {
+        let w = workload(seed, 180);
+        let cfg = grid(seed, if crash_rate < 1.0 { 0.0 } else { crash_rate });
+        let jobs = w.realize();
+        let mut want: Vec<usize> = jobs.iter().map(|j| j.id).collect();
+        want.sort_unstable();
+        for regime in SchedRegime::ALL {
+            let out = run_regime_jobs_with_sink(
+                &cfg, regime, &jobs, w.duration, w.retry, &mut NoopSink,
+            ).expect("stream");
+            let mut got: Vec<usize> = out.records.iter().map(|r| r.id).collect();
+            got.sort_unstable();
+            prop_assert_eq!(&got, &want, "regime {} lost or duplicated jobs", regime);
+            for r in &out.records {
+                prop_assert!(r.finish >= r.start, "job {} finished before starting", r.id);
+                prop_assert!(r.start >= r.submit, "job {} started before submission", r.id);
+            }
+        }
+    }
+
+    /// The EASY invariant: a backfill may start out of FCFS order only
+    /// if it cannot push the head-of-queue reservation later.
+    #[test]
+    fn easy_backfills_never_delay_the_head(seed in 0u64..1000) {
+        let w = workload(seed, 60);
+        let cfg = grid(seed, 0.0);
+        let jobs = w.realize();
+        let (_, log) = run_batch_with_log(&cfg, &jobs, w.duration, w.retry, &mut NoopSink)
+            .expect("batch stream");
+        for b in &log.backfills {
+            prop_assert!(
+                b.reservation_after <= b.reservation_before,
+                "backfill of job {} delayed the reservation {:?} -> {:?}",
+                b.job, b.reservation_before, b.reservation_after
+            );
+        }
+    }
+
+    /// Processor sharing conserves capacity: on every host, over every
+    /// constant-share interval, resident shares sum to at most 1.
+    #[test]
+    fn fractional_shares_conserve_capacity(seed in 0u64..1000) {
+        let w = workload(seed, 90);
+        let cfg = grid(seed, 0.0);
+        let jobs = w.realize();
+        let (out, log) = run_fractional_with_log(&cfg, &jobs, w.duration, w.retry, &mut NoopSink)
+            .expect("fractional stream");
+        prop_assert_eq!(out.records.len(), jobs.len());
+        for s in &log.samples {
+            prop_assert!(
+                s.total_share <= 1.0 + 1e-9,
+                "host {:?} oversubscribed: {} on [{:?}, {:?})",
+                s.host, s.total_share, s.from, s.to
+            );
+            prop_assert!(s.from < s.to, "zero-length share sample");
+        }
+    }
+}

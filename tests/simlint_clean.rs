@@ -71,6 +71,10 @@ fn sim_crates_enable_the_cross_file_passes() {
         "crates/metasim/src/lib.rs",
         "crates/simcore/src/lib.rs",
         "crates/grid/src/lib.rs",
+        // The regime layer is new in PR 9; it must inherit the full
+        // grid-crate policy, not slip through as an unlisted module.
+        "crates/grid/src/sched.rs",
+        "crates/grid/src/service.rs",
     ] {
         let enabled = simlint::lints_for_path(Path::new(rel));
         for lint in [
