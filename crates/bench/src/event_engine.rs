@@ -453,6 +453,129 @@ pub fn parse_results(text: &str) -> Result<Vec<EnginePoint>, String> {
     Ok(points)
 }
 
+/// One remembered sweep point from the history trajectory — the
+/// structural identity of the point plus the two rates worth
+/// trending. Wall-clock rates drift run to run; identity must not.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryPoint {
+    /// Topology label of the point.
+    pub topo: String,
+    /// Host count.
+    pub hosts: usize,
+    /// Transfer count.
+    pub jobs: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// events/sec advantage of the incremental engine at record time.
+    pub speedup: f64,
+    /// Incremental events per second at record time.
+    pub inc_events_per_sec: f64,
+}
+
+/// Render one run's sweep as a `BENCH_event_engine.history.jsonl`
+/// line (no trailing newline). Every `bench` run appends one, so the
+/// file is the machine's performance trajectory over time.
+pub fn history_line(points: &[EnginePoint]) -> String {
+    let mut out = String::from("{\"bench\": \"event_engine\", \"points\": [");
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{{\"topo\": \"{}\", \"hosts\": {}, \"jobs\": {}, \"seed\": {}, \
+             \"speedup\": {:.2}, \"inc_events_per_sec\": {:.1}}}",
+            p.topo,
+            p.hosts,
+            p.jobs,
+            p.seed,
+            p.speedup(),
+            p.inc_events_per_sec(),
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Parse a history file into one point-vector per recorded run
+/// (malformed lines are errors — the file is machine-written).
+pub fn parse_history(text: &str) -> Result<Vec<Vec<HistoryPoint>>, String> {
+    let mut runs = Vec::new();
+    for (n, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        if !line.contains("\"bench\": \"event_engine\"") {
+            return Err(format!(
+                "history line {}: not an event_engine record",
+                n + 1
+            ));
+        }
+        let mut points = Vec::new();
+        let body = line
+            .find("\"points\": [")
+            .map(|i| &line[i..])
+            .ok_or_else(|| format!("history line {}: missing points array", n + 1))?;
+        for obj in body.split('{').skip(1) {
+            let obj = obj.split('}').next().unwrap_or("");
+            let want = |key: &str| {
+                field_f64(obj, key)
+                    .ok_or_else(|| format!("history line {}: missing field {key:?}", n + 1))
+            };
+            points.push(HistoryPoint {
+                topo: field_str(obj, "topo").unwrap_or("fleet").to_string(),
+                hosts: want("hosts")? as usize,
+                jobs: want("jobs")? as usize,
+                seed: want("seed")? as u64,
+                speedup: want("speedup")?,
+                inc_events_per_sec: want("inc_events_per_sec")?,
+            });
+        }
+        if points.is_empty() {
+            return Err(format!("history line {}: empty points array", n + 1));
+        }
+        runs.push(points);
+    }
+    Ok(runs)
+}
+
+/// Compare a sweep against the last history run. Structural mismatch
+/// (different point set or seed) is an error; rate drift is returned
+/// as human-readable lines for reporting, because wall-clock rates
+/// legitimately move between machines and runs.
+pub fn compare_with_history(
+    points: &[EnginePoint],
+    last: &[HistoryPoint],
+) -> Result<Vec<String>, String> {
+    if points.len() != last.len() {
+        return Err(format!(
+            "sweep has {} point(s) but the last history run has {}",
+            points.len(),
+            last.len()
+        ));
+    }
+    let mut lines = Vec::with_capacity(points.len());
+    for (p, h) in points.iter().zip(last) {
+        if p.topo != h.topo || p.hosts != h.hosts || p.jobs != h.jobs || p.seed != h.seed {
+            return Err(format!(
+                "point mismatch vs. history: now {}/{} hosts/{} jobs seed {}, \
+                 last {}/{} hosts/{} jobs seed {}",
+                p.topo, p.hosts, p.jobs, p.seed, h.topo, h.hosts, h.jobs, h.seed
+            ));
+        }
+        let now = p.speedup();
+        let drift = if h.speedup > 0.0 {
+            100.0 * (now - h.speedup) / h.speedup
+        } else {
+            0.0
+        };
+        lines.push(format!(
+            "{:<28} {:>6} hosts: speedup {:.2}x vs {:.2}x last ({:+.1}%)",
+            p.topo, p.hosts, now, h.speedup, drift
+        ));
+    }
+    Ok(lines)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -519,6 +642,49 @@ mod tests {
         assert!(parse_results("{\"bench\": \"event_engine\", \"points\": []}").is_err());
         let truncated = "{\"bench\": \"event_engine\", \"points\": [{\"hosts\": 10}]}";
         assert!(parse_results(truncated).is_err());
+    }
+
+    #[test]
+    fn history_round_trips_and_compares() {
+        let pts = vec![
+            EnginePoint {
+                topo: "fleet".into(),
+                hosts: 10,
+                jobs: 100,
+                seed: 42,
+                inc_events: 1234,
+                inc_secs: 0.0125,
+                ref_events: 1234,
+                ref_secs: 0.05,
+            },
+            EnginePoint {
+                topo: "fat-tree:k=8".into(),
+                hosts: 1024,
+                jobs: 10_000,
+                seed: 42,
+                inc_events: 60_000,
+                inc_secs: 0.5,
+                ref_events: 60_000,
+                ref_secs: 9.5,
+            },
+        ];
+        let file = format!("{}\n{}\n", history_line(&pts), history_line(&pts));
+        let runs = parse_history(&file).expect("valid history");
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[0][1].hosts, 1024);
+        let drift = compare_with_history(&pts, &runs[1]).expect("same shape");
+        assert_eq!(drift.len(), 2);
+        assert!(drift[0].contains("+0.0%"), "{}", drift[0]);
+
+        // A different point set is a structural error, not drift.
+        let mut other = pts.clone();
+        other[1].hosts = 512;
+        assert!(compare_with_history(&other, &runs[1]).is_err());
+        assert!(compare_with_history(&pts[..1], &runs[1]).is_err());
+        // Malformed lines are loud.
+        assert!(parse_history("{\"bench\": \"other\"}").is_err());
+        assert!(parse_history("{\"bench\": \"event_engine\", \"points\": []}").is_err());
     }
 
     #[test]

@@ -28,6 +28,8 @@
 //! byte-identical report, which is what the CI determinism gate
 //! checks.
 
+use std::fmt::Write as _;
+
 use crate::table;
 use apples_grid::workload::{
     ArrivalProcess, JobKind, JobMix, JobSpec, RetryPolicy, WorkloadConfig,
@@ -35,9 +37,13 @@ use apples_grid::workload::{
 use apples_grid::{
     percentile, run_regime_jobs_with_sink, FaultInjection, GridConfig, GridError, SchedRegime,
 };
-use metasim::simtrace::NoopSink;
+use metasim::simtrace::{NoopSink, VecSink};
 use metasim::topogen::TopoSpec;
 use metasim::{FaultModel, SimTime};
+use obsv::{Composition, FanoutSink, MetricsSink, SpanTree, TimeSeries, TimeSeriesSink, PHASES};
+
+/// Window width of the per-regime report timeline, seconds.
+pub const REPORT_WINDOW_SECS: f64 = 300.0;
 
 /// Parameters of one race.
 #[derive(Debug, Clone, PartialEq)]
@@ -102,6 +108,10 @@ pub struct RegimeCell {
     pub retries: u64,
     /// `apples_backfills_total` — EASY backfills (batch regime only).
     pub backfills: u64,
+    /// Critical-path composition of the regime's span trees.
+    pub composition: Composition,
+    /// Timeline rows, [`REPORT_WINDOW_SECS`]-wide windows.
+    pub series: TimeSeries,
 }
 
 /// All regimes' results on one topology.
@@ -187,6 +197,17 @@ fn reference_execs(
 
 /// Race every regime over every topology in `cfg`.
 pub fn run_race(cfg: &RaceConfig) -> Result<Vec<RaceTrial>, GridError> {
+    run_race_with(cfg, &mut |_, _| {})
+}
+
+/// [`run_race`] with a progress callback, invoked once per
+/// (topology, regime) pair just before that leg starts. A full race
+/// is minutes of wall clock with no output; the CLI points this at
+/// stderr so the user can see which leg is running.
+pub fn run_race_with(
+    cfg: &RaceConfig,
+    progress: &mut dyn FnMut(&str, SchedRegime),
+) -> Result<Vec<RaceTrial>, GridError> {
     let retry = RetryPolicy {
         max_attempts: cfg.max_attempts,
         ..RetryPolicy::default()
@@ -234,8 +255,19 @@ pub fn run_race(cfg: &RaceConfig) -> Result<Vec<RaceTrial>, GridError> {
 
         let mut cells = Vec::with_capacity(SchedRegime::ALL.len());
         for regime in SchedRegime::ALL {
-            let mut sink = obsv::MetricsSink::new();
-            let out = run_regime_jobs_with_sink(&grid, regime, &jobs, duration, retry, &mut sink)?;
+            progress(&label, regime);
+            let mut sink = MetricsSink::new();
+            let mut trace = VecSink::new();
+            let mut series_sink = TimeSeriesSink::fixed_seconds(REPORT_WINDOW_SECS);
+            let out = {
+                let mut fan = FanoutSink::new();
+                fan.push(&mut sink);
+                fan.push(&mut series_sink);
+                fan.push(&mut trace);
+                run_regime_jobs_with_sink(&grid, regime, &jobs, duration, retry, &mut fan)?
+            };
+            let composition = SpanTree::from_events(&trace.events).composition();
+            let series = series_sink.finalize();
             let reg = sink.registry();
             let retries = reg
                 .counter_value("apples_job_retries_total", &[])
@@ -271,6 +303,8 @@ pub fn run_race(cfg: &RaceConfig) -> Result<Vec<RaceTrial>, GridError> {
                 goodput_per_hour: completed.len() as f64 / (cfg.duration_secs / 3600.0),
                 retries,
                 backfills,
+                composition,
+                series,
             });
         }
         trials.push(RaceTrial { topo: label, cells });
@@ -314,6 +348,212 @@ pub fn render(trials: &[RaceTrial]) -> String {
         }
     }
     table::render(&headers, &rows)
+}
+
+/// Timeline ramp glyphs, lowest to highest.
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Map `vals` onto the ramp, scaled so `max` hits the last glyph.
+fn sparkline(vals: &[f64], max: f64) -> String {
+    vals.iter()
+        .map(|v| {
+            let f = if max > 0.0 {
+                (v / max).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            let i = (f * (RAMP.len() - 1) as f64).round() as usize;
+            RAMP[i.min(RAMP.len() - 1)] as char
+        })
+        .collect()
+}
+
+/// Render the race as a markdown report: the summary table, then per
+/// topology a critical-path composition table, the composition diff
+/// against the selfish baseline, and per-regime utilization /
+/// queue-depth timelines over [`REPORT_WINDOW_SECS`] windows.
+///
+/// Everything is derived from the seeded race, so the report is
+/// byte-identical across reruns — CI regenerates and diffs it.
+pub fn render_report(cfg: &RaceConfig, trials: &[RaceTrial]) -> String {
+    let mut out = String::new();
+    out.push_str("# T-RACE report\n\n");
+    let _ = writeln!(
+        out,
+        "Three scheduling regimes race over identical seeded job streams \
+         and fault schedules. Seed {}, arrival rate {:.4} jobs/s, \
+         submission window {:.0} s, {:.2} crashes/host-hour, retry \
+         budget {}.",
+        cfg.seed, cfg.rate_hz, cfg.duration_secs, cfg.crash_rate, cfg.max_attempts
+    );
+    out.push_str("\n## Summary\n\n```text\n");
+    out.push_str(&render(trials));
+    out.push_str("```\n");
+
+    for t in trials {
+        let _ = writeln!(out, "\n## {}\n", t.topo);
+
+        out.push_str("### Critical-path composition\n\n| regime |");
+        for p in PHASES {
+            let _ = write!(out, " {} |", p.name());
+        }
+        out.push_str(" dominates (jobs) | revocations | transfers |\n|---|");
+        for _ in PHASES {
+            out.push_str("---|");
+        }
+        out.push_str("---|---|---|\n");
+        for c in &t.cells {
+            let _ = write!(out, "| {} |", c.regime.name());
+            for p in PHASES {
+                let _ = write!(out, " {:.2}% |", 100.0 * c.composition.share(p));
+            }
+            let dom: Vec<String> = c
+                .composition
+                .dominant_jobs
+                .iter()
+                .map(|d| d.to_string())
+                .collect();
+            let _ = writeln!(
+                out,
+                " {} | {} | {} |",
+                dom.join("/"),
+                c.composition.revocations,
+                c.composition.transfers
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\nShares are fractions of the summed per-job critical-path \
+             makespan; `dominates` counts jobs whose critical path each \
+             phase dominates, in {} order.",
+            PHASES.map(|p| p.name()).join("/")
+        );
+
+        if let Some(base) = t.cells.iter().find(|c| c.regime == SchedRegime::Selfish) {
+            out.push_str("\n### Composition vs. selfish (percentage points)\n\n| regime |");
+            for p in PHASES {
+                let _ = write!(out, " Δ {} |", p.name());
+            }
+            out.push_str("\n|---|");
+            for _ in PHASES {
+                out.push_str("---|");
+            }
+            out.push('\n');
+            for c in &t.cells {
+                if c.regime == SchedRegime::Selfish {
+                    continue;
+                }
+                let _ = write!(out, "| {} |", c.regime.name());
+                for p in PHASES {
+                    let delta = 100.0 * (c.composition.share(p) - base.composition.share(p));
+                    let _ = write!(out, " {delta:+.2} |");
+                }
+                out.push('\n');
+            }
+        }
+
+        // Timeline sparklines on a window grid shared by the row's
+        // regimes, so columns line up across them.
+        let width = SimTime::from_secs_f64(REPORT_WINDOW_SECS).0.max(1);
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        for c in &t.cells {
+            for r in &c.series.rows {
+                lo = lo.min(r.start.0);
+                hi = hi.max(r.start.0);
+            }
+        }
+        if lo <= hi {
+            let starts: Vec<u64> = (lo..=hi).step_by(width as usize).collect();
+            let _ = writeln!(
+                out,
+                "\n### Timeline ({:.0} s windows, one glyph per window)\n\n```text",
+                REPORT_WINDOW_SECS
+            );
+            let util_max = t
+                .cells
+                .iter()
+                .flat_map(|c| c.series.rows.iter().map(|r| r.utilization))
+                .fold(0.0f64, f64::max);
+            let queue_max = t
+                .cells
+                .iter()
+                .flat_map(|c| c.series.rows.iter().map(|r| r.queue_depth as f64))
+                .fold(0.0f64, f64::max);
+            for c in &t.cells {
+                let rows: std::collections::BTreeMap<u64, &obsv::Row> =
+                    c.series.rows.iter().map(|r| (r.start.0, r)).collect();
+                let util: Vec<f64> = starts
+                    .iter()
+                    .map(|s| rows.get(s).map_or(0.0, |r| r.utilization))
+                    .collect();
+                let peak = util.iter().copied().fold(0.0f64, f64::max);
+                let _ = writeln!(
+                    out,
+                    "{:<10} util  |{}| peak {:.2} busy hosts",
+                    c.regime.name(),
+                    sparkline(&util, util_max),
+                    peak
+                );
+            }
+            // Fractional (processor-sharing) regimes realize work as
+            // occupancy write-back (LoadImposed), not discrete compute
+            // events, so a separate "load" lane keeps them visible.
+            let load_max = t
+                .cells
+                .iter()
+                .flat_map(|c| {
+                    c.series
+                        .rows
+                        .iter()
+                        .map(|r| r.imposed_load_seconds / REPORT_WINDOW_SECS)
+                })
+                .fold(0.0f64, f64::max);
+            for c in &t.cells {
+                let rows: std::collections::BTreeMap<u64, &obsv::Row> =
+                    c.series.rows.iter().map(|r| (r.start.0, r)).collect();
+                let load: Vec<f64> = starts
+                    .iter()
+                    .map(|s| {
+                        rows.get(s)
+                            .map_or(0.0, |r| r.imposed_load_seconds / REPORT_WINDOW_SECS)
+                    })
+                    .collect();
+                let peak = load.iter().copied().fold(0.0f64, f64::max);
+                let _ = writeln!(
+                    out,
+                    "{:<10} load  |{}| peak {:.2} occupied hosts",
+                    c.regime.name(),
+                    sparkline(&load, load_max),
+                    peak
+                );
+            }
+            for c in &t.cells {
+                let rows: std::collections::BTreeMap<u64, &obsv::Row> =
+                    c.series.rows.iter().map(|r| (r.start.0, r)).collect();
+                let queue: Vec<f64> = starts
+                    .iter()
+                    .map(|s| rows.get(s).map_or(0.0, |r| r.queue_depth as f64))
+                    .collect();
+                let peak = queue.iter().copied().fold(0.0f64, f64::max);
+                let _ = writeln!(
+                    out,
+                    "{:<10} queue |{}| peak {:.0} waiting",
+                    c.regime.name(),
+                    sparkline(&queue, queue_max),
+                    peak
+                );
+            }
+            out.push_str("```\n");
+            out.push_str(
+                "\n`util` counts hosts busy with discrete compute events; `load` \
+                 counts hosts occupied by imposed background load — fractional \
+                 (processor-sharing) runs realize all work as occupancy \
+                 write-back, so they appear in the `load` lane, not `util`.\n",
+            );
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -373,6 +613,54 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn report_is_deterministic_and_compositions_partition() {
+        let cfg = tiny();
+        let a = run_race(&cfg).unwrap();
+        let b = run_race(&cfg).unwrap();
+        let report = render_report(&cfg, &a);
+        assert_eq!(report, render_report(&cfg, &b));
+        assert!(report.contains("## Summary"));
+        assert!(report.contains("### Critical-path composition"));
+        assert!(report.contains("### Composition vs. selfish"));
+        assert!(report.contains("### Timeline"));
+        for t in &a {
+            for c in &t.cells {
+                // Every closed job folded, and the phase microseconds
+                // partition the summed makespan exactly.
+                assert_eq!(c.composition.jobs, c.completed + c.failed, "{}", c.regime);
+                assert_eq!(
+                    c.composition.phase_us.iter().sum::<u64>(),
+                    c.composition.total_us,
+                    "{} composition does not partition",
+                    c.regime
+                );
+                assert!(!c.series.rows.is_empty(), "{} has no timeline", c.regime);
+            }
+        }
+    }
+
+    #[test]
+    fn progress_callback_sees_every_leg_in_order() {
+        let cfg = RaceConfig {
+            topos: vec!["star:hosts=6".into()],
+            rate_hz: 0.004,
+            duration_secs: 1000.0,
+            crash_rate: 0.0,
+            ..RaceConfig::default()
+        };
+        let mut legs: Vec<(String, SchedRegime)> = Vec::new();
+        run_race_with(&cfg, &mut |topo, regime| {
+            legs.push((topo.to_string(), regime));
+        })
+        .unwrap();
+        let expect: Vec<(String, SchedRegime)> = SchedRegime::ALL
+            .iter()
+            .map(|r| ("star:hosts=6".to_string(), *r))
+            .collect();
+        assert_eq!(legs, expect);
     }
 
     #[test]

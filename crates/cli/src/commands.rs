@@ -643,7 +643,9 @@ pub fn grid(p: &Parsed) -> CmdResult {
 /// AppLeS agents, centralized EASY batch, fractional sharing) on
 /// identical seeded streams across one or more topologies.
 pub fn race(p: &Parsed) -> CmdResult {
-    use apples_bench::regime_race::{render, run_race, split_topo_list, RaceConfig};
+    use apples_bench::regime_race::{
+        render, render_report, run_race_with, split_topo_list, RaceConfig,
+    };
     let defaults = RaceConfig::default();
     let rate_hz: f64 = p.get_parsed("rate", defaults.rate_hz)?;
     let duration_secs: f64 = p.get_parsed("duration", defaults.duration_secs)?;
@@ -677,8 +679,26 @@ pub fn race(p: &Parsed) -> CmdResult {
          crashes {crash_rate}/host-hour\n\
          (every regime faces the same realized stream and fault schedule)\n"
     );
-    let trials = run_race(&cfg)?;
+    // A full race is minutes of silent wall clock; narrate each leg
+    // on stderr so redirected stdout stays clean. --quiet disables it.
+    let quiet = p.switch("quiet");
+    let legs = cfg.topos.len() * apples_grid::SchedRegime::ALL.len();
+    let mut done = 0usize;
+    let trials = run_race_with(&cfg, &mut |topo, regime| {
+        done += 1;
+        if !quiet {
+            eprintln!("race [{done}/{legs}] {topo}: {} regime...", regime.name());
+        }
+    })?;
     println!("{}", render(&trials));
+    let report_path = p.get("report", "");
+    if !report_path.is_empty() {
+        std::fs::write(report_path, render_report(&cfg, &trials))
+            .map_err(|e| format!("cannot write {report_path}: {e}"))?;
+        if !quiet {
+            eprintln!("wrote {report_path}");
+        }
+    }
     Ok(())
 }
 
@@ -786,6 +806,126 @@ pub fn prof(args: &[String]) -> i32 {
     0
 }
 
+/// `apples-cli spans FILE [--mode tree|jsonl|composition]` — fold a
+/// JSONL trace into causal span trees (job → attempt → phase, with
+/// retry/revocation/backfill cause edges and per-job critical paths).
+///
+/// Positional like `prof`; returns the process exit code (0 on
+/// success, 2 on usage or I/O errors). `tree` renders the indented
+/// trees plus the composition summary, `jsonl` emits one byte-stable
+/// JSON object per job, `composition` only the critical-path
+/// composition rollup.
+pub fn spans(args: &[String]) -> i32 {
+    let mut file: Option<&str> = None;
+    let mut mode = "tree";
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--mode" => match it.next() {
+                Some(m) => mode = m,
+                None => {
+                    eprintln!("error: --mode needs a value (tree|jsonl|composition)");
+                    return 2;
+                }
+            },
+            other if !other.starts_with('-') && file.is_none() => file = Some(other),
+            other => {
+                eprintln!("error: unexpected argument {other:?}");
+                return 2;
+            }
+        }
+    }
+    let Some(path) = file else {
+        eprintln!("usage: apples-cli spans FILE [--mode tree|jsonl|composition]");
+        return 2;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    let tree = obsv::SpanTree::from_jsonl(&text);
+    if tree.skipped_lines > 0 {
+        eprintln!("note: skipped {} malformed line(s)", tree.skipped_lines);
+    }
+    match mode {
+        "tree" => print!("{}", tree.render()),
+        "jsonl" => print!("{}", tree.to_jsonl()),
+        "composition" => println!("{}", tree.composition().render()),
+        other => {
+            eprintln!("error: unknown mode {other:?} (tree|jsonl|composition)");
+            return 2;
+        }
+    }
+    0
+}
+
+/// `apples-cli timeseries FILE [--window SECS | --aligned] [--jsonl]`
+/// — stream a JSONL trace through the windowed time-series engine.
+///
+/// Positional like `prof`; exit 0 on success, 2 on usage or I/O
+/// errors. Default is 60 s fixed windows as a table; `--aligned`
+/// switches to event-aligned (one row per distinct event time) and
+/// `--jsonl` emits the byte-stable JSONL export instead.
+pub fn timeseries(args: &[String]) -> i32 {
+    use metasim::simtrace::{EventSink, TraceEvent};
+    let mut file: Option<&str> = None;
+    let mut window = 60.0f64;
+    let mut aligned = false;
+    let mut jsonl = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--window" => match it.next().and_then(|w| w.parse::<f64>().ok()) {
+                Some(w) if w > 0.0 => window = w,
+                _ => {
+                    eprintln!("error: --window needs a positive seconds value");
+                    return 2;
+                }
+            },
+            "--aligned" => aligned = true,
+            "--jsonl" => jsonl = true,
+            other if !other.starts_with('-') && file.is_none() => file = Some(other),
+            other => {
+                eprintln!("error: unexpected argument {other:?}");
+                return 2;
+            }
+        }
+    }
+    let Some(path) = file else {
+        eprintln!("usage: apples-cli timeseries FILE [--window SECS | --aligned] [--jsonl]");
+        return 2;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    let (events, skipped) = TraceEvent::from_jsonl(&text);
+    let mut sink = if aligned {
+        obsv::TimeSeriesSink::new(obsv::WindowMode::EventAligned)
+    } else {
+        obsv::TimeSeriesSink::fixed_seconds(window)
+    };
+    for e in events {
+        sink.record(e);
+    }
+    let series = sink.finalize();
+    if jsonl {
+        print!("{}", series.to_jsonl());
+    } else {
+        print!("{}", series.render());
+    }
+    if skipped > 0 {
+        eprintln!("note: skipped {skipped} malformed line(s)");
+    }
+    0
+}
+
 /// `apples-cli snapshot-diff A B` — compare two Prometheus text
 /// snapshots series by series. Exit 0 when they agree, 1 on any
 /// difference, 2 on I/O or usage errors (mirrors `trace diff`).
@@ -854,9 +994,18 @@ pub fn metrics(p: &Parsed) -> CmdResult {
 /// results document instead of running the sweep.
 pub fn bench(p: &Parsed) -> CmdResult {
     use apples_bench::event_engine::{
-        parse_results, run_sweep, run_topo_sweep, to_json, to_table, DEFAULT_SWEEP,
-        DEFAULT_TOPO_SWEEP,
+        compare_with_history, history_line, parse_history, parse_results, run_sweep,
+        run_topo_sweep, to_json, to_table, DEFAULT_SWEEP, DEFAULT_TOPO_SWEEP,
     };
+
+    // The trajectory file rides next to the results document:
+    // `BENCH_event_engine.json` → `BENCH_event_engine.history.jsonl`.
+    fn history_path(out: &str) -> String {
+        match out.strip_suffix(".json") {
+            Some(stem) => format!("{stem}.history.jsonl"),
+            None => format!("{out}.history.jsonl"),
+        }
+    }
 
     let check = p.get("check", "");
     if !check.is_empty() {
@@ -864,6 +1013,24 @@ pub fn bench(p: &Parsed) -> CmdResult {
             std::fs::read_to_string(check).map_err(|e| format!("cannot read {check}: {e}"))?;
         let points = parse_results(&text).map_err(|e| format!("{check}: {e}"))?;
         println!("{check}: {} valid sweep point(s)", points.len());
+        let hist = history_path(check);
+        match std::fs::read_to_string(&hist) {
+            Ok(htext) => {
+                let runs = parse_history(&htext).map_err(|e| format!("{hist}: {e}"))?;
+                match runs.last() {
+                    Some(last) => {
+                        let drift = compare_with_history(&points, last)
+                            .map_err(|e| format!("{check} vs {hist}: {e}"))?;
+                        println!("vs last of {} history run(s) in {hist}:", runs.len());
+                        for line in drift {
+                            println!("  {line}");
+                        }
+                    }
+                    None => println!("{hist}: empty history, nothing to compare"),
+                }
+            }
+            Err(_) => println!("{hist}: no history file, nothing to compare"),
+        }
         return Ok(());
     }
 
@@ -936,6 +1103,17 @@ pub fn bench(p: &Parsed) -> CmdResult {
     let out = p.get("out", "BENCH_event_engine.json");
     std::fs::write(out, &doc).map_err(|e| format!("cannot write {out}: {e}"))?;
     eprintln!("wrote {out}");
+    // Append this run to the trajectory so `--check` (and a human with
+    // `tail`) can see how the machine's numbers move over time.
+    let hist = history_path(out);
+    use std::io::Write as _;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&hist)
+        .map_err(|e| format!("cannot open {hist}: {e}"))?;
+    writeln!(f, "{}", history_line(&points)).map_err(|e| format!("cannot append {hist}: {e}"))?;
+    eprintln!("appended {hist}");
     Ok(())
 }
 
@@ -979,8 +1157,11 @@ mod tests {
                 "trace",
                 "topo",
                 "regime",
+                "out",
+                "check",
+                "report",
             ],
-            &["sp2", "csv", "json", "blind"],
+            &["sp2", "csv", "json", "blind", "quiet"],
         )
         .expect("parse")
     }

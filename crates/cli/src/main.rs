@@ -64,11 +64,16 @@ USAGE:
   apples-cli race      [--rate R] [--duration SECS] [--seed N]
                        [--topo SPEC1,SPEC2,...] [--fault-rate C]
                        [--mean-outage SECS] [--max-attempts K]
+                       [--report FILE] [--quiet]
       T-RACE: race all three scheduling regimes on identical seeded
       streams across topologies; stretch/slowdown percentiles and
       goodput under faults per (topology, regime). --topo takes a
-      comma-separated list (figure-2 = the default testbed). Same
-      seed, same report, bit for bit.
+      comma-separated list (figure-2 = the default testbed). Each
+      (topology, regime) leg is narrated on stderr; --quiet silences
+      that. --report writes a markdown report with per-regime
+      critical-path composition, the diff against the selfish
+      baseline, and utilization/queue timelines. Same seed, same
+      report, bit for bit.
   apples-cli validate  [same flags as grid] [--horizon SECS]
       Statically check a grid configuration without running it: every
       problem is printed as a typed [code] diagnostic and the exit
@@ -84,6 +89,18 @@ USAGE:
       buckets (they sum to each job's makespan exactly). folded emits
       flamegraph-compatible stacks, gantt an ASCII timeline with
       per-host utilization lanes, table a plain-text breakdown.
+  apples-cli spans FILE [--mode tree|jsonl|composition]
+      Fold a JSONL trace into causal span trees: job → attempt →
+      phase with retry/revocation/backfill cause edges. The phase
+      leaves tile each job's makespan exactly (they reconcile with
+      `prof` to 0 µs); each tree carries its critical path. tree
+      renders indented trees plus the composition rollup, jsonl one
+      byte-stable JSON object per job, composition just the rollup.
+  apples-cli timeseries FILE [--window SECS | --aligned] [--jsonl]
+      Windowed time-series of a JSONL trace: per-kind event counts,
+      busy-host utilization, queue depth, backlog, imposed load.
+      Default 60 s fixed windows as a table; --aligned makes one row
+      per distinct event time; --jsonl emits the byte-stable export.
   apples-cli metrics   [same flags as grid] [--out FILE]
       Run a seeded grid scenario with the metrics registry attached
       and dump a Prometheus text-format snapshot.
@@ -102,9 +119,11 @@ USAGE:
       synthetic fleet. --topo adds a sweep point on a generated
       topology instead (e.g. --topo fat-tree:k=8, 1024 hosts). The
       default sweep includes the generated fat-tree point. Writes the
-      trajectory to --out (default BENCH_event_engine.json); --check
-      validates an existing results file instead of running (nonzero
-      exit if missing/malformed).
+      results to --out (default BENCH_event_engine.json) and appends
+      one line per run to the sibling *.history.jsonl trajectory;
+      --check validates an existing results file instead of running
+      and compares it against the last history point (nonzero exit if
+      missing/malformed/mismatched).
 
 Profiles: dedicated | light | moderate (default) | heavy
 ";
@@ -123,6 +142,12 @@ fn main() {
     }
     if raw[0] == "prof" {
         std::process::exit(commands::prof(&raw[1..]));
+    }
+    if raw[0] == "spans" {
+        std::process::exit(commands::spans(&raw[1..]));
+    }
+    if raw[0] == "timeseries" {
+        std::process::exit(commands::timeseries(&raw[1..]));
     }
     if raw[0] == "snapshot-diff" {
         std::process::exit(commands::snapshot_diff(&raw[1..]));
@@ -168,8 +193,9 @@ fn main() {
             "check",
             "topo",
             "regime",
+            "report",
         ],
-        &["sp2", "csv", "json", "blind"],
+        &["sp2", "csv", "json", "blind", "quiet"],
     ) {
         Ok(p) => p,
         Err(e) => {

@@ -1078,6 +1078,17 @@ impl FracRun<'_> {
         });
         match outcome {
             Ok((p, report)) => {
+                // The what-if run above is the only place the dedicated
+                // execution time of this attempt is known; publish it so
+                // profilers can split the PS window into compute vs.
+                // dilution (the executor trace has no events for it).
+                if self.sink.enabled() {
+                    self.sink.record(TraceEvent::JobWorkMeasured {
+                        job: id,
+                        at: now,
+                        dedicated_seconds: report.elapsed_seconds.max(0.0),
+                    });
+                }
                 self.active.push(ActiveJob {
                     idx,
                     id,

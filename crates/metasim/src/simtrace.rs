@@ -234,6 +234,19 @@ pub enum TraceEvent {
         /// The head-of-queue reservation the backfill must not delay.
         reservation: SimTime,
     },
+    /// A scheduler measured how long a job's current attempt would run
+    /// on dedicated (uncontended) resources — the what-if baseline a
+    /// fractional-share regime dilutes. Profilers use this to split the
+    /// attempt window into compute vs. contention-wait when the actual
+    /// execution never touches the shared executor trace.
+    JobWorkMeasured {
+        /// Job index.
+        job: usize,
+        /// Measurement time (the dispatch this estimate covers).
+        at: SimTime,
+        /// Predicted dedicated execution seconds for the attempt.
+        dedicated_seconds: f64,
+    },
     /// A job finished its work.
     JobCompleted {
         /// Job index.
@@ -315,6 +328,7 @@ impl TraceEvent {
             TraceEvent::JobDispatched { .. } => "job_dispatched",
             TraceEvent::JobRetried { .. } => "job_retried",
             TraceEvent::JobBackfilled { .. } => "job_backfilled",
+            TraceEvent::JobWorkMeasured { .. } => "job_work_measured",
             TraceEvent::JobCompleted { .. } => "job_completed",
             TraceEvent::JobFailed { .. } => "job_failed",
         }
@@ -342,6 +356,7 @@ impl TraceEvent {
             | TraceEvent::JobDispatched { at, .. }
             | TraceEvent::JobRetried { at, .. }
             | TraceEvent::JobBackfilled { at, .. }
+            | TraceEvent::JobWorkMeasured { at, .. }
             | TraceEvent::JobCompleted { at, .. }
             | TraceEvent::JobFailed { at, .. } => at,
         }
@@ -514,6 +529,15 @@ impl TraceEvent {
                 "{{\"kind\":\"{kind}\",\"at\":{},\"job\":{job},\"reservation\":{}}}",
                 at.0, reservation.0
             ),
+            TraceEvent::JobWorkMeasured {
+                job,
+                at,
+                dedicated_seconds,
+            } => format!(
+                "{{\"kind\":\"{kind}\",\"at\":{},\"job\":{job},\"dedicated_seconds\":{}}}",
+                at.0,
+                json_f64(*dedicated_seconds)
+            ),
             TraceEvent::JobCompleted {
                 job,
                 at,
@@ -646,6 +670,11 @@ impl TraceEvent {
                 job: idx("job")?,
                 at,
                 reservation: SimTime(extract_json_u64(line, "reservation")?),
+            },
+            "job_work_measured" => TraceEvent::JobWorkMeasured {
+                job: idx("job")?,
+                at,
+                dedicated_seconds: extract_json_f64(line, "dedicated_seconds")?,
             },
             "job_completed" => TraceEvent::JobCompleted {
                 job: idx("job")?,

@@ -22,7 +22,16 @@
 //!   timeline, or a table;
 //! * **exposition** — Prometheus text format via
 //!   [`Registry::expose`], with [`Snapshot`] parsing and
-//!   [`snapshot_diff`] so CI can gate on "same seed ⇒ same metrics".
+//!   [`snapshot_diff`] so CI can gate on "same seed ⇒ same metrics";
+//! * **causal span trees** ([`SpanTree`]) — per-job
+//!   job → attempt → phase hierarchies with cause edges (retry,
+//!   revocation, backfill), whose partition leaves tile each makespan
+//!   exactly and reconcile with simprof to 0 µs, plus per-job
+//!   critical paths and a per-trace [`Composition`] summary;
+//! * a **time-series engine** ([`TimeSeriesSink`]) — fixed-width or
+//!   event-aligned windows over the same stream: per-kind counts,
+//!   busy/utilization, queue depth, backlog, imposed load; byte-stable
+//!   JSONL.
 //!
 //! Everything here is read-only with respect to the simulation: a
 //! sink that is never attached costs nothing, and attaching one
@@ -32,8 +41,12 @@ pub mod expose;
 pub mod profile;
 pub mod registry;
 pub mod sink;
+pub mod span;
+pub mod timeseries;
 
 pub use expose::{snapshot_diff, SeriesDelta, Snapshot};
 pub use profile::{ExecShares, HostProfile, JobProfile, Phase, Profile, PHASES};
 pub use registry::{percentile, Histogram, Registry};
 pub use sink::{FanoutSink, MetricsSink};
+pub use span::{Cause, Composition, JobSpanTree, Span, SpanKind, SpanTree};
+pub use timeseries::{Row, TimeSeries, TimeSeriesSink, WindowMode, KINDS};

@@ -291,6 +291,25 @@ impl Profile {
                         }
                     }
                 }
+                TraceEvent::JobWorkMeasured {
+                    job,
+                    dedicated_seconds,
+                    ..
+                } => {
+                    // A fractional-share (PS) regime executes what-if
+                    // runs off-trace, so the attempt window would
+                    // otherwise read as pure contention. The measured
+                    // dedicated seconds stand in for compute; the
+                    // remainder of the window is dilution. Job-id
+                    // keyed: no reliance on the sequential `current`.
+                    if let Some(j) = jobs.get_mut(job) {
+                        j.compute_ws = if dedicated_seconds.is_finite() {
+                            dedicated_seconds.max(0.0)
+                        } else {
+                            0.0
+                        };
+                    }
+                }
                 TraceEvent::JobCompleted { job, at, .. } => {
                     if let Some(open) = jobs.remove(job) {
                         done.push(close_job(*job, open, *at, true));

@@ -70,8 +70,16 @@ impl Histogram {
     }
 
     /// Log-spaced boundaries from `lo` to at least `hi` with
-    /// `per_decade` buckets per factor of ten. The workhorse grid for
-    /// simulated durations, which span micro-seconds to days.
+    /// `per_decade` buckets per factor of ten, preceded by an explicit
+    /// zero boundary. The workhorse grid for simulated durations, which
+    /// span micro-seconds to days.
+    ///
+    /// The zero boundary gives exactly-zero observations (instant
+    /// events: cache hits, zero-wait dispatches) their own bucket
+    /// instead of collapsing them into `(-inf, lo]` with every sub-`lo`
+    /// duration — without it, quantiles of fast-event distributions
+    /// interpolate across a bucket whose population is mostly zeros and
+    /// clamp to the floor.
     pub fn log_spaced(lo: f64, hi: f64, per_decade: usize) -> Histogram {
         let lo = if lo.is_finite() && lo > 0.0 { lo } else { 1e-6 };
         let hi = if hi.is_finite() && hi > lo {
@@ -80,7 +88,7 @@ impl Histogram {
             lo * 1e6
         };
         let per_decade = per_decade.max(1);
-        let mut bounds = Vec::new();
+        let mut bounds = vec![0.0];
         let mut i = 0u32;
         loop {
             let b = lo * 10f64.powf(f64::from(i) / per_decade as f64);
@@ -518,6 +526,26 @@ mod tests {
         assert!(b.len() > 10);
         assert!(b.windows(2).all(|w| w[0] < w[1]));
         assert!(*b.last().unwrap() >= 1e3);
+    }
+
+    #[test]
+    fn log_spaced_zero_bucket_separates_instant_events() {
+        let mut h = Histogram::log_spaced(1e-3, 1e3, 3);
+        assert_eq!(h.boundaries()[0], 0.0, "first boundary must be zero");
+        for _ in 0..90 {
+            h.observe(0.0);
+        }
+        for _ in 0..10 {
+            h.observe(5e-4);
+        }
+        // Zeros get their own bucket; sub-lo positives land in (0, lo].
+        assert_eq!(h.counts()[0], 90);
+        assert_eq!(h.counts()[1], 10);
+        // Before the fix both populations shared (-inf, lo] and the
+        // median of a mostly-instant distribution interpolated up
+        // toward lo; with the zero boundary it is exactly 0.
+        assert_eq!(h.p50(), 0.0);
+        assert!(h.p95() > 0.0);
     }
 
     #[test]

@@ -265,7 +265,8 @@ impl EventSink for MetricsSink {
             }
             TraceEvent::CandidateConsidered { .. }
             | TraceEvent::ScheduleChosen { .. }
-            | TraceEvent::RescheduleTriggered { .. } => {}
+            | TraceEvent::RescheduleTriggered { .. }
+            | TraceEvent::JobWorkMeasured { .. } => {}
         }
     }
 }
